@@ -1,0 +1,42 @@
+"""Benchmark harness plumbing.
+
+Every bench regenerates one of the paper's tables/figures:
+
+- it runs the experiment driver once (``rounds=1`` — these are
+  measurement campaigns, not microbenchmarks; their wall time is the
+  quantity pytest-benchmark records),
+- prints the reproduced series in the same shape the paper reports, and
+- saves the structured record under ``results/``.
+
+Select the grid with ``REPRO_MODE`` in {smoke, paper, full}; smoke is
+the default and completes in minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentRecord
+from repro.experiments.common import DEFAULT_RESULTS_DIR
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run one experiment driver under pytest-benchmark and persist it."""
+
+    def runner(fn, render=None, **kwargs) -> ExperimentRecord:
+        record = benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+        path = record.save(DEFAULT_RESULTS_DIR)
+        with capsys.disabled():
+            print()
+            print("=" * 72)
+            print(record.title)
+            print("=" * 72)
+            if render is not None:
+                print(render(record))
+            for note in record.notes:
+                print(f"  * {note}")
+            print(f"  [record: {path}]")
+        return record
+
+    return runner

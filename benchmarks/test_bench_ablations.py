@@ -1,0 +1,84 @@
+"""Ablations for DESIGN.md's called-out decisions: prefetch degree,
+replacement policy, machine scale, BWThr capacity occupancy."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_bench_ablation_prefetch_degree(run_experiment):
+    record = run_experiment(ablations.run_prefetch_ablation)
+    unit = record.data["bwthr_unit_GBps"]
+    # The prefetcher is what lifts BWThr toward 2.8 GB/s.
+    assert unit["6"] > 1.4 * unit["0"]
+
+
+def test_bench_ablation_replacement_policy(run_experiment):
+    record = run_experiment(ablations.run_replacement_ablation)
+    rates = record.data["miss_rate"]
+    assert rates["lru"] == pytest.approx(record.data["eq4_prediction"], abs=0.05)
+    # All policies within a few points of each other in the uniform regime.
+    assert max(rates.values()) - min(rates.values()) < 0.06
+
+
+def test_bench_ablation_machine_scale(run_experiment):
+    record = run_experiment(ablations.run_scale_ablation)
+    ladders = record.data["ladders_mb"]
+    for k in ("0", "1", "3", "5"):
+        assert ladders["1/16"][k] == pytest.approx(ladders["1/32"][k], rel=0.35, abs=1.5)
+
+
+def test_bench_ablation_orthogonality_margin(run_experiment):
+    record = run_experiment(ablations.run_bwthr_capacity_ablation)
+    occ = record.data["occupancy"]
+    # CSThr's retained share shrinks monotonically with more BWThrs.
+    shares = [occ[k]["csthr_l3_fraction"] for k in sorted(occ, key=int)]
+    assert all(b <= a + 0.02 for a, b in zip(shares, shares[1:]))
+
+
+def test_bench_ablation_noise_amplification(run_experiment):
+    record = run_experiment(ablations.run_noise_ablation)
+    inflation = record.data["noise_inflation"]
+    ns = sorted(inflation, key=int)
+    # Amplification grows monotonically with job scale.
+    values = [inflation[n] for n in ns]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+    assert values[-1] > values[0]
+
+
+def test_bench_ablation_model_vs_trace(run_experiment):
+    record = run_experiment(ablations.run_model_vs_trace_ablation)
+    worst = max(
+        v for dist in record.data["abs_error"].values() for v in dist.values()
+    )
+    # Eq. 4 tracks stack-distance ground truth within ~10 miss-rate points.
+    assert worst < 0.12
+
+
+def test_bench_ablation_set_sampling(run_experiment):
+    record = run_experiment(ablations.run_sampling_ablation)
+    worst = max(
+        v for d in record.data["abs_error_vs_full"].values() for v in d.values()
+    )
+    # Sampling 1/32 of sets must track the full miss ratio closely.
+    assert worst < 0.04
+
+
+def test_bench_ablation_interleave_quantum(run_experiment):
+    record = run_experiment(ablations.run_quantum_ablation)
+    caps = list(record.data["effective_capacity_mb"].values())
+    # The inverted capacity must be quantum-insensitive (within ~1.5 MB).
+    assert max(caps) - min(caps) < 1.5
+
+
+def test_bench_ablation_writeback_throttling(run_experiment):
+    record = run_experiment(ablations.run_writeback_ablation)
+    off = record.data["results"]["off"]
+    on = record.data["results"]["on"]
+    # Throttling writebacks can only reduce effective STREAM bandwidth.
+    assert on["stream_peak_GBps"] <= off["stream_peak_GBps"] * 1.02
+    # Throttling makes write-heavy interference strictly harsher; the
+    # effect is material (this is why the choice is documented) but must
+    # stay within small-multiple territory.
+    ratio = on["csthr_under_5bw_ns_per_access"] / off["csthr_under_5bw_ns_per_access"]
+    assert 0.9 < ratio < 3.5

@@ -1,0 +1,16 @@
+"""Extension: co-location advice verified against simulated co-runs."""
+
+from repro.experiments import run_colocation
+from repro.experiments.colocation import render
+
+
+def test_bench_colocation_advisor(run_experiment):
+    record = run_experiment(run_colocation, render=render)
+    # Predictions must track ground truth within ~0.2 worst-slowdown on
+    # average, and QoS verdicts must mostly agree.
+    assert record.data["mean_abs_error"] < 0.2
+    assert record.data["qos_agreement"] >= 0.6
+    # No prediction may be *optimistic* by more than 5% (a QoS advisor
+    # must err conservative).
+    for pair, r in record.data["pairs"].items():
+        assert r["predicted_worst"] >= r["simulated_worst"] - 0.05, pair

@@ -1,0 +1,19 @@
+"""Extension: end-to-end measurement accuracy against ground truth.
+
+The simulator enables the calibration experiment the paper could not
+run: workloads with working sets known by construction, measured by the
+full Active Measurement pipeline.
+"""
+
+from repro.experiments import run_detection_accuracy
+from repro.experiments.detection import render
+
+
+def test_bench_detection_accuracy(run_experiment):
+    record = run_experiment(run_detection_accuracy, render=render)
+    assert record.data["containment_rate"] >= 0.67
+    # Measured brackets must be ordered consistently with the truth:
+    results = record.data["results"]
+    sizes = sorted(results, key=int)
+    lowers = [results[s]["measured_lower_mb"] for s in sizes]
+    assert all(b >= a for a, b in zip(lowers, lowers[1:]))

@@ -1,0 +1,87 @@
+"""Simulator-throughput microbenchmarks.
+
+Unlike the figure benches (one-shot measurement campaigns), these are
+true microbenchmarks of the fused simulation kernel — the quantity that
+bounds every experiment's wall time. They guard against performance
+regressions in ``repro.engine.fastpath``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import xeon20mb
+from repro.engine import AccessChunk, FastSocket
+
+N_ACCESSES = 50_000
+
+
+def _random_chunks(socket, seed, n=N_ACCESSES, quantum=256):
+    """CSThr-shaped traffic: uniform random over 4096 lines."""
+    rng = np.random.default_rng(seed)
+    lines = rng.integers(1024, 1024 + 4096, size=n)
+    chunks = []
+    for i in range(0, n, quantum):
+        c = AccessChunk(
+            lines=lines[i : i + quantum].tolist(), is_write=True, ops_per_access=6
+        )
+        c.prefetchable = False
+        chunks.append(c)
+    return chunks
+
+
+def _stream_chunks(socket, n=N_ACCESSES, quantum=128):
+    """BWThr-shaped traffic: constant-stride streaming."""
+    chunks = []
+    pos = 1_000_000
+    for i in range(0, n, quantum):
+        chunks.append(
+            AccessChunk(
+                lines=list(range(pos, pos + 7 * quantum, 7)),
+                is_write=True,
+                ops_per_access=39,
+                stream_id=1,
+            )
+        )
+        pos += 7 * quantum
+    return chunks
+
+
+@pytest.mark.parametrize("shape", ["random", "stream"])
+def test_bench_fastpath_throughput(benchmark, shape):
+    socket = xeon20mb()
+    chunks = (
+        _random_chunks(socket, seed=1) if shape == "random" else _stream_chunks(socket)
+    )
+
+    def run():
+        fast = FastSocket(socket)
+        t = 0.0
+        for c in chunks:
+            t = fast.run_chunk(0, c, t)
+        return t
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    rate = N_ACCESSES / benchmark.stats["median"]
+    # Regression guard: the kernel must stay above 200k accesses/s even
+    # on slow CI machines (typical: 0.5-1.5M acc/s).
+    assert rate > 200_000, f"fastpath throughput regressed: {rate:.0f} acc/s"
+
+
+def test_bench_owner_tracking_overhead(benchmark):
+    """Owner attribution costs ~20-30%; fail if it blows past 2.5x."""
+    socket = xeon20mb()
+    chunks = _random_chunks(socket, seed=2, n=20_000)
+
+    import time
+
+    def run_with(track):
+        fast = FastSocket(socket, track_owner=track)
+        t0 = time.perf_counter()
+        t = 0.0
+        for c in chunks:
+            t = fast.run_chunk(0, c, t)
+        return time.perf_counter() - t0
+
+    plain = min(run_with(False) for _ in range(3))
+    tracked = benchmark.pedantic(lambda: run_with(True), rounds=3, iterations=1)
+    assert tracked < plain * 2.5

@@ -1,0 +1,24 @@
+"""Fig. 10: MCB per-process resource consumption by mapping.
+
+Paper: capacity use ~3.75-7 MB/process regardless of mapping; bandwidth
+use rises steeply as processes spread out (3.5-4.25 GB/s at p=4 up to
+11.4-14.2 GB/s at p=1).
+"""
+
+from repro.experiments import run_fig10
+from repro.experiments.fig10_fig12 import render
+
+
+def test_bench_fig10_mcb_resources(run_experiment):
+    record = run_experiment(run_fig10, render=render)
+    table = record.data["use_tables"]["20000"]
+    p1 = table["1"]
+    # Capacity bracket overlaps the paper's 4-7 MB.
+    assert p1["capacity_mb"]["upper"] >= 4.0
+    assert p1["capacity_mb"]["lower"] <= 9.0
+    if "4" in table:
+        p4 = table["4"]
+        # Bandwidth per process falls as processes share a socket.
+        assert (
+            p4["bandwidth_GBps"]["upper"] < p1["bandwidth_GBps"]["upper"]
+        )

@@ -1,0 +1,22 @@
+"""Fig. 11: Lulesh degradation across mappings and domain sizes.
+
+Paper: 22^3 tolerates 1-2 CSThrs (<5%) and loses >10% at 5; domains of
+edge >= 32 degrade >10% under 1-2 BWThrs; the largest domains overflow
+the L3 under any storage interference.
+"""
+
+from repro.experiments import run_fig11
+from repro.experiments.fig11 import render
+
+
+def test_bench_fig11_lulesh(run_experiment):
+    record = run_experiment(run_fig11, render=render)
+    bottom = record.data["bottom_times_ns"]
+    small = bottom[min(bottom, key=int)]
+    large = bottom[max(bottom, key=int)]
+    # Small domains shrug off 2 CSThrs; large ones do not shrug off 5.
+    assert small["cs"]["2"] < small["cs"]["0"] * 1.05
+    assert large["cs"]["5"] > large["cs"]["0"] * 1.10
+    # Large domains are bandwidth sensitive; small ones are not.
+    assert large["bw"]["2"] > large["bw"]["0"] * 1.05
+    assert small["bw"]["2"] < small["bw"]["0"] * 1.05

@@ -1,0 +1,18 @@
+"""Fig. 12: Lulesh per-process resource consumption by mapping.
+
+Paper: 22^3 processes need ~3.5-7 MB; 36^3 processes 7-20 MB; bandwidth
+use grows as processes spread out.
+"""
+
+from repro.experiments import run_fig12
+from repro.experiments.fig10_fig12 import render
+
+
+def test_bench_fig12_lulesh_resources(run_experiment):
+    record = run_experiment(run_fig12, render=render)
+    tables = record.data["use_tables"]
+    small = tables["22"]["1"]["capacity_mb"]
+    large = tables["36"]["1"]["capacity_mb"]
+    # The bigger domain needs more cache (paper: 3.5-7 vs 7-20 MB).
+    assert large["upper"] >= small["upper"]
+    assert small["upper"] <= 9.0

@@ -1,0 +1,19 @@
+"""Fig. 5: |measured - Eq.4 predicted| L3 miss rate vs buffer size.
+
+Paper: mean error < 10% everywhere; mean+sigma <= 15%; error shrinks as
+buffers grow (the full-associativity assumption matters less once most
+accesses miss).
+"""
+
+from repro.experiments import run_fig5
+from repro.experiments.fig5 import render
+
+
+def test_bench_fig5_model_error(run_experiment):
+    record = run_experiment(run_fig5, render=render)
+    errs = record.data["mean_abs_error"]
+    sig = record.data["std_abs_error"]
+    assert max(errs) < 0.12
+    assert max(e + s for e, s in zip(errs, sig)) < 0.2
+    # Error at the largest buffer must not exceed the smallest-buffer error.
+    assert errs[-1] <= errs[0] + 0.02

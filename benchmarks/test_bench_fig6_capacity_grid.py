@@ -1,0 +1,19 @@
+"""Fig. 6: effective L3 capacity under 0-5 CSThrs x compute intensity.
+
+Paper ladder: 20 / 15 / 12 / 7 / 5 / 2.5 MB. The reproduction must give a
+monotone ladder whose k=1..3 rungs land within ~25% of the paper's.
+"""
+
+import pytest
+
+from repro.experiments import run_fig6
+from repro.experiments.fig6 import render
+
+
+def test_bench_fig6_capacity_grid(run_experiment):
+    record = run_experiment(run_fig6, render=render)
+    ladder = {int(k): v for k, v in record.data["capacity_ladder_mb"].items()}
+    assert all(ladder[k + 1] < ladder[k] for k in range(5))
+    assert ladder[1] == pytest.approx(15.0, rel=0.25)
+    assert ladder[2] == pytest.approx(12.0, rel=0.25)
+    assert ladder[3] == pytest.approx(7.0, rel=0.35)

@@ -1,0 +1,18 @@
+"""Figs. 7-8: orthogonality of BWThr and CSThr.
+
+Paper: BWThr flat under 0-5 CSThrs; CSThr unaffected by 1 BWThr, slightly
+by 2, significantly by 3+.
+"""
+
+from repro.experiments import run_fig7_fig8
+from repro.experiments.fig7_fig8 import render
+
+
+def test_bench_fig7_fig8_orthogonality(run_experiment):
+    record = run_experiment(run_fig7_fig8, render=render)
+    assert record.data["bwthr_flat"]
+    assert record.data["capacity_neutral_bwthrs"] >= 1
+    f8 = record.data["fig8"]["csthr_time_per_access_ns"]
+    # CSThr at 5 BWThrs is significantly slower than alone; at 1 it is not.
+    assert f8[1] < f8[0] * 1.05
+    assert f8[5] > f8[0] * 1.15

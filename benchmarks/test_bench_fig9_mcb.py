@@ -1,0 +1,21 @@
+"""Fig. 9: MCB degradation across mappings and particle counts.
+
+Paper: little degradation with 1-3 CSThrs, 20-25% with 4-5; denser
+mappings degrade at fewer CSThrs; bandwidth impact peaks near 90k
+particles.
+"""
+
+from repro.experiments import run_fig9
+from repro.experiments.fig9 import render
+
+
+def test_bench_fig9_mcb(run_experiment):
+    record = run_experiment(run_fig9, render=render)
+    bottom = record.data["bottom_times_ns"]
+    for n, kinds in bottom.items():
+        cs = kinds["cs"]
+        base = cs["0"]
+        # Little degradation through 3 CSThrs...
+        assert cs["3"] < base * 1.06
+        # ...significant at 5.
+        assert cs["5"] > base * 1.08

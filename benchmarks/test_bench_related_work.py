@@ -1,0 +1,19 @@
+"""Section V: the bubble probe cannot decompose; the 2-D probes can."""
+
+from repro.experiments import run_bubble_comparison
+from repro.experiments.related_work import render
+
+
+def test_bench_related_work_bubble(run_experiment):
+    record = run_experiment(run_bubble_comparison, render=render)
+    curves = record.data["slowdown_curves"]
+    cap, bw = curves["capacity_victim"], curves["bandwidth_victim"]
+    # The bubble degrades both victims along its single knob.
+    assert cap["bubble"][-1] > 1.1 and bw["bubble"][-1] > 1.1
+    # The 2-D probes produce opposite signatures:
+    #   capacity victim: storage onset at k=5, bandwidth flat at k=1.
+    assert cap["cs"][-1] > 1.08
+    assert cap["bw"][1] < 1.02
+    #   bandwidth victim: bandwidth onset by k<=2, storage flat at k=3.
+    assert bw["bw"][-1] > 1.03
+    assert bw["cs"][1] < 1.03

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Co-location advisor — the scheduling pay-off.
+
+The paper's introduction argues resource-oriented measurement enables
+"more intelligent work scheduling". This script profiles a small zoo of
+workloads once, asks the advisor which pairs may share a socket within a
+10% QoS bound, and then verifies the advice by actually co-running the
+pairs on the simulator.
+
+Run:  python examples/colocation_advisor.py
+"""
+
+from repro import calibrate_bandwidth, calibrate_capacity, xeon20mb
+from repro.analysis import format_table
+from repro.core.colocation import CoLocationAdvisor, profile_workload
+from repro.engine import SocketSimulator
+from repro.units import MiB
+from repro.workloads import HotColdProbe, ProbabilisticBenchmark, UniformDist
+
+WARM, MEAS = 30_000, 20_000
+
+
+def zoo():
+    return {
+        "kv-cache (8MB resident)": lambda: HotColdProbe(8 * MiB, hot_fraction=1.0),
+        "etl-mix (4MB + stream)": lambda: HotColdProbe(4 * MiB, hot_fraction=0.85),
+        "analytics-scan (40MB)": lambda: ProbabilisticBenchmark(UniformDist(), 40 * MiB),
+    }
+
+
+def co_run(socket, fa, fb, seed=3):
+    def solo(f):
+        sim = SocketSimulator(socket, seed=seed)
+        core = sim.add_thread(f(), main=True)
+        sim.warmup(accesses=WARM)
+        r = sim.measure(accesses=MEAS)
+        return r.counters_of(core).elapsed_ns / r.counters_of(core).accesses
+
+    ba, bb = solo(fa), solo(fb)
+    sim = SocketSimulator(socket, seed=seed)
+    ca, cb = sim.add_thread(fa(), main=True), sim.add_thread(fb(), main=True)
+    sim.warmup(accesses=WARM)
+    r = sim.measure(accesses=MEAS)
+    ta = r.counters_of(ca).elapsed_ns / r.counters_of(ca).accesses
+    tb = r.counters_of(cb).elapsed_ns / r.counters_of(cb).accesses
+    return max(ta / ba, tb / bb)
+
+
+def main() -> None:
+    socket = xeon20mb()
+    workloads = zoo()
+
+    print("calibrating interference threads ...")
+    cap_calib = calibrate_capacity(socket, warmup_accesses=WARM, measure_accesses=MEAS)
+    bw_calib = calibrate_bandwidth(socket, saturation_ks=())
+
+    print("profiling workloads ...")
+    profiles = {
+        name: profile_workload(
+            name, socket, factory, cap_calib, bw_calib,
+            cs_ks=[0, 2, 4, 5], bw_ks=[0, 1, 2],
+            warmup_accesses=WARM, measure_accesses=MEAS,
+        )
+        for name, factory in workloads.items()
+    }
+    for p in profiles.values():
+        print("  " + p.describe())
+
+    advisor = CoLocationAdvisor(socket, qos_slowdown=1.10)
+    names = list(workloads)
+    rows = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            a, b = names[i], names[j]
+            decision = advisor.predict_pair(profiles[a], profiles[b])
+            actual = co_run(socket, workloads[a], workloads[b])
+            rows.append(
+                (
+                    f"{a} + {b}",
+                    decision.worst,
+                    actual,
+                    "co-locate" if decision.worst <= advisor.qos else "isolate",
+                )
+            )
+
+    print()
+    print(format_table(
+        ("pairing", "predicted worst", "actual worst", "advice"),
+        rows,
+        title="Co-location advice (QoS bound: 10% slowdown)",
+        float_fmt="{:.3f}",
+    ))
+
+    plan, solo = advisor.plan(list(profiles.values()))
+    print()
+    print("placement plan:")
+    for d in plan:
+        print(f"  socket: {d.tenants[0]} + {d.tenants[1]} "
+              f"(predicted worst x{d.worst:.3f})")
+    for name in solo:
+        print(f"  socket: {name} (isolated)")
+
+
+if __name__ == "__main__":
+    main()

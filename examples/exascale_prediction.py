@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Predicting performance on a memory-starved future machine.
+
+Paper contribution 4: "a method to predict how the application's
+performance will degrade on alternative, less capable memory
+hierarchies". We measure Lulesh's capacity and bandwidth sensitivity on
+the (simulated) Xeon20MB, then evaluate the resulting degradation curves
+at the per-socket resources of a hypothetical Exascale-era node with 4x
+less shared cache and 4x less bandwidth.
+
+Run:  python examples/exascale_prediction.py
+"""
+
+from repro import calibrate_bandwidth, calibrate_capacity, exascale_node, xeon20mb
+from repro.apps import LuleshProxy
+from repro.core import (
+    ActiveMeasurement,
+    HierarchyPredictor,
+    MachineScenario,
+    bandwidth_curve,
+    capacity_curve,
+    render_sweep,
+)
+
+EDGE = 32  # per-rank domain; bandwidth-sensitive but not cache-hopeless
+
+
+def main() -> None:
+    socket = xeon20mb()
+    print(f"measuring Lulesh {EDGE}^3 sensitivity on {socket.name} ...")
+
+    am = ActiveMeasurement(
+        socket,
+        lambda: LuleshProxy(edge=EDGE, n_iterations=3),
+        warmup_accesses=None,       # finite app: run to completion
+        measure_accesses=None,
+        seed=11,
+    )
+    cs = am.capacity_sweep()
+    bw = am.bandwidth_sweep()
+    print(render_sweep(cs, title=f"Lulesh {EDGE}^3: storage interference"))
+    print()
+    print(render_sweep(bw, title=f"Lulesh {EDGE}^3: bandwidth interference"))
+
+    print()
+    print("calibrating availability ladders ...")
+    cap_calib = calibrate_capacity(socket, warmup_accesses=40_000, measure_accesses=25_000)
+    bw_calib = calibrate_bandwidth(socket, saturation_ks=())
+
+    predictor = HierarchyPredictor(
+        capacity_curve(cs, cap_calib), bandwidth_curve(bw, bw_calib)
+    )
+
+    print()
+    print("predictions for alternative memory hierarchies:")
+    for scenario in (
+        MachineScenario.from_socket(xeon20mb(scale=1), name="Xeon20MB (today)"),
+        MachineScenario.from_socket(exascale_node(scale=1), name="Exascale-era node"),
+        MachineScenario("half-cache variant", l3_bytes=10 * 2**20, bandwidth_Bps=17e9),
+        MachineScenario("half-bandwidth variant", l3_bytes=20 * 2**20, bandwidth_Bps=8.5e9),
+    ):
+        result = predictor.predict(scenario)
+        print("  " + result.summary())
+
+    print()
+    print("The starved node pays on both axes; the half-cache and")
+    print("half-bandwidth variants separate the two sensitivities —")
+    print("exactly the decomposition a Bubble-Up-style aggregate probe")
+    print("cannot provide (paper Section V).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Characterising the memory hierarchy from software.
+
+The paper's related work (refs [23][24], Yotov et al.'s X-Ray) measures
+hardware parameters with microbenchmarks. This example runs the
+pointer-chase probe at a ladder of working-set sizes on the simulated
+socket and recovers the L1/L2/L3/DRAM latencies and capacities — a
+self-check that the simulated hierarchy is observable from software the
+way real hardware is.
+
+Run:  python examples/latency_ladder.py
+"""
+
+from repro import SocketSimulator, xeon20mb
+from repro.analysis import format_table, line_chart
+from repro.units import KiB, fmt_bytes
+from repro.workloads import PointerChase
+
+
+def measured_latency(socket, buf_bytes, seed=5):
+    sim = SocketSimulator(socket, seed=seed)
+    core = sim.add_thread(PointerChase(buffer_bytes=buf_bytes), main=True)
+    sim.warmup(accesses=6_000)
+    result = sim.measure(accesses=6_000)
+    c = result.counters_of(core)
+    return (c.elapsed_ns - c.compute_ns) / c.accesses
+
+
+def main() -> None:
+    socket = xeon20mb()
+    print(socket.describe())
+    print()
+
+    sizes = [
+        s * KiB
+        for s in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
+    ]
+    rows = []
+    lats = []
+    for size in sizes:
+        lat = measured_latency(socket, size)
+        rows.append((fmt_bytes(size), lat))
+        lats.append(lat)
+
+    print(format_table(
+        ("working set", "latency ns/load"),
+        rows,
+        title="Pointer-chase latency ladder",
+        float_fmt="{:.1f}",
+    ))
+    print()
+    print(line_chart(
+        {"latency": lats},
+        x_labels=[fmt_bytes(s) for s in sizes],
+        title="latency vs working set (log-ish steps)",
+        y_label="ns/load",
+    ))
+
+    t = socket.timing
+    print()
+    print("hierarchy plateaus expected at "
+          f"L1={t.l1_hit_ns}ns, L2={t.l2_hit_ns}ns, "
+          f"L3={t.l3_hit_ns}ns, DRAM={t.dram_latency_ns}ns; the step")
+    print(f"positions mark the (scaled) capacities: "
+          f"L1={fmt_bytes(socket.l1.capacity_bytes)}, "
+          f"L2={fmt_bytes(socket.l2.capacity_bytes)}, "
+          f"L3={fmt_bytes(socket.l3.capacity_bytes)}.")
+
+
+if __name__ == "__main__":
+    main()

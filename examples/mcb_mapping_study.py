@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""MCB mapping study — Section IV / Figs. 9-10 in miniature.
+
+How should a scheduler place MCB's 24 ranks? This script measures the
+execution time of MCB under storage/bandwidth interference for two
+process-to-socket mappings and derives per-process resource use — the
+information the paper argues "enables more intelligent work scheduling".
+
+Run:  python examples/mcb_mapping_study.py
+"""
+
+from repro import calibrate_bandwidth, calibrate_capacity
+from repro.analysis import format_table
+from repro.apps import MCBProxy
+from repro.cluster import ProcessMapping, run_job
+from repro.config import xeon20mb_cluster
+from repro.experiments.fig10_fig12 import use_tables_from_sweeps
+from repro.experiments.appsweeps import interference_sweep
+
+N_RANKS = 24
+PARTICLES = 20_000
+
+
+def main() -> None:
+    cluster = xeon20mb_cluster(n_nodes=32)
+    socket = cluster.node.socket
+
+    sweeps = {}
+    rows = []
+    for p in (1, 2, 4):
+        mapping = ProcessMapping(cluster, n_ranks=N_RANKS, procs_per_socket=p)
+        print(f"mapping p={p}: {mapping.describe()}")
+
+        def build(rank, env, _m=mapping):
+            return MCBProxy(
+                n_particles=PARTICLES, n_ranks=N_RANKS, rank=rank,
+                mapping=_m, comm_env=env, n_iterations=2,
+            )
+
+        sweep = interference_sweep(
+            cluster, mapping, build,
+            cs_ks=range(0, min(6, mapping.free_cores_per_socket + 1)),
+            bw_ks=range(0, min(3, mapping.free_cores_per_socket + 1)),
+            seed=3,
+        )
+        sweeps[p] = sweep
+        base = sweep["cs"][0]
+        for kind in ("cs", "bw"):
+            for k, t in sorted(sweep[kind].items()):
+                rows.append((f"p={p}", kind, k, t / 1e6, t / base))
+
+    print()
+    print(format_table(
+        ("mapping", "interference", "k", "time ms", "slowdown"),
+        rows,
+        title=f"MCB {PARTICLES} particles: execution time vs interference",
+        float_fmt="{:.3f}",
+    ))
+
+    print()
+    print("calibrating availability ladders...")
+    cap_calib = calibrate_capacity(socket, warmup_accesses=40_000, measure_accesses=25_000)
+    bw_calib = calibrate_bandwidth(socket, saturation_ks=())
+    tables = use_tables_from_sweeps(sweeps, cap_calib, bw_calib)
+
+    rows = []
+    for p, entry in sorted(tables.items(), key=lambda kv: int(kv[0])):
+        cap = entry["capacity_mb"]
+        bw = entry.get("bandwidth_GBps", {"lower": float("nan"), "upper": float("nan")})
+        rows.append((p, cap["lower"], cap["upper"], bw["lower"], bw["upper"]))
+    print(format_table(
+        ("p/socket", "cap >= MB", "cap <= MB", "bw >= GB/s", "bw <= GB/s"),
+        rows,
+        title="Per-process resource use (the Fig. 10 quantities)",
+        float_fmt="{:.2f}",
+    ))
+    print()
+    print("Reading: spreading ranks out (p=1) multiplies per-process")
+    print("bandwidth use because all communication crosses the memory bus,")
+    print("while per-process cache use barely moves — the paper's headline")
+    print("scheduling insight for MCB.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: measure a workload's memory-resource use.
+
+The core loop of the paper in ~40 lines: take a workload, run it
+against increasing storage/bandwidth interference on the simulated
+Xeon20MB socket, and read off how much shared cache and memory bandwidth
+it actually uses.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ActiveMeasurement, calibrate_bandwidth, calibrate_capacity, xeon20mb
+from repro.core import (
+    bandwidth_curve,
+    capacity_curve,
+    render_campaign,
+    resource_use,
+)
+from repro.units import MiB, as_GBps, fmt_bytes
+from repro.workloads import ProbabilisticBenchmark, UniformDist
+
+
+def main() -> None:
+    socket = xeon20mb()
+    print(socket.describe())
+    print()
+
+    # The workload under test: uniform random reads over 40 MB — a
+    # capacity-hungry kernel (think: hash join, graph traversal).
+    workload = lambda: ProbabilisticBenchmark(UniformDist(), 40 * MiB)
+
+    am = ActiveMeasurement(
+        socket, workload, warmup_accesses=40_000, measure_accesses=25_000, seed=7
+    )
+    print("sweeping CSThr interference (storage)...")
+    cs = am.capacity_sweep()
+    print("sweeping BWThr interference (bandwidth)...")
+    bw = am.bandwidth_sweep()
+
+    print("calibrating interference threads (Sections III-A / III-C3)...")
+    cap_calib = calibrate_capacity(
+        socket, warmup_accesses=40_000, measure_accesses=25_000
+    )
+    bw_calib = calibrate_bandwidth(socket)
+
+    print()
+    print(render_campaign(cs, bw, cap_calib, bw_calib,
+                          header="Active Measurement: Uniform 40 MB probe"))
+
+    cap_use = resource_use(capacity_curve(cs, cap_calib), threshold=0.04)
+    bw_use = resource_use(bandwidth_curve(bw, bw_calib), threshold=0.04)
+    print()
+    print(
+        f"L3 capacity use:     {fmt_bytes(cap_use.lower)} - {fmt_bytes(cap_use.upper)}"
+    )
+    print(
+        f"memory bandwidth use: {as_GBps(bw_use.lower):.1f} - "
+        f"{as_GBps(bw_use.upper):.1f} GB/s"
+    )
+
+
+if __name__ == "__main__":
+    main()

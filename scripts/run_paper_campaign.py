@@ -1,0 +1,32 @@
+"""Run every experiment in paper mode and persist records."""
+import time, traceback
+import repro.experiments as ex
+from repro.experiments import ablations
+from repro.experiments.common import DEFAULT_RESULTS_DIR
+
+RUNS = [
+    ("calibration", ex.run_calibration),
+    ("fig5", ex.run_fig5),
+    ("fig7_fig8", ex.run_fig7_fig8),
+    ("fig9", ex.run_fig9),
+    ("fig11", ex.run_fig11),
+    ("fig10", ex.run_fig10),
+    ("fig12", ex.run_fig12),
+    ("ablation_prefetch", ablations.run_prefetch_ablation),
+    ("ablation_replacement", ablations.run_replacement_ablation),
+    ("ablation_scale", ablations.run_scale_ablation),
+    ("ablation_bwthr_capacity", ablations.run_bwthr_capacity_ablation),
+    ("fig6", ex.run_fig6),   # the big one last
+]
+for name, fn in RUNS:
+    t0 = time.perf_counter()
+    try:
+        rec = fn("paper")
+        path = rec.save(DEFAULT_RESULTS_DIR / "paper")
+        print(f"[{name}] done in {time.perf_counter()-t0:.0f}s -> {path}", flush=True)
+        for n in rec.notes:
+            print(f"   {n}", flush=True)
+    except Exception:
+        print(f"[{name}] FAILED after {time.perf_counter()-t0:.0f}s", flush=True)
+        traceback.print_exc()
+print("CAMPAIGN COMPLETE", flush=True)

@@ -1,0 +1,76 @@
+"""repro — Active Measurement of Memory Resource Consumption.
+
+A faithful, fully self-contained reproduction of Casas & Bronevetsky
+(IPDPS 2014) on a simulated multicore memory hierarchy:
+
+- :mod:`repro.config` — machine descriptions (the paper's Xeon20MB and
+  scaled variants),
+- :mod:`repro.mem` / :mod:`repro.engine` — the cache/bandwidth/prefetch
+  substrate and the multicore execution engine,
+- :mod:`repro.workloads` — BWThr, CSThr, the Table II probabilistic
+  benchmarks, STREAM and pointer-chase probes,
+- :mod:`repro.models` — Eq. 4 (EHR) and degradation models,
+- :mod:`repro.core` — the Active Measurement methodology itself,
+- :mod:`repro.cluster` / :mod:`repro.apps` — the MPI cluster substrate
+  and the MCB / Lulesh proxy applications,
+- :mod:`repro.experiments` — drivers that regenerate every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import ActiveMeasurement, xeon20mb
+    from repro.workloads import ProbabilisticBenchmark, UniformDist
+    from repro.units import MiB
+
+    am = ActiveMeasurement(
+        xeon20mb(),
+        lambda: ProbabilisticBenchmark(UniformDist(), 50 * MiB),
+    )
+    sweep = am.capacity_sweep()
+    print(sweep.slowdowns())
+"""
+
+from .config import (
+    ClusterConfig,
+    NodeConfig,
+    SocketConfig,
+    exascale_node,
+    tiny_socket,
+    xeon20mb,
+    xeon20mb_cluster,
+    xeon20mb_node,
+)
+from .core import (
+    ActiveMeasurement,
+    InterferenceSweep,
+    calibrate_bandwidth,
+    calibrate_capacity,
+    validate_orthogonality,
+)
+from .engine import SocketSimulator
+from .errors import ReproError
+from .workloads import BWThr, CSThr, ProbabilisticBenchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SocketConfig",
+    "NodeConfig",
+    "ClusterConfig",
+    "xeon20mb",
+    "xeon20mb_node",
+    "xeon20mb_cluster",
+    "exascale_node",
+    "tiny_socket",
+    "SocketSimulator",
+    "ActiveMeasurement",
+    "InterferenceSweep",
+    "calibrate_capacity",
+    "calibrate_bandwidth",
+    "validate_orthogonality",
+    "BWThr",
+    "CSThr",
+    "ProbabilisticBenchmark",
+]

@@ -1,0 +1,20 @@
+"""Statistics, table/chart rendering and experiment records."""
+
+from .ascii_charts import band_chart, line_chart
+from .records import ExperimentRecord
+from .stats import Band, band, bootstrap_ci, geometric_mean, relative_change, slowdown
+from .tables import format_kv, format_table
+
+__all__ = [
+    "Band",
+    "band",
+    "bootstrap_ci",
+    "geometric_mean",
+    "relative_change",
+    "slowdown",
+    "format_table",
+    "format_kv",
+    "line_chart",
+    "band_chart",
+    "ExperimentRecord",
+]

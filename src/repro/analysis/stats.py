@@ -1,0 +1,84 @@
+"""Small statistics helpers used by the experiment drivers.
+
+Kept numpy-only and deliberately boring: mean/std bands (the error bars
+of Figs. 5 and 6), bootstrap confidence intervals for noisy app
+measurements, and relative-change helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Band:
+    """Mean +/- one standard deviation over a group of measurements —
+    the quantity Figs. 5/6 plot across the ten Table II distributions."""
+
+    mean: float
+    std: float
+    n: int
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.std
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.std
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.std:.4g} (n={self.n})"
+
+
+def band(values: Sequence[float]) -> Band:
+    """Mean ± population std of a group (ddof=0, matching the paper's
+    'average plus/minus the standard deviation' bands)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("band() needs at least one value")
+    return Band(mean=float(arr.mean()), std=float(arr.std()), n=int(arr.size))
+
+
+def relative_change(value: float, baseline: float) -> float:
+    """(value - baseline) / baseline; the degradation measure of Figs. 9/11."""
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    return (value - baseline) / baseline
+
+
+def slowdown(value: float, baseline: float) -> float:
+    """value / baseline (>= 1 means slower)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return value / baseline
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI of the mean. Used by the noise-model
+    tests to check amplification predictions against simulation."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("bootstrap_ci() needs at least one value")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for slowdown factors)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0 or (arr <= 0).any():
+        raise ValueError("geometric_mean() needs positive values")
+    return float(np.exp(np.log(arr).mean()))

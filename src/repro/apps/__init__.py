@@ -1,0 +1,31 @@
+"""Proxy applications: MCB, Lulesh, SpMV/CG, and the phase framework."""
+
+from .base import (
+    BufferSpec,
+    CommEnv,
+    RandomPhase,
+    RankApp,
+    StreamPhase,
+)
+from .lulesh import LuleshProxy
+from .mcb import MCBProxy
+from .spmv import SpMVProxy
+
+#: Registry of available proxy applications by short name.
+APP_REGISTRY = {
+    "mcb": MCBProxy,
+    "lulesh": LuleshProxy,
+    "spmv": SpMVProxy,
+}
+
+__all__ = [
+    "RankApp",
+    "BufferSpec",
+    "StreamPhase",
+    "RandomPhase",
+    "CommEnv",
+    "MCBProxy",
+    "LuleshProxy",
+    "SpMVProxy",
+    "APP_REGISTRY",
+]

@@ -1,0 +1,120 @@
+"""Lulesh proxy — Livermore Unstructured Lagrangian Explicit Shock
+Hydrodynamics (paper ref [1]).
+
+Lulesh "solves a Shock Hydrodynamics Challenge Problem simulating large
+deformations in materials using a finite differences scheme". The
+paper's measurements characterise it as:
+
+- working set proportional to the per-rank domain s^3 (Fig. 11: 22^3
+  uses 3.5-7 MB of L3 per process; 36^3 overflows the cache, >15 MB),
+- stencil sweeps over element/node fields: streaming, prefetch-friendly,
+  *bandwidth-hungry once the domain overflows L3* (Fig. 11 bottom-right:
+  >10% degradation under 1-2 BWThrs only for s >= 32),
+- face exchanges with up to 6 neighbours, ~s^2 scaling, so both storage
+  and bandwidth use grow when ranks are spread out (Fig. 12).
+
+Field sizes are calibrated to the paper's brackets: 30 doubles per
+element and 12 per node give 22^3 -> ~3.5 MB and 36^3 -> ~15.3 MB per
+rank.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..cluster.mapping import Distance, ProcessMapping
+from ..errors import ConfigError
+from ..units import MiB
+from .base import BufferSpec, CommEnv, RandomPhase, RankApp, StreamPhase
+
+#: Bytes per element-centred state (30 doubles: energy, pressure,
+#: viscosity, gradients, ...), and per node (12 doubles: coordinates,
+#: velocities, forces).
+BYTES_PER_ELEM = 240
+BYTES_PER_NODE = 96
+
+#: Face-exchange payload per boundary node per iteration.
+BYTES_PER_FACE_NODE = 80
+
+
+class LuleshProxy(RankApp):
+    """One Lulesh rank over an ``edge^3`` per-rank domain.
+
+    The paper runs 64 ranks over cubes of edge 22-36 (the x-axis of
+    Figs. 11-12 is the edge length).
+    """
+
+    def __init__(
+        self,
+        edge: int = 22,
+        n_ranks: int = 64,
+        rank: int = 0,
+        n_iterations: int = 2,
+        mapping: Optional[ProcessMapping] = None,
+        comm_env: Optional[CommEnv] = None,
+        name: Optional[str] = None,
+    ):
+        if edge < 4:
+            raise ConfigError("edge must be at least 4")
+        super().__init__(
+            rank=rank, n_iterations=n_iterations, comm_env=comm_env, name=name
+        )
+        self.edge = edge
+        self.n_ranks = n_ranks
+        self.mapping = mapping
+        self.n_elems = edge**3
+        self.n_nodes = (edge + 1) ** 3
+
+    # -- structure ---------------------------------------------------------------
+
+    def buffer_specs(self) -> Sequence[BufferSpec]:
+        return [
+            BufferSpec("elem_fields", self.n_elems * BYTES_PER_ELEM, elem_bytes=8),
+            BufferSpec("node_fields", self.n_nodes * BYTES_PER_NODE, elem_bytes=8),
+        ]
+
+    def iteration_phases(self) -> Sequence[object]:
+        node = self.buffers["node_fields"]
+        # Gather/scatter: every element reads its 8 corner nodes; at line
+        # granularity that is ~1 irregular node access per element
+        # (simulated-scale count, like the buffer sizes).
+        scale = self._ctx.socket.scale if self._ctx is not None else 1
+        gathers = max(256, self.n_elems // scale)
+        return [
+            # Stress/hourglass sweeps over element state (read+write).
+            # Low per-line ALU cost: at 28 doubles per element a line
+            # holds ~2 elements, and the sweeps are memory-bound on real
+            # hardware — which is what makes large domains
+            # bandwidth-sensitive (Fig. 11 bottom-right).
+            StreamPhase("elem_fields", passes=1.0, ops_per_access=6),
+            StreamPhase("elem_fields", passes=1.0, ops_per_access=6, is_write=True),
+            # Nodal force accumulation sweep.
+            StreamPhase("node_fields", passes=1.0, ops_per_access=5, is_write=True),
+            # Irregular corner-node gather.
+            RandomPhase("node_fields", n_accesses=gathers, ops_per_access=8),
+            # Position/velocity update sweep.
+            StreamPhase("node_fields", passes=1.0, ops_per_access=5, is_write=True),
+        ]
+
+    # -- communication --------------------------------------------------------------
+
+    def comm_bytes_by_distance(self) -> Dict[Distance, int]:
+        if self.mapping is None:
+            return {}
+        # 6 faces of (edge+1)^2 boundary nodes.
+        total = 6 * (self.edge + 1) ** 2 * BYTES_PER_FACE_NODE
+        remote_frac = self.mapping.remote_fraction_ring()
+        remote = int(total * remote_frac)
+        local = total - remote
+        out: Dict[Distance, int] = {}
+        if local:
+            out[Distance.SOCKET] = local
+        if remote:
+            out[Distance.REMOTE] = remote
+        return out
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.edge}^3 domain, ws "
+            f"{self.working_set_paper_bytes() / MiB:.1f} MB/rank"
+        )

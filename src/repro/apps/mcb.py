@@ -1,0 +1,163 @@
+"""MCB proxy — Monte Carlo Benchmark (paper ref [2]).
+
+MCB "simulates the fuel assemblies in a nuclear reactor by simulating
+the flow of neutrons through it using the Monte Carlo method". Its
+memory behaviour, as characterised by the paper's measurements:
+
+- each process keeps a *constant-size* hot working set of 4-7 MB of L3
+  across 20k-260k particles (Fig. 9 bottom-left): tallies and cross
+  sections, independent of the particle census;
+- compute scales with particles, but there is a fixed per-iteration
+  domain/setup cost — which is why bandwidth sensitivity *peaks* near
+  90k particles (communication grows with the census until it
+  saturates, then compute dilutes it, Fig. 9 bottom-right);
+- storage use barely changes with the mapping while bandwidth use grows
+  sharply as processes spread out (Fig. 10).
+
+The proxy realises exactly those knobs:
+
+=============  =========================  ==============================
+structure      size                       access pattern
+=============  =========================  ==============================
+tally mesh     4.5 MB / rank, fixed       uniform random RMW, refreshed
+                                          ~2x per iteration (hot set)
+cross-section  0.75 MB / rank, fixed      concentrated random reads
+                                          (energy groups; Exp-like)
+particles      200 B x census / rank      sequential RMW sweeps
+geometry       1.25 MB / rank, fixed      one streamed pass (setup cost)
+comm           ~200 B per crossing        staging streams + wire time,
+               crossing ~30% of census    saturating at ``SAT_PARTICLES``
+=============  =========================  ==============================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..cluster.mapping import Distance, ProcessMapping
+from ..errors import ConfigError
+from ..units import KiB, MiB
+from ..workloads.distributions import ExponentialDist
+from .base import BufferSpec, CommEnv, RandomPhase, RankApp, StreamPhase
+
+#: Census beyond which boundary-crossing traffic stops growing (the
+#: paper's bandwidth-sensitivity peak at ~90k particles, 24 ranks).
+SAT_PARTICLES = 90_000
+
+#: Fraction of the (per-rank) census that crosses a domain boundary per
+#: iteration, and the bytes shipped per crossing particle.
+CROSSING_FRACTION = 0.30
+BYTES_PER_CROSSING = 200
+
+#: Per-rank fixed structures (paper units).
+TALLY_BYTES = int(4.5 * MiB)
+XS_BYTES = int(0.75 * MiB)
+GEOMETRY_BYTES = int(1.25 * MiB)
+BYTES_PER_PARTICLE = 200
+
+
+class MCBProxy(RankApp):
+    """One MCB rank.
+
+    Parameters
+    ----------
+    n_particles:
+        Total census across all ranks (the paper's 20,000-260,000 x-axis).
+    n_ranks:
+        Job size (paper: 24).
+    mapping:
+        Process mapping; ``None`` for single-socket studies without
+        communication.
+    """
+
+    def __init__(
+        self,
+        n_particles: int = 20_000,
+        n_ranks: int = 24,
+        rank: int = 0,
+        n_iterations: int = 2,
+        mapping: Optional[ProcessMapping] = None,
+        comm_env: Optional[CommEnv] = None,
+        name: Optional[str] = None,
+    ):
+        if n_particles <= 0 or n_ranks <= 0:
+            raise ConfigError("n_particles and n_ranks must be positive")
+        if n_particles < n_ranks:
+            raise ConfigError("need at least one particle per rank")
+        super().__init__(
+            rank=rank, n_iterations=n_iterations, comm_env=comm_env, name=name
+        )
+        self.n_particles = n_particles
+        self.n_ranks = n_ranks
+        self.mapping = mapping
+        self.particles_per_rank = n_particles // n_ranks
+        self._xs_dist = ExponentialDist(8)
+
+    # -- structure ---------------------------------------------------------------
+
+    def buffer_specs(self) -> Sequence[BufferSpec]:
+        return [
+            BufferSpec("tally", TALLY_BYTES, elem_bytes=8),
+            BufferSpec("xs", XS_BYTES, elem_bytes=8),
+            BufferSpec(
+                "particles",
+                max(self.particles_per_rank * BYTES_PER_PARTICLE, 4 * KiB),
+                elem_bytes=8,
+            ),
+            BufferSpec("geometry", GEOMETRY_BYTES, elem_bytes=8),
+        ]
+
+    def iteration_phases(self) -> Sequence[object]:
+        tally = self.buffers["tally"]
+        # Keep the tally hot: ~6 random touches per resident line per
+        # iteration (census-independent, like a fixed-resolution tally).
+        # This is MCB's dominant memory phase and the structure whose
+        # eviction produces the 20-25%% degradation at 4-5 CSThrs.
+        tally_touches = 6 * tally.n_lines
+        # Collision physics scales with the census; scale the access
+        # count with the machine like the buffer sizes are.
+        scale = 1
+        if self._ctx is not None:
+            scale = self._ctx.socket.scale
+        xs_lookups = max(256, 4 * self.particles_per_rank // scale)
+        return [
+            # Domain setup: fixed cost per iteration (streamed, compute
+            # heavy). This is the constant term that makes communication
+            # fraction peak at mid-size censuses.
+            StreamPhase("geometry", passes=1.0, ops_per_access=36),
+            # Particle transport sweeps: census-proportional.
+            StreamPhase("particles", passes=4.0, ops_per_access=22, is_write=True),
+            # Tally scoring: random RMW over the fixed mesh.
+            RandomPhase("tally", n_accesses=tally_touches, ops_per_access=8, is_write=True),
+            # Cross-section lookups: concentrated (low-energy groups hot).
+            RandomPhase(
+                "xs",
+                n_accesses=xs_lookups,
+                ops_per_access=16,
+                distribution=self._xs_dist,
+            ),
+        ]
+
+    # -- communication --------------------------------------------------------------
+
+    def comm_bytes_by_distance(self) -> Dict[Distance, int]:
+        if self.mapping is None:
+            return {}
+        census = min(self.n_particles, SAT_PARTICLES) // self.n_ranks
+        total = int(census * CROSSING_FRACTION * BYTES_PER_CROSSING)
+        remote_frac = self.mapping.remote_fraction_ring()
+        remote = int(total * remote_frac)
+        local = total - remote
+        out: Dict[Distance, int] = {}
+        if local:
+            out[Distance.SOCKET] = local
+        if remote:
+            out[Distance.REMOTE] = remote
+        return out
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.n_particles} particles / {self.n_ranks} ranks, "
+            f"{self.particles_per_rank}/rank, ws "
+            f"{self.working_set_paper_bytes() // MiB} MB"
+        )

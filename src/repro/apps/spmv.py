@@ -1,0 +1,100 @@
+"""SpMV/CG proxy — a third application built on the phase framework.
+
+Not part of the paper's evaluation; included to demonstrate that the
+:class:`~repro.apps.base.RankApp` abstraction generalises beyond MCB and
+Lulesh, and because a conjugate-gradient sparse solve is the canonical
+*bandwidth-bound* HPC kernel (HPCG-style), giving the library a workload
+at the opposite extreme from MCB's cache-resident tallies:
+
+- the matrix (CSR arrays, ~``nnz * 12`` bytes) is streamed once per
+  iteration and never fits the L3 — pure bandwidth appetite;
+- the source vector is gathered with irregular column indices — latency
+  and (partial) capacity appetite, scaling with the row count;
+- halo exchanges ship boundary vector entries each iteration, and a dot
+  product implies an allreduce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..cluster.mapping import Distance, ProcessMapping
+from ..errors import ConfigError
+from .base import BufferSpec, CommEnv, RandomPhase, RankApp, StreamPhase
+
+#: CSR storage per nonzero: 8 B value + 4 B column index.
+BYTES_PER_NNZ = 12
+#: Per-row storage for the three CG vectors (x, r, p) in doubles.
+BYTES_PER_ROW_VECTORS = 24
+#: Boundary entries shipped per iteration, as a fraction of rows.
+HALO_FRACTION = 0.06
+BYTES_PER_HALO_ENTRY = 8
+
+
+class SpMVProxy(RankApp):
+    """One CG rank over a sparse matrix with ``rows`` rows and
+    ``nnz_per_row`` nonzeros per row (per rank)."""
+
+    def __init__(
+        self,
+        rows: int = 200_000,
+        nnz_per_row: int = 27,
+        n_ranks: int = 16,
+        rank: int = 0,
+        n_iterations: int = 2,
+        mapping: Optional[ProcessMapping] = None,
+        comm_env: Optional[CommEnv] = None,
+        name: Optional[str] = None,
+    ):
+        if rows <= 0 or nnz_per_row <= 0:
+            raise ConfigError("rows and nnz_per_row must be positive")
+        super().__init__(
+            rank=rank, n_iterations=n_iterations, comm_env=comm_env, name=name
+        )
+        self.rows = rows
+        self.nnz_per_row = nnz_per_row
+        self.n_ranks = n_ranks
+        self.mapping = mapping
+
+    # -- structure ---------------------------------------------------------------
+
+    def buffer_specs(self) -> Sequence[BufferSpec]:
+        nnz = self.rows * self.nnz_per_row
+        return [
+            BufferSpec("matrix", nnz * BYTES_PER_NNZ, elem_bytes=4),
+            BufferSpec("vectors", self.rows * BYTES_PER_ROW_VECTORS, elem_bytes=8),
+        ]
+
+    def iteration_phases(self) -> Sequence[object]:
+        scale = self._ctx.socket.scale if self._ctx is not None else 1
+        # One irregular source-vector gather per matrix row.
+        gathers = max(256, self.rows // scale)
+        return [
+            # SpMV: stream the CSR arrays (values + indices), bandwidth
+            # bound with ~2 flops per nonzero.
+            StreamPhase("matrix", passes=1.0, ops_per_access=4),
+            # Irregular x[col] gathers.
+            RandomPhase("vectors", n_accesses=gathers, ops_per_access=4),
+            # Vector updates (axpy + dot): two streaming passes.
+            StreamPhase("vectors", passes=2.0, ops_per_access=6, is_write=True),
+        ]
+
+    # -- communication --------------------------------------------------------------
+
+    def comm_bytes_by_distance(self) -> Dict[Distance, int]:
+        if self.mapping is None:
+            return {}
+        total = int(self.rows * HALO_FRACTION * BYTES_PER_HALO_ENTRY)
+        remote_frac = self.mapping.remote_fraction_ring()
+        remote = int(total * remote_frac)
+        local = total - remote
+        out: Dict[Distance, int] = {}
+        if local:
+            out[Distance.SOCKET] = local
+        if remote:
+            out[Distance.REMOTE] = remote
+        return out
+
+    def describe(self) -> str:
+        mb = self.working_set_paper_bytes() / 2**20
+        return f"{self.name}: {self.rows} rows x {self.nnz_per_row} nnz, ws {mb:.1f} MB"

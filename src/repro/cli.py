@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show every reproducible experiment and its paper reference.
+``run <experiment> [--mode smoke|paper|full] [--seed N] [--out DIR]``
+    Run one experiment driver, print the rendered table/figure and save
+    the JSON record.
+``machine [--scale N]``
+    Describe the (optionally scaled) Table I machine.
+``version``
+    Print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Tuple
+
+from . import __version__
+from .analysis import ExperimentRecord
+from .config import xeon20mb
+from .errors import ReproError
+
+
+def _registry() -> Dict[str, Tuple[str, Callable, Optional[Callable]]]:
+    """experiment id -> (description, run fn, render fn)."""
+    from . import experiments as ex
+    from .experiments import ablations, related_work
+    from .experiments import calibration as calib_mod
+    from .experiments import colocation as colocation_mod
+    from .experiments import detection as detection_mod
+    from .experiments import fig5 as fig5_mod
+    from .experiments import fig6 as fig6_mod
+    from .experiments import fig7_fig8 as fig78_mod
+    from .experiments import fig9 as fig9_mod
+    from .experiments import fig10_fig12 as fig1012_mod
+    from .experiments import fig11 as fig11_mod
+
+    return {
+        "calibration": (
+            "Table I + Secs. II-A/III-A/III-C3 anchors",
+            ex.run_calibration, calib_mod.render,
+        ),
+        "fig5": ("Fig. 5: EHR model error", ex.run_fig5, fig5_mod.render),
+        "fig6": ("Fig. 6: capacity under CSThrs", ex.run_fig6, fig6_mod.render),
+        "fig7_fig8": (
+            "Figs. 7-8: orthogonality", ex.run_fig7_fig8, fig78_mod.render,
+        ),
+        "fig9": ("Fig. 9: MCB degradation", ex.run_fig9, fig9_mod.render),
+        "fig10": ("Fig. 10: MCB resource use", ex.run_fig10, fig1012_mod.render),
+        "fig11": ("Fig. 11: Lulesh degradation", ex.run_fig11, fig11_mod.render),
+        "fig12": ("Fig. 12: Lulesh resource use", ex.run_fig12, fig1012_mod.render),
+        "related_work": (
+            "Sec. V: bubble comparison",
+            ex.run_bubble_comparison, related_work.render,
+        ),
+        "ablation_prefetch": (
+            "Ablation: prefetch degree", ablations.run_prefetch_ablation, None,
+        ),
+        "ablation_replacement": (
+            "Ablation: replacement policy", ablations.run_replacement_ablation, None,
+        ),
+        "ablation_scale": (
+            "Ablation: machine scale", ablations.run_scale_ablation, None,
+        ),
+        "ablation_bwthr_capacity": (
+            "Ablation: BWThr L3 occupancy", ablations.run_bwthr_capacity_ablation, None,
+        ),
+        "ablation_noise": (
+            "Ablation: noise amplification", ablations.run_noise_ablation, None,
+        ),
+        "ablation_model_vs_trace": (
+            "Ablation: Eq.4 vs stack distance",
+            ablations.run_model_vs_trace_ablation, None,
+        ),
+        "ablation_sampling": (
+            "Ablation: set sampling accuracy", ablations.run_sampling_ablation, None,
+        ),
+        "ablation_quantum": (
+            "Ablation: interleave quantum", ablations.run_quantum_ablation, None,
+        ),
+        "ablation_writeback": (
+            "Ablation: writeback throttling", ablations.run_writeback_ablation, None,
+        ),
+        "detection_accuracy": (
+            "Extension: measurement vs ground truth",
+            ex.run_detection_accuracy, detection_mod.render,
+        ),
+        "colocation": (
+            "Extension: co-location advisor",
+            ex.run_colocation, colocation_mod.render,
+        ),
+    }
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Active Measurement of Memory Resource "
+        "Consumption' (Casas & Bronevetsky, IPDPS 2014)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list reproducible experiments")
+    sub.add_parser("version", help="print package version")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", help="experiment id (see 'list')")
+    run_p.add_argument(
+        "--mode", choices=("smoke", "paper", "full"), default=None,
+        help="grid size (default: REPRO_MODE env or smoke)",
+    )
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="directory for the JSON record (default: ./results)",
+    )
+
+    mach_p = sub.add_parser("machine", help="describe the Table I machine")
+    mach_p.add_argument("--scale", type=int, default=None,
+                        help="geometric down-scale (default: 16)")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+
+    if args.command == "version":
+        print(__version__)
+        return 0
+
+    if args.command == "machine":
+        socket = xeon20mb() if args.scale is None else xeon20mb(scale=args.scale)
+        print(socket.describe())
+        return 0
+
+    registry = _registry()
+    if args.command == "list":
+        width = max(len(k) for k in registry)
+        for name, (desc, _, _) in registry.items():
+            print(f"{name.ljust(width)}  {desc}")
+        return 0
+
+    if args.command == "run":
+        if args.experiment not in registry:
+            print(
+                f"unknown experiment {args.experiment!r}; run 'repro list'",
+                file=sys.stderr,
+            )
+            return 2
+        desc, run_fn, render_fn = registry[args.experiment]
+        print(f"running {args.experiment} ({desc}) ...", file=sys.stderr)
+        try:
+            record: ExperimentRecord = run_fn(args.mode, seed=args.seed)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if render_fn is not None:
+            print(render_fn(record))
+        for note in record.notes:
+            print(f"  * {note}")
+        out_dir = args.out
+        if out_dir is None:
+            from .experiments.common import DEFAULT_RESULTS_DIR
+
+            out_dir = DEFAULT_RESULTS_DIR
+        path = record.save(out_dir)
+        print(f"record saved to {path}", file=sys.stderr)
+        return 0
+
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

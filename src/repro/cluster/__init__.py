@@ -1,0 +1,18 @@
+"""Simulated cluster substrate: mappings, network, noise, job driver."""
+
+from .job import ClusterJob, CommEnv, JobResult, run_job
+from .mapping import Distance, ProcessMapping
+from .network import CommModel, LinkCost
+from .noise import NoiseModel
+
+__all__ = [
+    "Distance",
+    "ProcessMapping",
+    "CommModel",
+    "LinkCost",
+    "NoiseModel",
+    "ClusterJob",
+    "CommEnv",
+    "JobResult",
+    "run_job",
+]

@@ -1,0 +1,169 @@
+"""Cluster-job driver: one detailed socket + statistical replicas.
+
+The paper's Section IV experiments run an MPI job across many
+Xeon20MB sockets with identical per-socket layouts (p application ranks
+plus k interference threads each). Because the mapping is symmetric,
+every socket is statistically identical; the driver therefore simulates
+*one representative socket* in full micro-architectural detail and
+treats the remaining ranks through the noise-amplification model
+(DESIGN.md, "one socket is simulated in detail").
+
+Execution time of the job =
+``makespan(simulated socket) x amplification(total ranks, observed jitter)``
+— the max-over-ranks structure of bulk-synchronous codes (refs [18],
+[11]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..config import ClusterConfig
+from ..engine import MeasureResult, SocketSimulator
+from ..errors import ConfigError, MeasurementError
+from ..workloads import BWThr, CSThr
+from .mapping import ProcessMapping
+from .network import CommModel
+from .noise import NoiseModel
+
+
+@dataclass
+class CommEnv:
+    """Everything a rank needs to price its communication: the cost
+    model, the noise model, and the job size (for reporting; cross-rank
+    amplification happens at the job level)."""
+
+    comm_model: CommModel
+    noise: NoiseModel
+    n_ranks: int = 1
+
+
+#: Factory signature: (global rank id, comm env) -> a RankApp-like
+#: SimThread (typed loosely to avoid a cluster<->apps import cycle).
+RankFactory = Callable[[int, CommEnv], "object"]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one cluster-job run."""
+
+    #: Predicted job execution time (ns), noise-amplified over all ranks.
+    time_ns: float
+    #: Raw makespan of the simulated socket's ranks (ns).
+    socket_makespan_ns: float
+    #: Amplification factor applied for the unsimulated ranks.
+    amplification: float
+    #: Jitter (CV of per-rank finish times) observed on the socket.
+    observed_cv: float
+    mapping_desc: str
+    #: Detailed measurement of the representative socket.
+    socket_result: MeasureResult = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Per-rank finish times on the simulated socket (rank -> ns).
+    rank_finish_ns: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_ns / 1e6
+
+
+class ClusterJob:
+    """One configured job: app ranks, mapping, optional interference."""
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        mapping: ProcessMapping,
+        rank_factory: RankFactory,
+        interference_kind: Optional[str] = None,
+        n_interference: int = 0,
+        noise: Optional[NoiseModel] = None,
+        seed: int = 0,
+    ):
+        if mapping.cluster is not cluster and mapping.cluster != cluster:
+            raise ConfigError("mapping was built for a different cluster")
+        if n_interference < 0:
+            raise ConfigError("n_interference must be non-negative")
+        if n_interference > mapping.free_cores_per_socket:
+            raise ConfigError(
+                f"{n_interference} interference threads do not fit: "
+                f"{mapping.free_cores_per_socket} cores free per socket"
+            )
+        if interference_kind not in (None, "cs", "bw"):
+            raise ConfigError(f"unknown interference kind {interference_kind!r}")
+        if n_interference > 0 and interference_kind is None:
+            raise ConfigError("interference threads requested without a kind")
+        self.cluster = cluster
+        self.mapping = mapping
+        self.rank_factory = rank_factory
+        self.interference_kind = interference_kind
+        self.n_interference = n_interference
+        self.noise = noise if noise is not None else NoiseModel()
+        self.seed = seed
+
+    def _interference_thread(self, i: int):
+        if self.interference_kind == "cs":
+            return CSThr(name=f"CSThr[{i}]")
+        return BWThr(name=f"BWThr[{i}]")
+
+    def run(self) -> JobResult:
+        """Simulate the representative socket and compose the job time."""
+        socket = self.cluster.node.socket
+        comm_env = CommEnv(
+            comm_model=CommModel.for_network(self.cluster.network),
+            noise=self.noise,
+            n_ranks=self.mapping.n_ranks,
+        )
+        sim = SocketSimulator(socket, seed=self.seed)
+        rank_of_core: Dict[int, int] = {}
+        for rank in self.mapping.ranks_on_socket(0):
+            app = self.rank_factory(rank, comm_env)
+            core = sim.add_thread(app, main=True)
+            rank_of_core[core] = rank
+        for i in range(self.n_interference):
+            sim.add_thread(self._interference_thread(i))
+        result = sim.run_to_completion()
+        if not result.main_finish_ns:
+            raise MeasurementError("no application rank completed")
+
+        finishes = np.array(list(result.main_finish_ns.values()), dtype=np.float64)
+        makespan = float(finishes.max())
+        mean = float(finishes.mean())
+        cv = float(finishes.std() / mean) if mean > 0 and len(finishes) > 1 else 0.0
+        amplification = (
+            self.noise.amplify(1.0, self.mapping.n_ranks, extra_cv=cv)
+        )
+        return JobResult(
+            time_ns=makespan * amplification,
+            socket_makespan_ns=makespan,
+            amplification=amplification,
+            observed_cv=cv,
+            mapping_desc=self.mapping.describe(),
+            socket_result=result,
+            rank_finish_ns={
+                rank_of_core[c]: ns for c, ns in result.main_finish_ns.items()
+            },
+        )
+
+
+def run_job(
+    cluster: ClusterConfig,
+    mapping: ProcessMapping,
+    rank_factory: RankFactory,
+    interference_kind: Optional[str] = None,
+    n_interference: int = 0,
+    noise: Optional[NoiseModel] = None,
+    seed: int = 0,
+) -> JobResult:
+    """One-shot convenience wrapper around :class:`ClusterJob`."""
+    return ClusterJob(
+        cluster,
+        mapping,
+        rank_factory,
+        interference_kind=interference_kind,
+        n_interference=n_interference,
+        noise=noise,
+        seed=seed,
+    ).run()

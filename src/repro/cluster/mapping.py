@@ -1,0 +1,128 @@
+"""Process-to-hardware mappings (Section IV's ``p`` processes/processor).
+
+The paper sweeps how many MPI ranks share a socket: MCB's 24 ranks run
+as p = 1, 2, 3, 4 or 6 per socket (using 12, 6, 4, 3 or 2 nodes), with
+``8 - p`` cores per socket left for interference threads. The mapping
+determines two things the experiments depend on:
+
+- how many application processes share one L3 (the denominator of the
+  ``Available / #processes`` use estimates), and
+- which communication partners are on-socket / on-node / remote, which
+  sets how much message traffic crosses the memory bus (the paper's
+  explanation for why p=1 consumes the most bandwidth).
+
+Ranks are placed block-wise (consecutive ranks fill a socket, then the
+next socket of the node, then the next node), the default of most MPI
+launchers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..config import ClusterConfig
+from ..errors import ConfigError
+
+
+class Distance(str, Enum):
+    """Topological distance between two ranks."""
+
+    SELF = "self"
+    SOCKET = "socket"
+    NODE = "node"
+    REMOTE = "remote"
+
+
+@dataclass(frozen=True)
+class ProcessMapping:
+    """Block placement of ``n_ranks`` with ``procs_per_socket`` per socket."""
+
+    cluster: ClusterConfig
+    n_ranks: int
+    procs_per_socket: int
+
+    def __post_init__(self) -> None:
+        p = self.procs_per_socket
+        if self.n_ranks <= 0:
+            raise ConfigError("n_ranks must be positive")
+        if not 1 <= p <= self.cluster.node.socket.n_cores:
+            raise ConfigError(
+                f"procs_per_socket must be in [1, {self.cluster.node.socket.n_cores}]"
+            )
+        if self.n_ranks % p:
+            raise ConfigError(
+                f"{self.n_ranks} ranks do not fill sockets of {p} processes evenly"
+            )
+        if self.sockets_used > self.cluster.total_sockets:
+            raise ConfigError(
+                f"mapping needs {self.sockets_used} sockets; cluster has "
+                f"{self.cluster.total_sockets}"
+            )
+
+    # -- derived geometry ---------------------------------------------------------
+
+    @property
+    def sockets_used(self) -> int:
+        return self.n_ranks // self.procs_per_socket
+
+    @property
+    def nodes_used(self) -> int:
+        per_node = self.cluster.node.n_sockets
+        return -(-self.sockets_used // per_node)  # ceil
+
+    @property
+    def free_cores_per_socket(self) -> int:
+        """Cores available for interference threads on each used socket."""
+        return self.cluster.node.socket.n_cores - self.procs_per_socket
+
+    def socket_of(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank // self.procs_per_socket
+
+    def node_of(self, rank: int) -> int:
+        return self.socket_of(rank) // self.cluster.node.n_sockets
+
+    def ranks_on_socket(self, socket_idx: int) -> range:
+        if not 0 <= socket_idx < self.sockets_used:
+            raise ConfigError(f"socket {socket_idx} not used by this mapping")
+        p = self.procs_per_socket
+        return range(socket_idx * p, (socket_idx + 1) * p)
+
+    def distance(self, a: int, b: int) -> Distance:
+        self._check_rank(a)
+        self._check_rank(b)
+        if a == b:
+            return Distance.SELF
+        if self.socket_of(a) == self.socket_of(b):
+            return Distance.SOCKET
+        if self.node_of(a) == self.node_of(b):
+            return Distance.NODE
+        return Distance.REMOTE
+
+    def neighbor_distance_profile(self, rank: int, neighbors: list[int]) -> dict:
+        """Histogram of distances to a set of partner ranks."""
+        counts = {d: 0 for d in Distance}
+        for n in neighbors:
+            counts[self.distance(rank, n)] += 1
+        return counts
+
+    def remote_fraction_ring(self) -> float:
+        """Fraction of ring-exchange (rank +/- 1) messages leaving the
+        socket under block placement: each socket's p ranks exchange
+        2p messages of which 2 cross the boundary."""
+        p = self.procs_per_socket
+        if self.n_ranks <= p:
+            return 0.0
+        return 1.0 / p
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ConfigError(f"rank {rank} out of range [0, {self.n_ranks})")
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_ranks} ranks, {self.procs_per_socket}/socket on "
+            f"{self.nodes_used} nodes ({self.sockets_used} sockets), "
+            f"{self.free_cores_per_socket} free cores/socket"
+        )

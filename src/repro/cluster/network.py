@@ -1,0 +1,90 @@
+"""Communication cost model (alpha-beta, distance-aware).
+
+Message time = alpha(distance) + bytes / beta(distance). Intra-socket
+messages move through the shared L3 (their *memory* cost is modelled by
+the ranks' own pack/unpack accesses in the socket simulator; the alpha
+here is just MPI software overhead); inter-node messages ride the
+configured network (InfiniBand QDR for the paper's cluster).
+
+Collectives are log-tree compositions of point-to-point costs, the
+standard first-order model (Hockney/LogP style) — enough to reproduce
+the mapping-dependent communication times of Figs. 9-12.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..config import NetworkConfig
+from ..errors import CommError
+from .mapping import Distance
+
+
+@dataclass(frozen=True)
+class LinkCost:
+    """alpha (ns) + size/beta (bytes/s) for one distance class."""
+
+    alpha_ns: float
+    beta_Bps: float
+
+    def transfer_ns(self, n_bytes: int) -> float:
+        if n_bytes < 0:
+            raise CommError("message size must be non-negative")
+        return self.alpha_ns + n_bytes / self.beta_Bps * 1e9
+
+
+@dataclass
+class CommModel:
+    """Distance-resolved communication costs for one cluster."""
+
+    costs: Dict[Distance, LinkCost] = field(default_factory=dict)
+
+    @classmethod
+    def for_network(cls, network: NetworkConfig) -> "CommModel":
+        """Defaults: on-socket via shared cache (~250 ns, ~20 GB/s
+        effective copy), on-node via inter-socket link (~600 ns,
+        ~12 GB/s), remote via the configured network."""
+        return cls(
+            costs={
+                Distance.SOCKET: LinkCost(alpha_ns=250.0, beta_Bps=20e9),
+                Distance.NODE: LinkCost(alpha_ns=600.0, beta_Bps=12e9),
+                Distance.REMOTE: LinkCost(
+                    alpha_ns=network.latency_ns, beta_Bps=network.bandwidth_Bps
+                ),
+            }
+        )
+
+    def p2p_ns(self, n_bytes: int, distance: Distance) -> float:
+        if distance == Distance.SELF:
+            return 0.0
+        try:
+            return self.costs[distance].transfer_ns(n_bytes)
+        except KeyError:
+            raise CommError(f"no cost configured for distance {distance}") from None
+
+    def exchange_ns(self, bytes_by_distance: Dict[Distance, int]) -> float:
+        """Neighbour exchange: per-distance messages overlap across
+        distance classes, so the phase costs the max over classes (each
+        class is serialized within itself at first order)."""
+        worst = 0.0
+        for dist, nbytes in bytes_by_distance.items():
+            if dist == Distance.SELF or nbytes == 0:
+                continue
+            worst = max(worst, self.p2p_ns(nbytes, dist))
+        return worst
+
+    def allreduce_ns(self, n_bytes: int, n_ranks: int, worst_distance: Distance = Distance.REMOTE) -> float:
+        """Log-tree allreduce: 2*ceil(log2 P) point-to-point steps at the
+        worst distance class present in the job."""
+        if n_ranks <= 0:
+            raise CommError("n_ranks must be positive")
+        if n_ranks == 1:
+            return 0.0
+        steps = 2 * math.ceil(math.log2(n_ranks))
+        return steps * self.p2p_ns(n_bytes, worst_distance)
+
+    def barrier_ns(self, n_ranks: int, worst_distance: Distance = Distance.REMOTE) -> float:
+        """Barrier = zero-byte allreduce."""
+        return self.allreduce_ns(0, n_ranks, worst_distance)

@@ -1,0 +1,45 @@
+"""Machine and experiment configuration.
+
+Public surface:
+
+- :class:`CacheGeometry` — one cache level (capacity/line/ways).
+- :class:`TimingConfig`, :class:`PrefetchConfig` — cost model knobs.
+- :class:`SocketConfig`, :class:`NodeConfig`, :class:`ClusterConfig`,
+  :class:`NetworkConfig` — the machine object graph.
+- Presets: :func:`xeon20mb`, :func:`xeon20mb_node`,
+  :func:`xeon20mb_cluster`, :func:`exascale_node`, :func:`tiny_socket`.
+"""
+
+from .geometry import CacheGeometry
+from .machine import (
+    ClusterConfig,
+    NetworkConfig,
+    NodeConfig,
+    PrefetchConfig,
+    SocketConfig,
+    TimingConfig,
+)
+from .presets import (
+    DEFAULT_SCALE,
+    exascale_node,
+    tiny_socket,
+    xeon20mb,
+    xeon20mb_cluster,
+    xeon20mb_node,
+)
+
+__all__ = [
+    "CacheGeometry",
+    "TimingConfig",
+    "PrefetchConfig",
+    "SocketConfig",
+    "NodeConfig",
+    "ClusterConfig",
+    "NetworkConfig",
+    "DEFAULT_SCALE",
+    "xeon20mb",
+    "xeon20mb_node",
+    "xeon20mb_cluster",
+    "exascale_node",
+    "tiny_socket",
+]

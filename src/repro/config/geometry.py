@@ -1,0 +1,109 @@
+"""Cache geometry description and validation.
+
+A :class:`CacheGeometry` pins down one cache level exactly the way
+Table I of the paper does: capacity, line size and associativity. The
+number of sets is derived and validated (power of two, consistent with
+capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import fmt_bytes
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of a single cache level.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total data capacity of the level.
+    line_bytes:
+        Cache line (block) size; must be a power of two.
+    ways:
+        Associativity. ``ways == capacity/line`` makes the cache fully
+        associative; ``ways == 1`` is direct mapped.
+    name:
+        Human-readable label used in counters and reports (``"L3"``).
+    """
+
+    capacity_bytes: int
+    line_bytes: int
+    ways: int
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError(f"{self.name}: capacity must be positive")
+        if not _is_pow2(self.line_bytes):
+            raise ConfigError(
+                f"{self.name}: line size {self.line_bytes} is not a power of two"
+            )
+        if self.ways <= 0:
+            raise ConfigError(f"{self.name}: ways must be positive")
+        if self.capacity_bytes % (self.line_bytes * self.ways) != 0:
+            raise ConfigError(
+                f"{self.name}: capacity {self.capacity_bytes} is not divisible "
+                f"by line*ways = {self.line_bytes * self.ways}"
+            )
+        if not _is_pow2(self.n_sets):
+            raise ConfigError(
+                f"{self.name}: derived set count {self.n_sets} is not a power "
+                "of two; adjust capacity or associativity"
+            )
+
+    @property
+    def n_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.capacity_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets (capacity / (line * ways))."""
+        return self.capacity_bytes // (self.line_bytes * self.ways)
+
+    @property
+    def set_mask(self) -> int:
+        """Bit mask selecting the set index from a line address."""
+        return self.n_sets - 1
+
+    @property
+    def line_shift(self) -> int:
+        """log2(line size): shift converting byte address -> line address."""
+        return self.line_bytes.bit_length() - 1
+
+    def scaled(self, scale: int) -> "CacheGeometry":
+        """Return the same geometry with capacity divided by ``scale``.
+
+        Line size and associativity are preserved (the paper's behaviour
+        depends on way counts and capacity *ratios*, see DESIGN.md), so
+        scaling divides the set count.
+        """
+        if scale <= 0:
+            raise ConfigError("scale must be positive")
+        if self.capacity_bytes % scale != 0:
+            raise ConfigError(
+                f"{self.name}: capacity {self.capacity_bytes} not divisible by "
+                f"scale {scale}"
+            )
+        return CacheGeometry(
+            capacity_bytes=self.capacity_bytes // scale,
+            line_bytes=self.line_bytes,
+            ways=self.ways,
+            name=self.name,
+        )
+
+    def describe(self) -> str:
+        """One-line summary matching Table I's columns."""
+        return (
+            f"{self.name}: {fmt_bytes(self.capacity_bytes)}, "
+            f"{self.line_bytes}B lines, {self.ways}-way, {self.n_sets} sets"
+        )

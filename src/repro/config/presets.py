@@ -1,0 +1,102 @@
+"""Preset machine configurations.
+
+``xeon20mb()`` is the paper's testbed (Table I). All presets accept a
+``scale`` argument that geometrically shrinks the caches so experiments fit
+a pure-Python simulation budget; workload buffers are scaled by the same
+factor by the experiment drivers, and axes are reported in unscaled units
+(see DESIGN.md, "Machine scaling").
+"""
+
+from __future__ import annotations
+
+from ..units import KiB, MiB, GiB, GBps
+from .geometry import CacheGeometry
+from .machine import (
+    ClusterConfig,
+    NetworkConfig,
+    NodeConfig,
+    PrefetchConfig,
+    SocketConfig,
+    TimingConfig,
+)
+
+#: Default geometric down-scale used by experiments. 1/16 keeps every
+#: level's way count and the capacity ratios of Table I intact while
+#: cutting simulated working sets 16x.
+DEFAULT_SCALE = 16
+
+
+def xeon20mb(scale: int = DEFAULT_SCALE) -> SocketConfig:
+    """The paper's 8-core Intel Xeon E5-2670 socket ("Xeon20MB", Table I).
+
+    L1D 32 KiB 8-way, L2 256 KiB 8-way (both private), L3 20 MiB 20-way
+    shared, 64 B lines everywhere; 17 GB/s STREAM bandwidth to DRAM.
+    """
+    full = SocketConfig(
+        n_cores=8,
+        l1=CacheGeometry(32 * KiB, 64, 8, name="L1D"),
+        l2=CacheGeometry(256 * KiB, 64, 8, name="L2"),
+        l3=CacheGeometry(20 * MiB, 64, 20, name="L3"),
+        dram_bandwidth_Bps=GBps(17.0),
+        timing=TimingConfig(),
+        prefetch=PrefetchConfig(),
+        name="Xeon20MB",
+    )
+    if scale == 1:
+        return full
+    return full.scaled(scale)
+
+
+def xeon20mb_node(scale: int = DEFAULT_SCALE) -> NodeConfig:
+    """A 2-socket Xeon20MB node with 32 GB of RAM (Section IV)."""
+    return NodeConfig(socket=xeon20mb(scale), n_sockets=2, dram_bytes=32 * GiB)
+
+
+def xeon20mb_cluster(n_nodes: int, scale: int = DEFAULT_SCALE) -> ClusterConfig:
+    """The paper's cluster: Xeon20MB nodes on InfiniBand QDR (QLogic)."""
+    return ClusterConfig(
+        node=xeon20mb_node(scale),
+        n_nodes=n_nodes,
+        network=NetworkConfig(latency_ns=1300.0, bandwidth_Bps=4.0e9),
+    )
+
+
+def exascale_node(scale: int = DEFAULT_SCALE) -> SocketConfig:
+    """A hypothetical memory-starved future socket (Section I motivation).
+
+    Same core count, but ~4x less shared-cache capacity and ~4x less
+    bandwidth per core than Xeon20MB — the "deeper and thinner" hierarchy
+    the paper predicts for Exascale-era nodes. Used by the prediction
+    examples to ask "how would this app run with fewer resources?".
+    """
+    full = SocketConfig(
+        n_cores=8,
+        l1=CacheGeometry(32 * KiB, 64, 8, name="L1D"),
+        l2=CacheGeometry(128 * KiB, 64, 8, name="L2"),
+        l3=CacheGeometry(5 * MiB, 64, 20, name="L3"),
+        dram_bandwidth_Bps=GBps(4.25),
+        timing=TimingConfig(),
+        prefetch=PrefetchConfig(),
+        name="ExascaleNode",
+    )
+    if scale == 1:
+        return full
+    return full.scaled(scale)
+
+
+def tiny_socket(n_cores: int = 4) -> SocketConfig:
+    """A miniature socket for unit tests: L1 512 B, L2 2 KiB, L3 16 KiB.
+
+    Small enough that tests can enumerate every line, with the same
+    structural properties (three levels, shared L3, one line size).
+    """
+    return SocketConfig(
+        n_cores=n_cores,
+        l1=CacheGeometry(512, 64, 2, name="L1D"),
+        l2=CacheGeometry(2 * KiB, 64, 4, name="L2"),
+        l3=CacheGeometry(16 * KiB, 64, 4, name="L3"),
+        dram_bandwidth_Bps=GBps(1.0),
+        timing=TimingConfig(),
+        prefetch=PrefetchConfig(),
+        name="tiny",
+    )

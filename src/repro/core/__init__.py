@@ -1,0 +1,97 @@
+"""Active Measurement — the paper's primary contribution.
+
+Workflow::
+
+    am = ActiveMeasurement(socket, workload_factory)
+    cs = am.capacity_sweep()                    # Fig. 1's protocol
+    bw = am.bandwidth_sweep()
+    cap_calib = calibrate_capacity(socket)      # Sec. III-C3
+    bw_calib = calibrate_bandwidth(socket)      # Sec. III-A
+    curve = capacity_curve(cs, cap_calib)       # availability axis
+    use = resource_use(curve, n_processes=p)    # Fig. 10/12 numbers
+    predictor = HierarchyPredictor(curve, bandwidth_curve(bw, bw_calib))
+    predictor.predict_socket(exascale_node())   # contribution 4
+"""
+
+from .campaign import CampaignOutcome, MeasurementCampaign
+from .bandwidth import (
+    BandwidthCalibration,
+    PAPER_XEON20MB_BW_LADDER_GBPS,
+    calibrate_bandwidth,
+    eq1_bandwidth_Bps,
+    measure_bwthr_unit,
+    measure_stream_peak,
+)
+from .capacity import (
+    CapacityCalibration,
+    PAPER_XEON20MB_LADDER_MB,
+    calibrate_capacity,
+    measure_effective_capacity,
+)
+from .orthogonality import (
+    CrossInterferenceSeries,
+    OrthogonalityReport,
+    validate_orthogonality,
+)
+from .prediction import HierarchyPredictor, MachineScenario, PredictionResult
+from .report import (
+    render_bandwidth_calibration,
+    render_campaign,
+    render_capacity_calibration,
+    render_sweep,
+    render_use_estimates,
+)
+from .sensitivity import (
+    bandwidth_curve,
+    guarded_bandwidth_use,
+    bandwidth_use_table,
+    capacity_curve,
+    capacity_use_table,
+    resource_use,
+    sweep_to_curve,
+)
+from .sweep import (
+    BW,
+    CS,
+    ActiveMeasurement,
+    InterferencePoint,
+    InterferenceSweep,
+)
+
+__all__ = [
+    "MeasurementCampaign",
+    "CampaignOutcome",
+    "ActiveMeasurement",
+    "InterferencePoint",
+    "InterferenceSweep",
+    "CS",
+    "BW",
+    "CapacityCalibration",
+    "calibrate_capacity",
+    "measure_effective_capacity",
+    "PAPER_XEON20MB_LADDER_MB",
+    "BandwidthCalibration",
+    "calibrate_bandwidth",
+    "measure_bwthr_unit",
+    "measure_stream_peak",
+    "eq1_bandwidth_Bps",
+    "PAPER_XEON20MB_BW_LADDER_GBPS",
+    "OrthogonalityReport",
+    "CrossInterferenceSeries",
+    "validate_orthogonality",
+    "capacity_curve",
+    "bandwidth_curve",
+    "guarded_bandwidth_use",
+    "resource_use",
+    "capacity_use_table",
+    "bandwidth_use_table",
+    "sweep_to_curve",
+    "HierarchyPredictor",
+    "MachineScenario",
+    "PredictionResult",
+    "render_campaign",
+    "render_sweep",
+    "render_capacity_calibration",
+    "render_bandwidth_calibration",
+    "render_use_estimates",
+]

@@ -1,0 +1,122 @@
+"""Bandwidth accounting and calibration (Sections II-A and III-A).
+
+Three measurements anchor the bandwidth axis of Active Measurement:
+
+- the machine's peak sustainable bandwidth (STREAM triad on all cores —
+  the paper's 17 GB/s),
+- the unit draw of one BWThr (Eq. 1 on its counters — the paper's
+  2.8 GB/s), and
+- the resulting ``k BWThrs -> bandwidth left for the application``
+  ladder (17, 14.2, 11.4 GB/s for k = 0, 1, 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..config import SocketConfig
+from ..engine import SocketSimulator
+from ..errors import MeasurementError
+from ..workloads import BWThr, StreamTriad
+
+
+def eq1_bandwidth_Bps(line_bytes: int, l3_misses: int, elapsed_ns: float) -> float:
+    """Eq. 1 verbatim: BW = cache_line_size * #misses / execution_time."""
+    if elapsed_ns <= 0:
+        raise MeasurementError("elapsed time must be positive")
+    return line_bytes * l3_misses / (elapsed_ns * 1e-9)
+
+
+@dataclass
+class BandwidthCalibration:
+    """Measured bandwidth anchors for one socket configuration."""
+
+    socket: SocketConfig
+    stream_peak_Bps: float
+    bwthr_unit_Bps: float
+    #: Aggregate bandwidth at k concurrent BWThrs (saturation curve).
+    saturation_Bps: Dict[int, float] = field(default_factory=dict)
+
+    def available(self, k_bwthrs: int) -> float:
+        """Bandwidth left to an application when ``k`` BWThrs run: the
+        paper's ``peak - k * unit`` accounting."""
+        if k_bwthrs < 0:
+            raise MeasurementError("k must be non-negative")
+        return max(0.0, self.stream_peak_Bps - k_bwthrs * self.bwthr_unit_Bps)
+
+    def threads_to_saturate(self) -> int:
+        """How many BWThrs consume ~100% of peak (paper: 7)."""
+        if self.bwthr_unit_Bps <= 0:
+            raise MeasurementError("unit bandwidth is non-positive")
+        k = 1
+        while k * self.bwthr_unit_Bps < self.stream_peak_Bps:
+            k += 1
+        return k
+
+    def steal_fraction(self, k_bwthrs: int) -> float:
+        """Fraction of peak stolen by k BWThrs (paper: 2 threads = 32%)."""
+        return min(1.0, k_bwthrs * self.bwthr_unit_Bps / self.stream_peak_Bps)
+
+
+def measure_stream_peak(
+    socket: SocketConfig,
+    n_cores: Optional[int] = None,
+    warmup_accesses: int = 8_000,
+    measure_accesses: int = 12_000,
+    seed: int = 0,
+) -> float:
+    """Aggregate fill bandwidth with a STREAM triad on every core."""
+    n = socket.n_cores if n_cores is None else n_cores
+    if not 1 <= n <= socket.n_cores:
+        raise MeasurementError(f"n_cores must be in [1, {socket.n_cores}]")
+    sim = SocketSimulator(socket, seed=seed)
+    for i in range(n):
+        sim.add_thread(StreamTriad(name=f"stream[{i}]"), main=True)
+    sim.warmup(accesses=warmup_accesses)
+    result = sim.measure(accesses=measure_accesses)
+    return result.total_bandwidth_Bps()
+
+
+def measure_bwthr_unit(
+    socket: SocketConfig,
+    buffer_bytes: int = 520 * 1024,
+    n_buffers: int = 44,
+    warmup_accesses: int = 15_000,
+    measure_accesses: int = 25_000,
+    seed: int = 0,
+) -> float:
+    """Eq. 1 bandwidth of a single uncontended BWThr (paper: 2.8 GB/s)."""
+    sim = SocketSimulator(socket, seed=seed)
+    core = sim.add_thread(
+        BWThr(buffer_bytes=buffer_bytes, n_buffers=n_buffers), main=True
+    )
+    sim.warmup(accesses=warmup_accesses)
+    result = sim.measure(accesses=measure_accesses)
+    return result.bandwidth_Bps(core)
+
+
+def calibrate_bandwidth(
+    socket: SocketConfig,
+    saturation_ks: Sequence[int] = (1, 2, 4, 7),
+    seed: int = 0,
+) -> BandwidthCalibration:
+    """Full bandwidth calibration: STREAM peak, BWThr unit draw, and the
+    multi-BWThr saturation curve."""
+    peak = measure_stream_peak(socket, seed=seed)
+    unit = measure_bwthr_unit(socket, seed=seed)
+    calib = BandwidthCalibration(socket=socket, stream_peak_Bps=peak, bwthr_unit_Bps=unit)
+    for k in saturation_ks:
+        if k > socket.n_cores:
+            continue
+        sim = SocketSimulator(socket, seed=seed)
+        for i in range(k):
+            sim.add_thread(BWThr(name=f"BWThr[{i}]"), main=True)
+        sim.warmup(accesses=12_000)
+        result = sim.measure(accesses=18_000)
+        calib.saturation_Bps[k] = result.total_bandwidth_Bps()
+    return calib
+
+
+#: The paper's ladder: available bandwidth on Xeon20MB under k BWThrs.
+PAPER_XEON20MB_BW_LADDER_GBPS = {0: 17.0, 1: 14.2, 2: 11.4}

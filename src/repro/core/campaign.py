@@ -1,0 +1,136 @@
+"""One-call measurement campaigns.
+
+:class:`MeasurementCampaign` bundles the full Active Measurement
+pipeline — interference sweeps, interference-thread calibration,
+availability curves, resource-use bracketing, and alternative-machine
+prediction — behind a single object, so a user can go from "here is my
+workload" to "here is what it uses and how it would run elsewhere" in
+three lines::
+
+    campaign = MeasurementCampaign(xeon20mb(), workload_factory)
+    outcome = campaign.run()
+    print(outcome.report())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..config import SocketConfig
+from ..errors import MeasurementError
+from ..models import DegradationCurve, ResourceUseEstimate
+from ..units import as_GBps, fmt_bytes
+from .bandwidth import BandwidthCalibration, calibrate_bandwidth
+from .capacity import CapacityCalibration, calibrate_capacity
+from .prediction import HierarchyPredictor, PredictionResult
+from .report import render_campaign
+from .sensitivity import bandwidth_curve, capacity_curve, resource_use
+from .sweep import ActiveMeasurement, InterferenceSweep, WorkloadFactory
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything a campaign produced."""
+
+    capacity_sweep: InterferenceSweep
+    bandwidth_sweep: InterferenceSweep
+    capacity_calibration: CapacityCalibration
+    bandwidth_calibration: BandwidthCalibration
+    capacity_curve: DegradationCurve
+    bandwidth_curve: DegradationCurve
+    capacity_use: ResourceUseEstimate
+    bandwidth_use: ResourceUseEstimate
+    predictor: HierarchyPredictor = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def predict_socket(self, socket: SocketConfig, name: Optional[str] = None) -> PredictionResult:
+        """Slowdown prediction for an alternative machine."""
+        return self.predictor.predict_socket(socket, name=name)
+
+    def report(self, header: str = "Active Measurement campaign") -> str:
+        text = render_campaign(
+            capacity_sweep=self.capacity_sweep,
+            bandwidth_sweep=self.bandwidth_sweep,
+            capacity_calib=self.capacity_calibration,
+            bandwidth_calib=self.bandwidth_calibration,
+            header=header,
+        )
+        lo, hi = self.capacity_use.per_process
+        text += (
+            f"\n\nL3 capacity use (per process): "
+            f"{fmt_bytes(lo)} - {fmt_bytes(hi)}"
+        )
+        lo, hi = self.bandwidth_use.per_process
+        text += (
+            f"\nmemory bandwidth use (per process): "
+            f"{as_GBps(lo):.2f} - {as_GBps(hi):.2f} GB/s"
+        )
+        return text
+
+
+class MeasurementCampaign:
+    """Configure once, run the whole pipeline.
+
+    Parameters mirror :class:`~repro.core.sweep.ActiveMeasurement`;
+    ``n_processes`` divides the use brackets (the paper's
+    ``Available / #processes``) and must match the number of threads the
+    factory returns.
+    """
+
+    def __init__(
+        self,
+        socket: SocketConfig,
+        workload_factory: WorkloadFactory,
+        n_processes: int = 1,
+        cs_ks: Sequence[int] = range(6),
+        bw_ks: Sequence[int] = range(3),
+        warmup_accesses: Optional[int] = 40_000,
+        measure_accesses: Optional[int] = 25_000,
+        degradation_threshold: float = 0.04,
+        seed: int = 0,
+    ):
+        if n_processes <= 0:
+            raise MeasurementError("n_processes must be positive")
+        self.socket = socket
+        self.n_processes = n_processes
+        self.cs_ks = list(cs_ks)
+        self.bw_ks = list(bw_ks)
+        self.threshold = degradation_threshold
+        self.seed = seed
+        self._am = ActiveMeasurement(
+            socket,
+            workload_factory,
+            seed=seed,
+            warmup_accesses=warmup_accesses,
+            measure_accesses=measure_accesses,
+        )
+
+    def run(self) -> CampaignOutcome:
+        """Execute sweeps + calibrations and assemble the outcome."""
+        cs = self._am.capacity_sweep(ks=self.cs_ks)
+        bw = self._am.bandwidth_sweep(ks=self.bw_ks)
+        cap_calib = calibrate_capacity(
+            self.socket,
+            ks=self.cs_ks,
+            warmup_accesses=40_000,
+            measure_accesses=25_000,
+            seed=self.seed,
+        )
+        bw_calib = calibrate_bandwidth(self.socket, saturation_ks=(), seed=self.seed)
+        cap_curve = capacity_curve(cs, cap_calib)
+        bw_curve = bandwidth_curve(bw, bw_calib)
+        return CampaignOutcome(
+            capacity_sweep=cs,
+            bandwidth_sweep=bw,
+            capacity_calibration=cap_calib,
+            bandwidth_calibration=bw_calib,
+            capacity_curve=cap_curve,
+            bandwidth_curve=bw_curve,
+            capacity_use=resource_use(
+                cap_curve, n_processes=self.n_processes, threshold=self.threshold
+            ),
+            bandwidth_use=resource_use(
+                bw_curve, n_processes=self.n_processes, threshold=self.threshold
+            ),
+            predictor=HierarchyPredictor(cap_curve, bw_curve),
+        )

@@ -1,0 +1,216 @@
+"""Co-location planning from Active Measurement profiles.
+
+The paper's introduction promises that resource-oriented measurements
+enable "more intelligent work scheduling and architecture design
+planning"; Bubble-Up and Bubble-Flux (refs [14][22]) built exactly such
+schedulers from 1-D pressure curves. This module closes the loop for
+the 2-D methodology:
+
+1. measure each candidate workload once (:class:`ResourceProfile`:
+   capacity/bandwidth use brackets + degradation curves),
+2. predict the slowdown of any co-location by *resource budgeting* —
+   each tenant sees the socket's capacity and bandwidth minus what its
+   neighbours use, evaluated through its own degradation curves
+   (independence justified by Section III-D orthogonality),
+3. pick placements with :class:`CoLocationAdvisor`, and
+4. (in the experiments) verify predictions against actual simulated
+   co-runs — a validation the original papers could only do on live
+   clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import SocketConfig
+from ..errors import MeasurementError
+from ..models import DegradationCurve
+from ..units import as_GBps, fmt_bytes
+from .bandwidth import BandwidthCalibration
+from .capacity import CapacityCalibration
+from .sensitivity import (
+    bandwidth_curve,
+    capacity_curve,
+    guarded_bandwidth_use,
+    resource_use,
+)
+from .sweep import ActiveMeasurement, WorkloadFactory
+
+
+@dataclass
+class ResourceProfile:
+    """One workload's measured memory-resource fingerprint.
+
+    ``capacity_use`` / ``bandwidth_use`` are the Section IV brackets
+    (midpoints are used for budgeting); the curves allow slowdown
+    prediction at arbitrary availabilities.
+    """
+
+    name: str
+    capacity_use_bytes: Tuple[float, float]
+    bandwidth_use_Bps: Tuple[float, float]
+    #: The tenant's own Eq. 1 bandwidth draw at baseline (what it takes
+    #: from the link, as opposed to what taking bandwidth away costs it).
+    #: This is what neighbours lose — the budgeting input.
+    bandwidth_draw_Bps: float = 0.0
+    capacity_curve: DegradationCurve = field(repr=False, default=None)  # type: ignore[assignment]
+    bandwidth_curve: DegradationCurve = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def capacity_mid(self) -> float:
+        lo, hi = self.capacity_use_bytes
+        return (lo + hi) / 2.0
+
+    def describe(self) -> str:
+        clo, chi = self.capacity_use_bytes
+        blo, bhi = self.bandwidth_use_Bps
+        return (
+            f"{self.name}: capacity {fmt_bytes(clo)}-{fmt_bytes(chi)}, "
+            f"bw sensitivity {as_GBps(blo):.1f}-{as_GBps(bhi):.1f} GB/s, "
+            f"bw draw {as_GBps(self.bandwidth_draw_Bps):.1f} GB/s"
+        )
+
+
+def profile_workload(
+    name: str,
+    socket: SocketConfig,
+    factory: WorkloadFactory,
+    cap_calib: CapacityCalibration,
+    bw_calib: BandwidthCalibration,
+    cs_ks: Sequence[int] = range(6),
+    bw_ks: Sequence[int] = range(3),
+    warmup_accesses: Optional[int] = 30_000,
+    measure_accesses: Optional[int] = 20_000,
+    threshold: float = 0.04,
+    seed: int = 0,
+) -> ResourceProfile:
+    """Run the full measurement pipeline once and distil a profile."""
+    am = ActiveMeasurement(
+        socket,
+        factory,
+        seed=seed,
+        warmup_accesses=warmup_accesses,
+        measure_accesses=measure_accesses,
+    )
+    cs = am.capacity_sweep(ks=cs_ks)
+    bw = am.bandwidth_sweep(ks=bw_ks)
+    cap_curve = capacity_curve(cs, cap_calib)
+    bw_curve = bandwidth_curve(bw, bw_calib)
+    cap_est = resource_use(cap_curve, threshold=threshold)
+    # Miss-rate-guarded bracketing: degradation under BWThrs that comes
+    # with a miss-rate rise is capacity pollution, not bandwidth need.
+    bw_est = guarded_bandwidth_use(bw, bw_calib, threshold=threshold)
+    return ResourceProfile(
+        name=name,
+        capacity_use_bytes=(cap_est.lower, cap_est.upper),
+        bandwidth_use_Bps=(bw_est.lower, bw_est.upper),
+        bandwidth_draw_Bps=bw.baseline.total_main_bandwidth_Bps,
+        capacity_curve=cap_curve,
+        bandwidth_curve=bw_curve,
+    )
+
+
+def predict_colocation_slowdowns(
+    profiles: Sequence[ResourceProfile],
+    socket_capacity_bytes: float,
+    socket_bandwidth_Bps: float,
+) -> List[float]:
+    """Per-tenant slowdowns when all ``profiles`` share one socket.
+
+    Resource budgeting: tenant i sees the socket's capacity minus the
+    midpoints of everyone else's capacity use, and the socket's
+    bandwidth minus everyone else's measured Eq. 1 *draw*, clipped at a
+    small floor and evaluated through its own degradation curves. The
+    two dimensions combine multiplicatively (orthogonality).
+    """
+    if not profiles:
+        raise MeasurementError("need at least one profile")
+    out = []
+    for i, p in enumerate(profiles):
+        cap_left = socket_capacity_bytes - sum(
+            q.capacity_mid for j, q in enumerate(profiles) if j != i
+        )
+        bw_left = socket_bandwidth_Bps - sum(
+            q.bandwidth_draw_Bps for j, q in enumerate(profiles) if j != i
+        )
+        cap_left = max(cap_left, 0.02 * socket_capacity_bytes)
+        bw_left = max(bw_left, 0.05 * socket_bandwidth_Bps)
+        s_cap = p.capacity_curve.slowdown_at(cap_left) if p.capacity_curve else 1.0
+        s_bw = p.bandwidth_curve.slowdown_at(bw_left) if p.bandwidth_curve else 1.0
+        out.append(max(1.0, s_cap) * max(1.0, s_bw))
+    return out
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """One proposed pairing and its predicted cost."""
+
+    tenants: Tuple[str, ...]
+    predicted_slowdowns: Tuple[float, ...]
+
+    @property
+    def worst(self) -> float:
+        return max(self.predicted_slowdowns)
+
+
+class CoLocationAdvisor:
+    """Greedy pairing of workloads onto sockets under a QoS bound.
+
+    The classic Bubble-Up decision ("can A and B share a machine within
+    x% degradation?") answered with 2-D profiles instead of 1-D
+    pressure scores.
+    """
+
+    def __init__(
+        self,
+        socket: SocketConfig,
+        qos_slowdown: float = 1.10,
+    ):
+        if qos_slowdown < 1.0:
+            raise MeasurementError("qos_slowdown must be >= 1")
+        self.socket = socket
+        self.qos = qos_slowdown
+        self._cap = float(socket.unscaled_bytes(socket.l3.capacity_bytes))
+        self._bw = socket.dram_bandwidth_Bps
+
+    def predict_pair(
+        self, a: ResourceProfile, b: ResourceProfile
+    ) -> PlacementDecision:
+        slow = predict_colocation_slowdowns([a, b], self._cap, self._bw)
+        return PlacementDecision(
+            tenants=(a.name, b.name), predicted_slowdowns=tuple(slow)
+        )
+
+    def compatible(self, a: ResourceProfile, b: ResourceProfile) -> bool:
+        return self.predict_pair(a, b).worst <= self.qos
+
+    def plan(
+        self, profiles: Sequence[ResourceProfile]
+    ) -> Tuple[List[PlacementDecision], List[str]]:
+        """Greedy pairing: repeatedly co-locate the compatible pair with
+        the smallest predicted worst-case slowdown; whatever cannot be
+        paired within QoS runs alone.
+
+        Returns ``(pairings, solo)``.
+        """
+        remaining = list(profiles)
+        pairs: List[PlacementDecision] = []
+        while len(remaining) >= 2:
+            best: Optional[Tuple[float, int, int, PlacementDecision]] = None
+            for i, j in combinations(range(len(remaining)), 2):
+                decision = self.predict_pair(remaining[i], remaining[j])
+                if decision.worst > self.qos:
+                    continue
+                key = (decision.worst, i, j, decision)
+                if best is None or key[0] < best[0]:
+                    best = key
+            if best is None:
+                break
+            _, i, j, decision = best
+            pairs.append(decision)
+            # Remove j first (higher index) to keep i valid.
+            remaining.pop(j)
+            remaining.pop(i)
+        return pairs, [p.name for p in remaining]

@@ -1,0 +1,174 @@
+"""Orthogonality validation (Section III-D, Figs. 7-8).
+
+Active Measurement only yields interpretable numbers if each
+interference thread consumes its target resource and (almost) nothing
+else. This module reproduces the paper's two cross-interference
+experiments and summarises them as a pass/fail report with quantified
+margins:
+
+- **BWThr under CSThrs** (Fig. 7): BWThr's bandwidth, L3 miss rate and
+  loop time must be flat as 0-5 CSThrs run — CSThr must not consume
+  bandwidth.
+- **CSThr under BWThrs** (Fig. 8): CSThr's time per operation must be
+  flat for <= ``capacity_neutral_bwthrs`` BWThrs and may degrade beyond
+  (the paper finds 3+ BWThrs start stealing capacity, bounding the
+  usable bandwidth-steal range at ~32% of peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..config import SocketConfig
+from ..engine import SocketSimulator
+from ..errors import MeasurementError
+from ..units import as_GBps
+from ..workloads import BWThr, CSThr
+
+
+@dataclass
+class CrossInterferenceSeries:
+    """One victim's observables across interference counts."""
+
+    victim: str
+    interferer: str
+    ks: List[int]
+    time_per_access_ns: List[float]
+    bandwidth_Bps: List[float]
+    l3_miss_rate: List[float]
+
+    def slowdown_at(self, k: int) -> float:
+        base = self.time_per_access_ns[self.ks.index(0)]
+        return self.time_per_access_ns[self.ks.index(k)] / base
+
+    def max_slowdown(self, up_to_k: int | None = None) -> float:
+        base = self.time_per_access_ns[self.ks.index(0)]
+        worst = 1.0
+        for k, t in zip(self.ks, self.time_per_access_ns):
+            if up_to_k is not None and k > up_to_k:
+                continue
+            worst = max(worst, t / base)
+        return worst
+
+
+@dataclass
+class OrthogonalityReport:
+    """Summary of both cross-interference experiments."""
+
+    bwthr_under_cs: CrossInterferenceSeries
+    csthr_under_bw: CrossInterferenceSeries
+    #: Highest BWThr count that leaves CSThr (capacity) unaffected within
+    #: ``tolerance`` — the paper's "up to 2 BWThrs / 32% of bandwidth".
+    capacity_neutral_bwthrs: int = 0
+    #: Worst-case CSThr bandwidth draw observed (should be ~0).
+    csthr_max_bandwidth_Bps: float = 0.0
+    tolerance: float = 0.10
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def bwthr_is_flat(self) -> bool:
+        """BWThr unaffected by the full CSThr range (Fig. 7's claim)."""
+        return self.bwthr_under_cs.max_slowdown() <= 1.0 + self.tolerance
+
+    def summary(self) -> str:
+        lines = [
+            "Orthogonality validation (Section III-D)",
+            f"  BWThr under 0-{max(self.bwthr_under_cs.ks)} CSThrs: "
+            f"max slowdown {self.bwthr_under_cs.max_slowdown():.3f} "
+            f"({'FLAT' if self.bwthr_is_flat else 'NOT FLAT'})",
+            f"  CSThr bandwidth draw: <= {as_GBps(self.csthr_max_bandwidth_Bps):.3f} GB/s",
+            f"  CSThr capacity-neutral up to {self.capacity_neutral_bwthrs} BWThrs",
+        ]
+        lines += [f"  note: {n}" for n in self.notes]
+        return "\n".join(lines)
+
+
+def _run_victim(
+    socket: SocketConfig,
+    victim_factory,
+    interferer_factory,
+    ks: Sequence[int],
+    warmup: int,
+    measure: int,
+    seed: int,
+) -> CrossInterferenceSeries:
+    times, bws, mrs = [], [], []
+    victim_name = interferer_name = ""
+    for k in ks:
+        sim = SocketSimulator(socket, seed=seed)
+        victim = victim_factory()
+        victim_name = victim.name
+        core = sim.add_thread(victim, main=True)
+        for i in range(k):
+            thr = interferer_factory(i)
+            interferer_name = type(thr).__name__
+            sim.add_thread(thr)
+        sim.warmup(accesses=warmup)
+        result = sim.measure(accesses=measure)
+        c = result.counters_of(core)
+        if c.accesses == 0:
+            raise MeasurementError("victim executed no accesses")
+        times.append(c.elapsed_ns / c.accesses)
+        bws.append(result.bandwidth_Bps(core))
+        mrs.append(c.l3_miss_rate)
+    return CrossInterferenceSeries(
+        victim=victim_name,
+        interferer=interferer_name,
+        ks=list(ks),
+        time_per_access_ns=times,
+        bandwidth_Bps=bws,
+        l3_miss_rate=mrs,
+    )
+
+
+def validate_orthogonality(
+    socket: SocketConfig,
+    ks: Sequence[int] = range(6),
+    warmup: int = 25_000,
+    measure: int = 25_000,
+    seed: int = 0,
+    tolerance: float = 0.10,
+) -> OrthogonalityReport:
+    """Run both Fig. 7 and Fig. 8 and derive the safety margins."""
+    fig7 = _run_victim(
+        socket,
+        lambda: BWThr(),
+        lambda i: CSThr(name=f"CSThr[{i}]"),
+        ks,
+        warmup,
+        measure,
+        seed,
+    )
+    fig8 = _run_victim(
+        socket,
+        lambda: CSThr(),
+        lambda i: BWThr(name=f"BWThr[{i}]"),
+        ks,
+        warmup,
+        measure,
+        seed + 1,
+    )
+    neutral = 0
+    for k in fig8.ks:
+        if k == 0:
+            continue
+        if fig8.slowdown_at(k) <= 1.0 + tolerance:
+            neutral = k
+        else:
+            break
+    report = OrthogonalityReport(
+        bwthr_under_cs=fig7,
+        csthr_under_bw=fig8,
+        capacity_neutral_bwthrs=neutral,
+        csthr_max_bandwidth_Bps=max(fig7.bandwidth_Bps[:1] + fig8.bandwidth_Bps[:1]),
+        tolerance=tolerance,
+    )
+    # CSThr's own bandwidth when running alone (k=0 of fig8).
+    report.csthr_max_bandwidth_Bps = fig8.bandwidth_Bps[fig8.ks.index(0)]
+    if not report.bwthr_is_flat:
+        report.notes.append(
+            "BWThr was not flat under CSThr interference; capacity and "
+            "bandwidth measurements are not independent on this config"
+        )
+    return report

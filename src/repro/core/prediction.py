@@ -1,0 +1,81 @@
+"""Alternative-hierarchy performance prediction (paper contribution 4).
+
+"A method to predict how the application's performance will degrade on
+alternative, less capable memory hierarchies": bind the measured
+capacity/bandwidth degradation curves of an application and evaluate
+them at the per-socket resources of a *target* machine (e.g. the
+memory-starved Exascale-era node of the introduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import SocketConfig
+from ..models import AlternativeMachinePrediction, DegradationCurve
+from ..units import as_GBps, fmt_bytes
+
+
+@dataclass
+class MachineScenario:
+    """Resources a hypothetical machine offers to this application."""
+
+    name: str
+    l3_bytes: float
+    bandwidth_Bps: float
+
+    @classmethod
+    def from_socket(cls, socket: SocketConfig, name: Optional[str] = None) -> "MachineScenario":
+        """Read the scenario straight from a socket config (unscaled to
+        paper units so it is comparable with measured curves)."""
+        return cls(
+            name=name or socket.name,
+            l3_bytes=float(socket.unscaled_bytes(socket.l3.capacity_bytes)),
+            bandwidth_Bps=socket.dram_bandwidth_Bps,
+        )
+
+
+@dataclass
+class PredictionResult:
+    scenario: MachineScenario
+    capacity_slowdown: float
+    bandwidth_slowdown: float
+    combined_slowdown: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.scenario.name}: L3 {fmt_bytes(self.scenario.l3_bytes)}, "
+            f"BW {as_GBps(self.scenario.bandwidth_Bps):.3g} GB/s -> "
+            f"capacity x{self.capacity_slowdown:.3f}, "
+            f"bandwidth x{self.bandwidth_slowdown:.3f}, "
+            f"combined x{self.combined_slowdown:.3f}"
+        )
+
+
+class HierarchyPredictor:
+    """Bundle of measured curves, evaluated against machine scenarios."""
+
+    def __init__(
+        self,
+        capacity_curve: DegradationCurve,
+        bandwidth_curve: Optional[DegradationCurve] = None,
+    ):
+        self._model = AlternativeMachinePrediction(
+            capacity_curve=capacity_curve, bandwidth_curve=bandwidth_curve
+        )
+
+    def predict(self, scenario: MachineScenario) -> PredictionResult:
+        cap = self._model.capacity_curve.slowdown_at(scenario.l3_bytes)
+        bw = 1.0
+        if self._model.bandwidth_curve is not None:
+            bw = self._model.bandwidth_curve.slowdown_at(scenario.bandwidth_Bps)
+        return PredictionResult(
+            scenario=scenario,
+            capacity_slowdown=cap,
+            bandwidth_slowdown=bw,
+            combined_slowdown=max(1.0, cap) * max(1.0, bw),
+        )
+
+    def predict_socket(self, socket: SocketConfig, name: Optional[str] = None) -> PredictionResult:
+        return self.predict(MachineScenario.from_socket(socket, name=name))

@@ -1,0 +1,102 @@
+"""Human-readable campaign reports.
+
+Collects the pieces of an Active Measurement campaign — sweeps,
+calibrations, use estimates, predictions — into one text document, the
+shape a user of the original tool would read after a run.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..analysis.tables import format_kv, format_table
+from ..models import ResourceUseEstimate
+from ..units import as_GBps, fmt_bytes
+from .bandwidth import BandwidthCalibration
+from .capacity import CapacityCalibration
+from .sweep import InterferenceSweep
+
+
+def render_sweep(sweep: InterferenceSweep, title: str = "") -> str:
+    rows = []
+    base = sweep.baseline.makespan_ns
+    for p in sweep.points:
+        rows.append(
+            (
+                p.k,
+                p.makespan_ns / 1e6,
+                p.makespan_ns / base,
+                p.mean_miss_rate,
+                as_GBps(p.total_main_bandwidth_Bps),
+            )
+        )
+    label = "CSThrs" if sweep.kind == "cs" else "BWThrs"
+    return format_table(
+        (label, "time (ms)", "slowdown", "L3 missrate", "app BW (GB/s)"),
+        rows,
+        title=title or f"Interference sweep ({label})",
+        float_fmt="{:.3f}",
+    )
+
+
+def render_capacity_calibration(calib: CapacityCalibration) -> str:
+    rows = [
+        (k, fmt_bytes(v), fmt_bytes(calib.naive_available(k)))
+        for k, v in sorted(calib.available_bytes.items())
+    ]
+    return format_table(
+        ("CSThrs", "measured available", "naive (L3 - k*buf)"),
+        rows,
+        title="Effective L3 capacity under CSThr interference (Sec. III-C3)",
+    )
+
+
+def render_bandwidth_calibration(calib: BandwidthCalibration) -> str:
+    pairs = [
+        ("STREAM peak", f"{as_GBps(calib.stream_peak_Bps):.2f} GB/s"),
+        ("BWThr unit draw", f"{as_GBps(calib.bwthr_unit_Bps):.2f} GB/s"),
+        ("threads to saturate", calib.threads_to_saturate()),
+        ("2-BWThr steal fraction", f"{calib.steal_fraction(2) * 100:.0f}%"),
+    ]
+    block = format_kv(pairs, title="Bandwidth calibration (Secs. II-A, III-A)")
+    if calib.saturation_Bps:
+        rows = [(k, as_GBps(v)) for k, v in sorted(calib.saturation_Bps.items())]
+        block += "\n" + format_table(
+            ("BWThrs", "aggregate GB/s"), rows, title="Saturation curve",
+            float_fmt="{:.2f}",
+        )
+    return block
+
+
+def render_use_estimates(
+    estimates: Mapping[int, ResourceUseEstimate],
+    unit: str = "bytes",
+    title: str = "Per-process resource use by mapping",
+) -> str:
+    rows = []
+    for p, est in sorted(estimates.items()):
+        lo, hi = est.per_process
+        if unit == "bytes":
+            rows.append((p, fmt_bytes(lo), fmt_bytes(hi)))
+        else:
+            rows.append((p, f"{as_GBps(lo):.2f} GB/s", f"{as_GBps(hi):.2f} GB/s"))
+    return format_table(("procs/socket", "use >=", "use <="), rows, title=title)
+
+
+def render_campaign(
+    capacity_sweep: Optional[InterferenceSweep] = None,
+    bandwidth_sweep: Optional[InterferenceSweep] = None,
+    capacity_calib: Optional[CapacityCalibration] = None,
+    bandwidth_calib: Optional[BandwidthCalibration] = None,
+    header: str = "Active Measurement campaign",
+) -> str:
+    parts = [header, "=" * len(header)]
+    if capacity_calib is not None:
+        parts.append(render_capacity_calibration(capacity_calib))
+    if bandwidth_calib is not None:
+        parts.append(render_bandwidth_calibration(bandwidth_calib))
+    if capacity_sweep is not None:
+        parts.append(render_sweep(capacity_sweep, title="Capacity (CSThr) sweep"))
+    if bandwidth_sweep is not None:
+        parts.append(render_sweep(bandwidth_sweep, title="Bandwidth (BWThr) sweep"))
+    return "\n\n".join(parts)

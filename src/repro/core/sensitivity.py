@@ -1,0 +1,142 @@
+"""From interference sweeps to resource-use estimates (Section IV).
+
+The paper converts a sweep ("execution time at k interference threads")
+into resource terms in two steps:
+
+1. translate k into *availability* using the calibrations
+   (:mod:`repro.core.capacity`, :mod:`repro.core.bandwidth`), giving a
+   :class:`~repro.models.degradation.DegradationCurve`;
+2. bracket the application's use between the most-starved point without
+   degradation and the least-starved point with degradation, divided by
+   the number of application processes sharing the socket
+   (``Available / #processes`` — the Fig. 10/12 quantities).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..errors import MeasurementError
+from ..models import DegradationCurve, DegradationPoint, ResourceUseEstimate
+from .bandwidth import BandwidthCalibration
+from .capacity import CapacityCalibration
+from .sweep import BW, CS, InterferenceSweep
+
+
+def sweep_to_curve(
+    sweep: InterferenceSweep, availability: Mapping[int, float], resource: str
+) -> DegradationCurve:
+    """Attach availability values to a sweep's timing points."""
+    pts = []
+    for p in sweep.points:
+        if p.k not in availability:
+            raise MeasurementError(
+                f"no availability calibration for k={p.k} ({resource})"
+            )
+        pts.append(
+            DegradationPoint(
+                available=float(availability[p.k]),
+                time_ns=p.makespan_ns,
+                n_interference=p.k,
+            )
+        )
+    return DegradationCurve(resource=resource, points=pts)
+
+
+def capacity_curve(
+    sweep: InterferenceSweep, calibration: CapacityCalibration
+) -> DegradationCurve:
+    if sweep.kind != CS:
+        raise MeasurementError("capacity_curve() needs a CSThr sweep")
+    availability = {k: calibration.available(k) for k in sweep.ks()}
+    return sweep_to_curve(sweep, availability, resource="L3 capacity (bytes)")
+
+
+def bandwidth_curve(
+    sweep: InterferenceSweep, calibration: BandwidthCalibration
+) -> DegradationCurve:
+    if sweep.kind != BW:
+        raise MeasurementError("bandwidth_curve() needs a BWThr sweep")
+    availability = {k: calibration.available(k) for k in sweep.ks()}
+    return sweep_to_curve(sweep, availability, resource="memory bandwidth (B/s)")
+
+
+def resource_use(
+    curve: DegradationCurve,
+    n_processes: int = 1,
+    threshold: float = 0.05,
+) -> ResourceUseEstimate:
+    """The paper's bracketing, divided over the socket's app processes."""
+    if n_processes <= 0:
+        raise MeasurementError("n_processes must be positive")
+    lower, upper = curve.use_bounds(threshold=threshold)
+    return ResourceUseEstimate(
+        resource=curve.resource,
+        lower=lower,
+        upper=upper,
+        n_processes=n_processes,
+    )
+
+
+def guarded_bandwidth_use(
+    sweep: InterferenceSweep,
+    calibration: BandwidthCalibration,
+    n_processes: int = 1,
+    threshold: float = 0.05,
+    missrate_tolerance: float = 0.02,
+) -> ResourceUseEstimate:
+    """Bandwidth-use bracketing with the paper's miss-rate disambiguation.
+
+    Section I: when performance degrades under interference, "the two
+    cases can be differentiated by observing the application's miss
+    rates" — a BWThr point whose L3 miss rate rose materially above the
+    baseline indicates *capacity* pollution (the Section III-D caveat for
+    3+ BWThrs, or earlier for weakly-defended victims), so its
+    degradation must not be attributed to bandwidth. Contaminated points
+    are excluded from the bracketing.
+    """
+    if sweep.kind != BW:
+        raise MeasurementError("guarded_bandwidth_use() needs a BWThr sweep")
+    base_missrate = sweep.baseline.mean_miss_rate
+    clean = [
+        p for p in sweep.points
+        if p.mean_miss_rate <= base_missrate + missrate_tolerance
+    ]
+    if len(clean) < 2:
+        # Every interference level polluted the cache: no bandwidth
+        # attribution is possible; report "at most the baseline draw".
+        avail0 = calibration.available(0)
+        return ResourceUseEstimate(
+            resource="memory bandwidth (B/s, capacity-contaminated sweep)",
+            lower=0.0,
+            upper=avail0,
+            n_processes=n_processes,
+        )
+    guarded = InterferenceSweep(sweep.kind, clean)
+    curve = bandwidth_curve(guarded, calibration)
+    return resource_use(curve, n_processes=n_processes, threshold=threshold)
+
+
+def capacity_use_table(
+    sweeps_by_mapping: Dict[int, InterferenceSweep],
+    calibration: CapacityCalibration,
+    threshold: float = 0.05,
+) -> Dict[int, ResourceUseEstimate]:
+    """Fig. 10/12 (storage panel): per-process capacity use for each
+    processes-per-socket mapping ``p``."""
+    return {
+        p: resource_use(capacity_curve(sweep, calibration), n_processes=p, threshold=threshold)
+        for p, sweep in sweeps_by_mapping.items()
+    }
+
+
+def bandwidth_use_table(
+    sweeps_by_mapping: Dict[int, InterferenceSweep],
+    calibration: BandwidthCalibration,
+    threshold: float = 0.05,
+) -> Dict[int, ResourceUseEstimate]:
+    """Fig. 10/12 (bandwidth panel)."""
+    return {
+        p: resource_use(bandwidth_curve(sweep, calibration), n_processes=p, threshold=threshold)
+        for p, sweep in sweeps_by_mapping.items()
+    }

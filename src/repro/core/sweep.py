@@ -1,0 +1,210 @@
+"""Interference-sweep campaign driver — the heart of Active Measurement.
+
+Section II's protocol: run the application on a socket, occupy the spare
+cores with 0..k interference threads of one kind, and record execution
+time and counters at every interference level. The sweep result is the
+raw material every downstream analysis (capacity inversion, resource-use
+bracketing, alternative-machine prediction) consumes.
+
+``workload_factory`` builds a *fresh* measured workload per point — a
+single :class:`~repro.engine.thread.SimThread` or a list of them (one
+per application process mapped to this socket). Each point runs in a
+brand-new simulator so points are independent and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..config import SocketConfig
+from ..engine import MeasureResult, SimThread, SocketSimulator
+from ..errors import MeasurementError
+from ..workloads import BWThr, CSThr
+
+WorkloadFactory = Callable[[], Union[SimThread, Sequence[SimThread]]]
+
+#: Interference kinds.
+CS, BW = "cs", "bw"
+
+
+@dataclass
+class InterferencePoint:
+    """Observations at one interference level."""
+
+    kind: str
+    k: int
+    #: Execution time of the measured workload (max over its processes).
+    makespan_ns: float
+    #: Cores running measured threads.
+    main_cores: List[int]
+    #: Per-main-core L3 miss rate over the window.
+    l3_miss_rates: Dict[int, float]
+    #: Per-main-core Eq. 1 bandwidth (B/s).
+    bandwidths_Bps: Dict[int, float]
+    #: Mean time per access of the main threads (ns).
+    time_per_access_ns: float
+    #: Full measurement payload for ad-hoc analysis.
+    result: MeasureResult = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def mean_miss_rate(self) -> float:
+        vals = list(self.l3_miss_rates.values())
+        return sum(vals) / len(vals) if vals else 0.0
+
+    @property
+    def total_main_bandwidth_Bps(self) -> float:
+        return sum(self.bandwidths_Bps.values())
+
+
+@dataclass
+class InterferenceSweep:
+    """An ordered set of interference points of one kind (k ascending)."""
+
+    kind: str
+    points: List[InterferencePoint]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise MeasurementError("sweep produced no points")
+        self.points = sorted(self.points, key=lambda p: p.k)
+
+    @property
+    def baseline(self) -> InterferencePoint:
+        """The k=0 (no interference) point."""
+        p = self.points[0]
+        if p.k != 0:
+            raise MeasurementError("sweep has no k=0 baseline point")
+        return p
+
+    def point(self, k: int) -> InterferencePoint:
+        for p in self.points:
+            if p.k == k:
+                return p
+        raise KeyError(f"no point with k={k}")
+
+    def ks(self) -> List[int]:
+        return [p.k for p in self.points]
+
+    def times_ns(self) -> List[float]:
+        return [p.makespan_ns for p in self.points]
+
+    def slowdowns(self) -> List[float]:
+        base = self.baseline.makespan_ns
+        if base <= 0:
+            raise MeasurementError("baseline time is non-positive")
+        return [p.makespan_ns / base for p in self.points]
+
+    def degradation_onset(self, threshold: float = 0.05) -> Optional[int]:
+        """Smallest k whose slowdown exceeds ``1 + threshold``; ``None``
+        when the workload never degrades (Fig. 1's flat region)."""
+        base = self.baseline.makespan_ns
+        for p in self.points:
+            if p.makespan_ns / base > 1.0 + threshold:
+                return p.k
+        return None
+
+
+class ActiveMeasurement:
+    """Campaign driver binding a workload to a socket configuration.
+
+    Parameters
+    ----------
+    socket:
+        Machine under test.
+    workload_factory:
+        Zero-argument callable returning the measured workload(s); called
+        once per interference point.
+    warmup_accesses / measure_accesses:
+        Windows for infinite workloads (probes). Pass
+        ``measure_accesses=None`` for finite application workloads,
+        which then run to completion (and ``warmup_accesses=None`` to
+        skip warm-up entirely).
+    csthr_bytes / bwthr_buffer_bytes / bwthr_n_buffers:
+        Interference-thread parameters, in paper units (defaults are the
+        paper's: 4 MB CSThr buffers, 44 x 520 KB BWThr buffers).
+    """
+
+    def __init__(
+        self,
+        socket: SocketConfig,
+        workload_factory: WorkloadFactory,
+        seed: int = 0,
+        warmup_accesses: Optional[int] = 50_000,
+        measure_accesses: Optional[int] = 50_000,
+        csthr_bytes: int = 4 * 1024 * 1024,
+        bwthr_buffer_bytes: int = 520 * 1024,
+        bwthr_n_buffers: int = 44,
+        track_owner: bool = False,
+    ):
+        self.socket = socket
+        self.workload_factory = workload_factory
+        self.seed = seed
+        self.warmup_accesses = warmup_accesses
+        self.measure_accesses = measure_accesses
+        self.csthr_bytes = csthr_bytes
+        self.bwthr_buffer_bytes = bwthr_buffer_bytes
+        self.bwthr_n_buffers = bwthr_n_buffers
+        self.track_owner = track_owner
+
+    # -- single point -----------------------------------------------------------
+
+    def _interference_thread(self, kind: str, i: int) -> SimThread:
+        if kind == CS:
+            return CSThr(buffer_bytes=self.csthr_bytes, name=f"CSThr[{i}]")
+        if kind == BW:
+            return BWThr(
+                buffer_bytes=self.bwthr_buffer_bytes,
+                n_buffers=self.bwthr_n_buffers,
+                name=f"BWThr[{i}]",
+            )
+        raise MeasurementError(f"unknown interference kind {kind!r}")
+
+    def run_point(self, kind: str, k: int) -> InterferencePoint:
+        """Measure the workload against ``k`` interference threads."""
+        workload = self.workload_factory()
+        mains: List[SimThread] = (
+            list(workload) if isinstance(workload, (list, tuple)) else [workload]
+        )
+        if not mains:
+            raise MeasurementError("workload factory returned no threads")
+        free = self.socket.n_cores - len(mains)
+        if k > free:
+            raise MeasurementError(
+                f"cannot run {k} interference threads: only {free} cores free "
+                f"({len(mains)} used by the workload)"
+            )
+        sim = SocketSimulator(self.socket, seed=self.seed, track_owner=self.track_owner)
+        main_cores = [sim.add_thread(m, main=True) for m in mains]
+        for i in range(k):
+            sim.add_thread(self._interference_thread(kind, i))
+        if self.warmup_accesses:
+            sim.warmup(accesses=self.warmup_accesses)
+        result = sim.measure(accesses=self.measure_accesses)
+
+        miss = {c: result.l3_miss_rate(c) for c in main_cores}
+        bws = {c: result.bandwidth_Bps(c) for c in main_cores}
+        total_acc = sum(result.counters_of(c).accesses for c in main_cores)
+        total_ns = sum(result.counters_of(c).elapsed_ns for c in main_cores)
+        tpa = total_ns / total_acc if total_acc else 0.0
+        return InterferencePoint(
+            kind=kind,
+            k=k,
+            makespan_ns=result.makespan_ns,
+            main_cores=main_cores,
+            l3_miss_rates=miss,
+            bandwidths_Bps=bws,
+            time_per_access_ns=tpa,
+            result=result,
+        )
+
+    # -- sweeps -------------------------------------------------------------------
+
+    def capacity_sweep(self, ks: Sequence[int] = range(6)) -> InterferenceSweep:
+        """Sweep CSThr counts (paper: 0-5 threads x 4 MB)."""
+        return InterferenceSweep(CS, [self.run_point(CS, k) for k in ks])
+
+    def bandwidth_sweep(self, ks: Sequence[int] = range(3)) -> InterferenceSweep:
+        """Sweep BWThr counts (paper: 0-2 threads, beyond which BWThr
+        stops being capacity-neutral, Section III-D)."""
+        return InterferenceSweep(BW, [self.run_point(BW, k) for k in ks])

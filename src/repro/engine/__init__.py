@@ -1,0 +1,30 @@
+"""Execution engine: chunks, threads, scheduler, fused socket simulator.
+
+Public surface:
+
+- :class:`AccessChunk` — the unit of simulated work
+- :class:`SimThread`, :class:`ThreadContext` — workload protocol
+- :class:`FastSocket` — fused simulation kernel
+- :class:`Scheduler`, :class:`CoreState`, :class:`ScheduleOutcome`
+- :class:`SocketSimulator` — the facade experiments use
+- :class:`MeasureResult`
+"""
+
+from .chunk import AccessChunk
+from .fastpath import FastSocket
+from .results import MeasureResult
+from .scheduler import CoreState, ScheduleOutcome, Scheduler
+from .socket_sim import SocketSimulator
+from .thread import SimThread, ThreadContext
+
+__all__ = [
+    "AccessChunk",
+    "SimThread",
+    "ThreadContext",
+    "FastSocket",
+    "Scheduler",
+    "CoreState",
+    "ScheduleOutcome",
+    "SocketSimulator",
+    "MeasureResult",
+]

@@ -1,0 +1,78 @@
+"""Result records produced by simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..mem.counters import CoreCounters, SocketCounters
+from ..units import as_GBps
+
+
+@dataclass
+class MeasureResult:
+    """Everything observed over one measurement window.
+
+    This is the simulated analogue of "run the app, read the wall clock
+    and the hardware counters": per-core counters, aggregate link traffic
+    and the window's simulated duration.
+    """
+
+    #: Simulated span of the window (ns).
+    elapsed_ns: float
+    #: Max main-thread completion relative to window start (ns): the
+    #: "execution time" figures 9/11 plot.
+    makespan_ns: float
+    #: Per-core counter snapshots for the window, keyed by core id.
+    core_counters: Dict[int, CoreCounters]
+    #: Aggregate socket view (link bytes, busy time).
+    socket: SocketCounters
+    #: Which cores ran main (measured) threads.
+    main_cores: List[int] = field(default_factory=list)
+    #: Per-main completion times (ns since window start).
+    main_finish_ns: Dict[int, float] = field(default_factory=dict)
+    line_bytes: int = 64
+
+    def counters_of(self, core: int) -> CoreCounters:
+        try:
+            return self.core_counters[core]
+        except KeyError:
+            raise KeyError(f"no thread ran on core {core}") from None
+
+    def l3_miss_rate(self, core: int) -> float:
+        """L3 miss ratio (misses / L3 accesses) for one core."""
+        return self.counters_of(core).l3_miss_rate
+
+    def bandwidth_Bps(self, core: int) -> float:
+        """Eq. 1 bandwidth for one core over this window."""
+        c = self.counters_of(core)
+        if c.elapsed_ns <= 0:
+            return 0.0
+        fills = c.l3_misses + c.prefetch_fills
+        return fills * self.line_bytes / (c.elapsed_ns * 1e-9)
+
+    def total_bandwidth_Bps(self) -> float:
+        """Aggregate fill bandwidth over the window."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.socket.link_fill_bytes / (self.elapsed_ns * 1e-9)
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest (used by examples)."""
+        lines = [
+            f"window: {self.elapsed_ns / 1e6:.3f} ms simulated, "
+            f"makespan {self.makespan_ns / 1e6:.3f} ms, "
+            f"link {as_GBps(self.total_bandwidth_Bps()):.2f} GB/s "
+            f"({self.socket.link_utilization() * 100:.0f}% busy)"
+        ]
+        for core, c in sorted(self.core_counters.items()):
+            if c.accesses == 0:
+                continue
+            tag = "main" if core in self.main_cores else "intf"
+            lines.append(
+                f"  core {core} [{tag}]: {c.accesses} acc, "
+                f"L1 {c.l1_hits / c.accesses * 100:.0f}% | "
+                f"L3miss {c.l3_miss_rate * 100:.1f}% | "
+                f"BW {as_GBps(self.bandwidth_Bps(core)):.2f} GB/s"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Min-clock multicore scheduler.
+
+Each simulated thread owns a core with a local clock. The scheduler
+repeatedly picks the least-advanced *runnable* core and executes its next
+access chunk, so cores interleave in simulated-time order up to one chunk
+(the interleave quantum, DESIGN.md decision 2). This is what makes
+interference emergent: a thread that stalls on DRAM advances its clock
+quickly per access and therefore executes fewer accesses per unit of
+simulated time than an L3-resident thread — exactly the dynamics the
+paper's CSThr/BWThr interplay relies on.
+
+Stopping conditions: all *main* threads finish (their generators are
+exhausted or they reach an access budget), or a global simulated-time /
+access safety limit trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Sequence
+
+from ..errors import SimulationError
+from .chunk import AccessChunk
+from .fastpath import FastSocket
+from .thread import SimThread
+
+
+@dataclass
+class CoreState:
+    """Bookkeeping for one scheduled thread."""
+
+    core_id: int
+    thread: SimThread
+    gen: Iterator[AccessChunk]
+    clock_ns: float = 0.0
+    accesses: int = 0
+    done: bool = False
+    is_main: bool = False
+    #: Completion time, set when the generator is exhausted or the budget
+    #: is reached.
+    finish_ns: Optional[float] = None
+
+
+@dataclass
+class ScheduleOutcome:
+    """What a scheduler run produced."""
+
+    #: Simulated time at which the run stopped (max over main finishes,
+    #: or the budget horizon).
+    end_ns: float = 0.0
+    start_ns: float = 0.0
+    #: Per-core completion times for main threads (core_id -> ns).
+    main_finish_ns: Dict[int, float] = field(default_factory=dict)
+    total_accesses: int = 0
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    @property
+    def makespan_ns(self) -> float:
+        """Max main-thread completion relative to start (the 'execution
+        time' the paper plots)."""
+        if not self.main_finish_ns:
+            return self.elapsed_ns
+        return max(self.main_finish_ns.values()) - self.start_ns
+
+
+class Scheduler:
+    """Drives a set of threads over a :class:`FastSocket`."""
+
+    def __init__(self, fast: FastSocket, cores: Sequence[CoreState]):
+        self.fast = fast
+        self.cores = list(cores)
+        if not self.cores:
+            raise SimulationError("scheduler needs at least one thread")
+        ids = [c.core_id for c in self.cores]
+        if len(set(ids)) != len(ids):
+            raise SimulationError(f"duplicate core ids: {ids}")
+        n = fast.socket.n_cores
+        for c in self.cores:
+            if not 0 <= c.core_id < n:
+                raise SimulationError(
+                    f"core id {c.core_id} out of range for {n}-core socket"
+                )
+
+    def run(
+        self,
+        main_access_budget: Optional[int] = None,
+        max_total_accesses: int = 500_000_000,
+    ) -> ScheduleOutcome:
+        """Run until every main thread completes.
+
+        ``main_access_budget`` caps each main thread's accesses *within
+        this call* (used for warm-up/measure windows over infinite
+        generators); mains with finite generators may finish earlier.
+        Interference (non-main) threads run as long as any main is active.
+        """
+        mains = [c for c in self.cores if c.is_main and not c.done]
+        if not mains:
+            raise SimulationError("no runnable main thread")
+        start_ns = max((c.clock_ns for c in self.cores), default=0.0)
+        # Align clocks: a freshly-added thread starts when the window opens.
+        for c in self.cores:
+            if c.clock_ns < start_ns:
+                c.clock_ns = start_ns
+        window_start = {c.core_id: c.accesses for c in mains}
+        outcome = ScheduleOutcome(start_ns=start_ns)
+        total = 0
+        run_chunk = self.fast.run_chunk
+
+        active_mains = len(mains)
+        runnable = [c for c in self.cores if not c.done]
+        while active_mains > 0:
+            # Pick the least-advanced runnable core.
+            best = None
+            best_clock = float("inf")
+            for c in runnable:
+                if c.clock_ns < best_clock:
+                    best = c
+                    best_clock = c.clock_ns
+            assert best is not None
+            chunk = next(best.gen, None)
+            if chunk is None or len(chunk) == 0:
+                best.done = True
+                best.finish_ns = best.clock_ns
+                if best.is_main:
+                    outcome.main_finish_ns[best.core_id] = best.clock_ns
+                    active_mains -= 1
+                runnable = [c for c in runnable if not c.done]
+                continue
+            best.clock_ns = run_chunk(best.core_id, chunk, best.clock_ns)
+            best.accesses += len(chunk)
+            total += len(chunk)
+            if total > max_total_accesses:
+                raise SimulationError(
+                    f"simulation exceeded {max_total_accesses} accesses; "
+                    "likely a runaway interference-only configuration"
+                )
+            if (
+                best.is_main
+                and main_access_budget is not None
+                and best.accesses - window_start[best.core_id] >= main_access_budget
+            ):
+                best.done = True
+                best.finish_ns = best.clock_ns
+                outcome.main_finish_ns[best.core_id] = best.clock_ns
+                active_mains -= 1
+                runnable = [c for c in runnable if not c.done]
+
+        outcome.end_ns = max(outcome.main_finish_ns.values())
+        outcome.total_accesses = total
+        return outcome
+
+    def reopen_mains(self) -> None:
+        """Mark budget-stopped main threads runnable again for the next
+        measurement window (their generators are still live)."""
+        for c in self.cores:
+            if c.is_main and c.done and c.finish_ns is not None:
+                c.done = False
+                c.finish_ns = None

@@ -1,0 +1,67 @@
+"""Simulated-thread protocol.
+
+A :class:`SimThread` is a workload pinned to one simulated core: it
+allocates buffers in :meth:`start` and then yields
+:class:`~repro.engine.chunk.AccessChunk` objects from :meth:`chunks`.
+Interference threads yield forever; benchmark/application threads return
+when their work is done (the scheduler treats generator exhaustion as
+thread completion).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..config import SocketConfig
+from ..mem.addrspace import AddressSpace
+from .chunk import AccessChunk
+
+
+@dataclass
+class ThreadContext:
+    """Everything a workload needs to set itself up on a machine.
+
+    ``rng`` is private to the thread (independent, deterministically
+    seeded streams per core) so that runs are reproducible regardless of
+    interleaving.
+    """
+
+    socket: SocketConfig
+    addrspace: AddressSpace
+    rng: np.random.Generator
+    core_id: int
+
+    def scaled_bytes(self, physical_bytes: int) -> int:
+        """Scale a paper-units size down to simulator units (pass-through
+        when the machine is unscaled)."""
+        if self.socket.scale == 1:
+            return physical_bytes
+        return self.socket.scaled_bytes(physical_bytes)
+
+
+class SimThread(ABC):
+    """A workload bound to one core of the simulated socket."""
+
+    #: Human-readable name used in reports ("BWThr[2]", "mcb.rank3").
+    name: str = "thread"
+
+    #: Chunk length this thread emits; the scheduler's interleave quantum.
+    quantum: int = 256
+
+    @abstractmethod
+    def start(self, ctx: ThreadContext) -> None:
+        """Allocate buffers / initialise state. Called exactly once."""
+
+    @abstractmethod
+    def chunks(self) -> Iterator[AccessChunk]:
+        """Yield access chunks in program order. A finite iterator means
+        the thread terminates; infinite means it runs until the scheduler
+        stops it (interference threads)."""
+
+    def describe(self) -> str:
+        """One-line description for experiment logs."""
+        return self.name

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this package derives from :class:`ReproError` so
+applications can catch library failures without masking programming
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid machine/experiment configuration was supplied."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The execution engine reached an inconsistent state."""
+
+
+class AllocationError(ReproError, MemoryError):
+    """The simulated address space could not satisfy an allocation."""
+
+
+class MeasurementError(ReproError, RuntimeError):
+    """An Active Measurement campaign could not produce an estimate."""
+
+
+class ModelError(ReproError, ValueError):
+    """An analytic model was evaluated outside its domain of validity."""
+
+
+class CommError(ReproError, RuntimeError):
+    """Invalid use of the simulated MPI layer (bad rank, tag mismatch...)."""

@@ -1,0 +1,51 @@
+"""Experiment drivers — one per paper table/figure.
+
+================  ==========================================
+paper item        driver
+================  ==========================================
+Table I + III-A   :func:`run_calibration`
+Fig. 5            :func:`run_fig5`
+Fig. 6            :func:`run_fig6`
+Figs. 7-8         :func:`run_fig7_fig8`
+Fig. 9            :func:`run_fig9`
+Fig. 10           :func:`run_fig10`
+Fig. 11           :func:`run_fig11`
+Fig. 12           :func:`run_fig12`
+Sec. V            :func:`run_bubble_comparison`
+extension         :func:`run_detection_accuracy`, :func:`run_colocation`
+ablations         :mod:`repro.experiments.ablations`
+================  ==========================================
+
+All drivers take ``mode`` in {smoke, paper, full} (or the ``REPRO_MODE``
+environment variable) and return an
+:class:`~repro.analysis.ExperimentRecord`.
+"""
+
+from .calibration import run_calibration
+from .fig5 import run_fig5
+from .fig6 import run_fig6
+from .fig7_fig8 import run_fig7_fig8
+from .fig9 import run_fig9
+from .fig10_fig12 import run_fig10, run_fig12
+from .fig11 import run_fig11
+from .colocation import run_colocation
+from .detection import run_detection_accuracy
+from .related_work import run_bubble_comparison
+from . import ablations, common, related_work
+
+__all__ = [
+    "run_calibration",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_bubble_comparison",
+    "run_detection_accuracy",
+    "run_colocation",
+    "related_work",
+    "ablations",
+    "common",
+]

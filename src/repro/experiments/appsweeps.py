@@ -1,0 +1,138 @@
+"""Shared sweep machinery for the parallel-application studies
+(Figs. 9-12).
+
+Every Section IV figure is one of two sweep shapes:
+
+- **mapping sweep**: fix the input, vary processes-per-socket ``p`` and
+  the interference level (Figs. 9-top, 11-top; Figs. 10/12 derive
+  per-process resource use from them);
+- **input sweep**: fix ``p = 1``, vary the input size and the
+  interference level (Figs. 9-bottom, 11-bottom).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from ..apps.base import CommEnv, RankApp
+from ..cluster import NoiseModel, ProcessMapping, run_job
+from ..config import ClusterConfig
+from ..errors import MeasurementError
+
+#: app factory: (input_value, rank, mapping, comm_env) -> RankApp
+AppBuilder = Callable[[object, int, ProcessMapping, CommEnv], RankApp]
+
+#: times[kind][k] = job time ns
+KindSweep = Dict[str, Dict[int, float]]
+
+
+def interference_sweep(
+    cluster: ClusterConfig,
+    mapping: ProcessMapping,
+    build: Callable[[int, CommEnv], RankApp],
+    cs_ks: Sequence[int],
+    bw_ks: Sequence[int],
+    noise: Optional[NoiseModel] = None,
+    seed: int = 0,
+) -> KindSweep:
+    """Run one app configuration against CSThr and BWThr ladders.
+
+    Interference counts that do not fit the mapping's free cores are
+    skipped (the paper's "not all combinations of mapping and
+    interference can be executed").
+    """
+    free = mapping.free_cores_per_socket
+    out: KindSweep = {"cs": {}, "bw": {}}
+    for kind, ks in (("cs", cs_ks), ("bw", bw_ks)):
+        for k in ks:
+            if k > free:
+                continue
+            res = run_job(
+                cluster,
+                mapping,
+                build,
+                interference_kind=kind if k else None,
+                n_interference=k,
+                noise=noise,
+                seed=seed,
+            )
+            out[kind][k] = res.time_ns
+    if 0 not in out["cs"]:
+        raise MeasurementError("sweep produced no baseline point")
+    return out
+
+
+def mapping_sweeps(
+    cluster: ClusterConfig,
+    n_ranks: int,
+    mappings: Sequence[int],
+    builder: AppBuilder,
+    input_value: object,
+    cs_ks: Sequence[int],
+    bw_ks: Sequence[int],
+    noise: Optional[NoiseModel] = None,
+    seed: int = 0,
+) -> Dict[int, KindSweep]:
+    """Fig. 9/11-top: one interference sweep per processes-per-socket."""
+    out: Dict[int, KindSweep] = {}
+    for p in mappings:
+        if n_ranks % p:
+            continue
+        mapping = ProcessMapping(cluster, n_ranks=n_ranks, procs_per_socket=p)
+
+        def build(rank: int, env: CommEnv, _m=mapping):
+            return builder(input_value, rank, _m, env)
+
+        out[p] = interference_sweep(
+            cluster, mapping, build, cs_ks, bw_ks, noise=noise, seed=seed
+        )
+    return out
+
+
+def input_sweeps(
+    cluster: ClusterConfig,
+    n_ranks: int,
+    inputs: Sequence[object],
+    builder: AppBuilder,
+    cs_ks: Sequence[int],
+    bw_ks: Sequence[int],
+    procs_per_socket: int = 1,
+    noise: Optional[NoiseModel] = None,
+    seed: int = 0,
+) -> Dict[object, KindSweep]:
+    """Fig. 9/11-bottom: one interference sweep per input size at p=1."""
+    mapping = ProcessMapping(
+        cluster, n_ranks=n_ranks, procs_per_socket=procs_per_socket
+    )
+    out: Dict[object, KindSweep] = {}
+    for value in inputs:
+
+        def build(rank: int, env: CommEnv, _v=value):
+            return builder(_v, rank, mapping, env)
+
+        out[value] = interference_sweep(
+            cluster, mapping, build, cs_ks, bw_ks, noise=noise, seed=seed
+        )
+    return out
+
+
+def slowdown_series(sweep: KindSweep, kind: str) -> Dict[int, float]:
+    """Normalise one kind's times by the k=0 baseline."""
+    times = sweep[kind]
+    if not times:
+        return {}
+    base = sweep["cs"].get(0, None)
+    if base is None:
+        base = next(iter(times.values()))
+    return {k: t / base for k, t in sorted(times.items())}
+
+
+def jsonable(sweeps: Dict) -> Dict:
+    """Stringify keys for ExperimentRecord JSON."""
+    out = {}
+    for key, kinds in sweeps.items():
+        out[str(key)] = {
+            kind: {str(k): t for k, t in times.items()}
+            for kind, times in kinds.items()
+        }
+    return out

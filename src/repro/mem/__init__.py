@@ -1,0 +1,56 @@
+"""Memory-hierarchy substrate: caches, address space, bandwidth, prefetch.
+
+Public surface:
+
+- :class:`SetAssociativeCache`, :class:`CacheStats`, :class:`AccessResult`
+- replacement policies (:func:`make_policy`, :data:`POLICIES`)
+- :class:`AddressSpace`, :class:`Buffer`
+- :class:`PrivateHierarchy`, :class:`SocketHierarchy` (reference models)
+- :class:`BandwidthArbiter`, :class:`StridePrefetcher`
+- :class:`CoreCounters`, :class:`SocketCounters`
+"""
+
+from .addrspace import AddressSpace, Buffer
+from .bandwidth import BandwidthArbiter
+from .cache import AccessResult, CacheStats, SetAssociativeCache
+from .counters import CoreCounters, SocketCounters
+from .hierarchy import DRAM, L1, L2, L3, HierarchyResult, PrivateHierarchy, SocketHierarchy
+from .prefetch import StridePrefetcher
+from .sampling import SampledL3, sampled_miss_rate
+from .replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    POLICIES,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "AddressSpace",
+    "Buffer",
+    "BandwidthArbiter",
+    "SetAssociativeCache",
+    "CacheStats",
+    "AccessResult",
+    "CoreCounters",
+    "SocketCounters",
+    "PrivateHierarchy",
+    "SocketHierarchy",
+    "HierarchyResult",
+    "L1",
+    "L2",
+    "L3",
+    "DRAM",
+    "StridePrefetcher",
+    "SampledL3",
+    "sampled_miss_rate",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "TreePLRUPolicy",
+    "POLICIES",
+    "make_policy",
+]

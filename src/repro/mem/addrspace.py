@@ -1,0 +1,127 @@
+"""Simulated address space and buffer allocation.
+
+Workloads allocate :class:`Buffer` objects from a shared
+:class:`AddressSpace` (one per simulated node) with a simple bump
+allocator. Buffers are line-aligned and never overlap, mirroring distinct
+``malloc`` regions in the paper's threads; this is what guarantees that an
+interference thread and the application never share cache lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AllocationError
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """A contiguous allocation in the simulated address space.
+
+    ``base`` is a byte address, always line aligned. Index helpers convert
+    element indices into **line addresses**, the unit the simulator
+    consumes.
+    """
+
+    base: int
+    size_bytes: int
+    elem_bytes: int
+    line_shift: int
+    label: str = ""
+
+    @property
+    def n_elems(self) -> int:
+        return self.size_bytes // self.elem_bytes
+
+    @property
+    def n_lines(self) -> int:
+        """Number of distinct cache lines the buffer spans."""
+        line = 1 << self.line_shift
+        return (self.size_bytes + line - 1) >> self.line_shift
+
+    @property
+    def base_line(self) -> int:
+        return self.base >> self.line_shift
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_bytes
+
+    def line_of_index(self, idx: int) -> int:
+        """Line address of element ``idx`` (scalar)."""
+        if not 0 <= idx < self.n_elems:
+            raise IndexError(f"index {idx} out of range for {self.label or 'buffer'}")
+        return (self.base + idx * self.elem_bytes) >> self.line_shift
+
+    def lines_of_indices(self, idx: np.ndarray) -> np.ndarray:
+        """Vectorised ``line_of_index`` for an int array (no bounds check:
+        generators produce in-range indices by construction)."""
+        return (self.base + idx.astype(np.int64) * self.elem_bytes) >> self.line_shift
+
+    def sequential_lines(self) -> np.ndarray:
+        """All line addresses of the buffer in layout order."""
+        return np.arange(self.base_line, self.base_line + self.n_lines, dtype=np.int64)
+
+
+class AddressSpace:
+    """Bump allocator over a flat byte-addressed space."""
+
+    def __init__(self, line_bytes: int = 64, capacity_bytes: int = 1 << 44):
+        if line_bytes & (line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+        self.line_bytes = line_bytes
+        self.line_shift = line_bytes.bit_length() - 1
+        self.capacity_bytes = capacity_bytes
+        # Start allocations away from address 0 so line address 0 never
+        # collides with sentinel values inside the fast path.
+        self._next = line_bytes
+        self._allocs: list[Buffer] = []
+
+    @property
+    def used_bytes(self) -> int:
+        return self._next
+
+    def alloc(self, size_bytes: int, elem_bytes: int = 4, label: str = "") -> Buffer:
+        """Allocate a line-aligned buffer of ``size_bytes``.
+
+        ``elem_bytes`` sets the granularity of index->address conversion
+        (4 for the paper's ``int`` buffers, 8 for ``long long``).
+        """
+        if size_bytes <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size_bytes}")
+        if elem_bytes <= 0 or size_bytes % elem_bytes:
+            raise AllocationError(
+                f"size {size_bytes} is not a multiple of elem_bytes {elem_bytes}"
+            )
+        base = self._next
+        # Round the next pointer up to a line boundary past this buffer and
+        # skip one guard line so adjacent buffers never share a cache line.
+        end = base + size_bytes
+        self._next = _round_up(end, self.line_bytes) + self.line_bytes
+        if self._next > self.capacity_bytes:
+            raise AllocationError(
+                f"address space exhausted: need {size_bytes} bytes at {base}"
+            )
+        buf = Buffer(
+            base=base,
+            size_bytes=size_bytes,
+            elem_bytes=elem_bytes,
+            line_shift=self.line_shift,
+            label=label,
+        )
+        self._allocs.append(buf)
+        return buf
+
+    def alloc_elems(self, n_elems: int, elem_bytes: int = 4, label: str = "") -> Buffer:
+        """Allocate by element count instead of bytes."""
+        return self.alloc(n_elems * elem_bytes, elem_bytes=elem_bytes, label=label)
+
+    def allocations(self) -> list[Buffer]:
+        """All live allocations, in allocation order."""
+        return list(self._allocs)
+
+
+def _round_up(n: int, align: int) -> int:
+    return (n + align - 1) & ~(align - 1)

@@ -1,0 +1,165 @@
+"""Shared L3<->DRAM link model.
+
+The link is a *rate-matching server*. It measures the aggregate fill
+rate over windows of at least ``WINDOW_FILLS`` fills *and*
+``MIN_WINDOW_SPAN_NS`` of wall span — the fill count divided by the
+advance of the monotone high-water mark of request times, a statistic
+that is immune to the chunk-granularity clock skew of the engine's
+scheduler — and charges every demand miss a queueing delay with two
+components:
+
+- a *bandwidth-latency knee* (M/M/1-shaped ``rho^2/(1-rho)``, EMA
+  damped): real links inflate latency well below nominal saturation,
+  which is what makes bandwidth-hungry applications sensitive to one or
+  two BWThrs (Figs. 9/11, right panels);
+- a *deadbeat saturation controller*: when the offered rate exceeds
+  capacity, the per-window span deficit is spread over the demand misses
+  until the closed-loop sources are throttled to the link capacity —
+  the STREAM-style saturation of Section III-A.
+
+Why not a straight FIFO reservation queue? The engine executes threads
+in chunks, so request timestamps arrive out of order within one quantum;
+a reservation queue then serializes traffic that is actually concurrent,
+grossly over-charging delay at low utilization (DESIGN.md, decision 3;
+the ablation bench quantifies the difference).
+"""
+
+from __future__ import annotations
+
+from ..config import SocketConfig
+
+
+class BandwidthArbiter:
+    """Rate-matching DRAM-link arbiter.
+
+    All fills (demand and prefetch) feed the rate estimate and the
+    traffic counters; the returned delay is applied by the engine to
+    demand misses only. Prefetches are asynchronous, but a delayed
+    demand miss stalls the whole stream, which throttles prefetch
+    traffic as well, so control over demand misses regulates everything.
+    """
+
+    #: Minimum fills per controller window.
+    WINDOW_FILLS = 512
+    #: Minimum wall span (ns) per controller window. Must cover several
+    #: full scheduler rotations so a window never reads one core's
+    #: mid-chunk burst as the global rate (the clock-skew hazard).
+    MIN_WINDOW_SPAN_NS = 16384.0
+    #: Deadbeat damping: fraction of the computed correction applied per
+    #: window (1.0 = full deadbeat; <1 damps estimation noise).
+    DELAY_DAMPING = 0.7
+    #: Delay ceiling in service times (keeps a transient overshoot from
+    #: freezing a thread for an unphysical span).
+    MAX_DELAY_SERVICES = 512.0
+
+    def __init__(self, socket: SocketConfig):
+        self.line_bytes = socket.line_bytes
+        self.capacity_Bps = socket.dram_bandwidth_Bps
+        self._throttle_writebacks = socket.throttle_writebacks
+        #: Service time for one line transfer, ns.
+        self.service_ns = socket.line_bytes / socket.dram_bandwidth_Bps * 1e9
+        #: Monotone high-water mark of request times.
+        self._hwm_ns = 0.0
+        self._window_start_ns = 0.0
+        self._window_count = 0
+        self._window_demand = 0
+        #: Offered load over the last completed window (1.0 == capacity).
+        self._rho = 0.0
+        #: Smoothed offered load driving the knee (the raw per-window
+        #: estimate is too jittery to close a feedback loop on).
+        self._rho_smooth = 0.0
+        #: Controlled queueing delay charged to demand misses.
+        self._delay_ns = 0.0
+        #: Sub-saturation queueing (bandwidth-latency knee), updated per
+        #: window from the offered load.
+        self._knee_ns = 0.0
+        self.busy_ns = 0.0
+        self.fill_bytes = 0
+        self.writeback_bytes = 0
+
+    # -- core ---------------------------------------------------------------
+
+    def request_fill(self, now_ns: float, demand: bool = True) -> float:
+        """Account one line fill at ``now_ns``; return the queueing delay
+        (ns) a demand miss must wait beyond the DRAM latency.
+
+        ``demand`` distinguishes demand misses (which are the control
+        actuator: they get delayed) from asynchronous prefetch fills
+        (which only contribute traffic).
+        """
+        if now_ns > self._hwm_ns:
+            self._hwm_ns = now_ns
+        self._window_count += 1
+        if demand:
+            self._window_demand += 1
+        span = self._hwm_ns - self._window_start_ns
+        if self._window_count >= self.WINDOW_FILLS and span >= self.MIN_WINDOW_SPAN_NS:
+            n = self._window_count
+            self._rho = n * self.service_ns / span
+            # Deadbeat: the span deficit relative to a capacity-paced
+            # window, spread over the misses that can absorb it. The
+            # current delay is already baked into the observed span,
+            # so the correction is incremental.
+            deficit_ns = n * self.service_ns - span
+            correction = deficit_ns / max(self._window_demand, 1)
+            delay = self._delay_ns + self.DELAY_DAMPING * correction
+            max_delay = self.MAX_DELAY_SERVICES * self.service_ns
+            self._delay_ns = min(max(delay, 0.0), max_delay)
+            # Bandwidth-latency knee: real memory links inflate access
+            # latency well below nominal saturation. M/M/1-shaped
+            # rho^2/(1-rho) term, clamped near 1 where the deadbeat
+            # controller takes over, and EMA-damped: an instantaneous
+            # knee feeds back on the very rate it is computed from and
+            # limit-cycles.
+            self._rho_smooth += 0.3 * (self._rho - self._rho_smooth)
+            rho_k = min(self._rho_smooth, 0.97)
+            target = self.service_ns * rho_k * rho_k / (1.0 - rho_k)
+            self._knee_ns += 0.25 * (target - self._knee_ns)
+            self._window_start_ns = self._hwm_ns
+            self._window_count = 0
+            self._window_demand = 0
+        self.busy_ns += self.service_ns
+        self.fill_bytes += self.line_bytes
+        return self._delay_ns + self._knee_ns
+
+    # -- inspection ------------------------------------------------------------
+
+    def offered_rho(self) -> float:
+        """Offered load over the last completed window (1.0 == capacity)."""
+        return self._rho
+
+    def current_delay_ns(self) -> float:
+        """The queueing delay the next demand miss will be charged
+        (saturation-controller delay plus the sub-saturation knee)."""
+        return self._delay_ns + self._knee_ns
+
+    def note_writeback(self, now_ns: float = 0.0) -> None:
+        """Account a dirty-line writeback.
+
+        By default writebacks are counted but do not occupy the modelled
+        (fill) direction of the link — the paper's Eq. 1 accounting (see
+        DESIGN.md, simplifications). With
+        ``SocketConfig.throttle_writebacks`` they additionally feed the
+        rate estimate as asynchronous traffic, competing with fills for
+        capacity.
+        """
+        self.writeback_bytes += self.line_bytes
+        if self._throttle_writebacks:
+            # Count as (non-demand) traffic: raises rho, never directly
+            # stalls the evicting core.
+            if now_ns > self._hwm_ns:
+                self._hwm_ns = now_ns
+            self._window_count += 1
+            self.busy_ns += self.service_ns
+
+    def utilization(self, window_ns: float) -> float:
+        """Busy fraction over a window (for reports)."""
+        return min(1.0, self.busy_ns / window_ns) if window_ns > 0 else 0.0
+
+    def reset_counters(self) -> None:
+        """Zero the traffic counters; the rate estimate and controller
+        state are kept so saturation survives a measurement-window
+        reset."""
+        self.busy_ns = 0.0
+        self.fill_bytes = 0
+        self.writeback_bytes = 0

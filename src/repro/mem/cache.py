@@ -1,0 +1,238 @@
+"""Reference set-associative cache model.
+
+This is the *semantic reference* for the whole library: a transparent,
+assert-friendly implementation that the tuned fast path in
+``repro.engine.fastpath`` is cross-validated against (they must produce
+identical hit/miss streams under LRU).
+
+Addresses handled here are **line addresses** (byte address >> line_shift);
+the address-space helpers in :mod:`repro.mem.addrspace` do the conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..config import CacheGeometry
+from .replacement import ReplacementPolicy, LRUPolicy, make_policy
+
+#: Sentinel tag for an empty way.
+EMPTY = -1
+
+
+@dataclass
+class CacheStats:
+    """Event counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    fills: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss ratio over all accesses so far (0 when idle)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = 0
+        self.evictions = self.writebacks = self.fills = 0
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a single cache access."""
+
+    hit: bool
+    evicted_line: Optional[int] = None
+    evicted_dirty: bool = False
+    evicted_owner: int = -1
+
+
+class SetAssociativeCache:
+    """An exact set-associative cache with pluggable replacement.
+
+    Parameters
+    ----------
+    geometry:
+        Level geometry (capacity/line/ways).
+    policy:
+        Replacement policy instance or registry name (default LRU).
+    track_owner:
+        When true, each resident line remembers the integer ``owner``
+        passed to :meth:`access`; :meth:`occupancy_by_owner` then reports
+        how many lines each owner holds — the shared-L3 attribution used
+        by the orthogonality ablations.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: ReplacementPolicy | str | None = None,
+        track_owner: bool = False,
+    ):
+        self.geometry = geometry
+        n_sets, ways = geometry.n_sets, geometry.ways
+        if policy is None:
+            policy = LRUPolicy(n_sets, ways)
+        elif isinstance(policy, str):
+            policy = make_policy(policy, n_sets, ways)
+        if policy.n_sets != n_sets or policy.ways != ways:
+            raise ValueError("policy shape does not match geometry")
+        self.policy = policy
+        self._tags: List[List[int]] = [[EMPTY] * ways for _ in range(n_sets)]
+        self._dirty: List[List[bool]] = [[False] * ways for _ in range(n_sets)]
+        self._owner: Optional[List[List[int]]] = (
+            [[-1] * ways for _ in range(n_sets)] if track_owner else None
+        )
+        self.stats = CacheStats()
+        self._set_mask = geometry.set_mask
+        self._set_shift = _log2(geometry.n_sets)
+
+    # -- core operations ---------------------------------------------------
+
+    def set_and_tag(self, line_addr: int) -> Tuple[int, int]:
+        """Split a line address into (set index, tag)."""
+        return line_addr & self._set_mask, line_addr >> self._set_shift
+
+    def access(
+        self, line_addr: int, is_write: bool = False, owner: int = -1
+    ) -> AccessResult:
+        """Access one line; fill on miss (write-allocate); return outcome."""
+        set_idx = line_addr & self._set_mask
+        tag = line_addr >> self._set_shift
+        tags = self._tags[set_idx]
+        self.stats.accesses += 1
+        try:
+            way = tags.index(tag)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            self.stats.hits += 1
+            self.policy.on_hit(set_idx, way)
+            if is_write:
+                self._dirty[set_idx][way] = True
+            if self._owner is not None:
+                self._owner[set_idx][way] = owner
+            return AccessResult(hit=True)
+        self.stats.misses += 1
+        return AccessResult(hit=False, **self._fill(set_idx, tag, is_write, owner))
+
+    def install(self, line_addr: int, is_write: bool = False, owner: int = -1) -> AccessResult:
+        """Insert a line without counting an access (prefetch fills).
+
+        If the line is already resident this refreshes its recency and
+        returns a hit-shaped result.
+        """
+        set_idx = line_addr & self._set_mask
+        tag = line_addr >> self._set_shift
+        tags = self._tags[set_idx]
+        try:
+            way = tags.index(tag)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            self.policy.on_hit(set_idx, way)
+            return AccessResult(hit=True)
+        return AccessResult(hit=False, **self._fill(set_idx, tag, is_write, owner))
+
+    def _fill(self, set_idx: int, tag: int, is_write: bool, owner: int) -> dict:
+        tags = self._tags[set_idx]
+        evicted_line = None
+        evicted_dirty = False
+        evicted_owner = -1
+        try:
+            way = tags.index(EMPTY)
+        except ValueError:
+            way = self.policy.victim(set_idx)
+            old_tag = tags[way]
+            evicted_line = (old_tag << self._set_shift) | set_idx
+            evicted_dirty = self._dirty[set_idx][way]
+            if self._owner is not None:
+                evicted_owner = self._owner[set_idx][way]
+            self.stats.evictions += 1
+            if evicted_dirty:
+                self.stats.writebacks += 1
+        tags[way] = tag
+        self._dirty[set_idx][way] = is_write
+        if self._owner is not None:
+            self._owner[set_idx][way] = owner
+        self.policy.on_fill(set_idx, way)
+        self.stats.fills += 1
+        return dict(
+            evicted_line=evicted_line,
+            evicted_dirty=evicted_dirty,
+            evicted_owner=evicted_owner,
+        )
+
+    # -- inspection ----------------------------------------------------------
+
+    def probe(self, line_addr: int) -> bool:
+        """Non-mutating residency check."""
+        set_idx = line_addr & self._set_mask
+        tag = line_addr >> self._set_shift
+        return tag in self._tags[set_idx]
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line if resident (no writeback accounting); return whether
+        it was present."""
+        set_idx = line_addr & self._set_mask
+        tag = line_addr >> self._set_shift
+        tags = self._tags[set_idx]
+        try:
+            way = tags.index(tag)
+        except ValueError:
+            return False
+        tags[way] = EMPTY
+        self._dirty[set_idx][way] = False
+        if self._owner is not None:
+            self._owner[set_idx][way] = -1
+        return True
+
+    def resident_lines(self) -> Iterator[int]:
+        """Yield every resident line address."""
+        shift = self._set_shift
+        for set_idx, tags in enumerate(self._tags):
+            for tag in tags:
+                if tag != EMPTY:
+                    yield (tag << shift) | set_idx
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(1 for _ in self.resident_lines())
+
+    def occupancy_by_owner(self) -> Dict[int, int]:
+        """Lines held per owner id (requires ``track_owner=True``)."""
+        if self._owner is None:
+            raise ValueError("cache was created without owner tracking")
+        counts: Dict[int, int] = {}
+        for set_idx, tags in enumerate(self._tags):
+            owners = self._owner[set_idx]
+            for way, tag in enumerate(tags):
+                if tag != EMPTY:
+                    counts[owners[way]] = counts.get(owners[way], 0) + 1
+        return counts
+
+    def flush(self) -> None:
+        """Empty the cache (state only; stats are kept)."""
+        for tags in self._tags:
+            for way in range(len(tags)):
+                tags[way] = EMPTY
+        for drow in self._dirty:
+            for way in range(len(drow)):
+                drow[way] = False
+        if self._owner is not None:
+            for orow in self._owner:
+                for way in range(len(orow)):
+                    orow[way] = -1
+
+
+def _log2(n: int) -> int:
+    return n.bit_length() - 1

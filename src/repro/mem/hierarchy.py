@@ -1,0 +1,82 @@
+"""Reference composition of the cache levels of one socket.
+
+:class:`PrivateHierarchy` is a core's L1+L2; :class:`SocketHierarchy`
+wires ``n_cores`` private hierarchies to one shared L3. These reference
+objects process one access at a time through the clean
+:class:`~repro.mem.cache.SetAssociativeCache` API, so they are easy to
+reason about and are the oracle the tuned engine is validated against
+(``tests/engine/test_fastpath_equivalence.py``).
+
+Fill policy is *mostly-inclusive*, matching common Intel modelling
+practice and the fast path exactly: a miss fills every level it missed
+in, and evictions at different levels are independent (no back
+invalidation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import SocketConfig
+from .cache import SetAssociativeCache
+
+#: Symbolic levels where an access was satisfied.
+L1, L2, L3, DRAM = "L1", "L2", "L3", "DRAM"
+
+
+@dataclass
+class HierarchyResult:
+    """Where an access hit, and what the L3 pushed out (if anything)."""
+
+    level: str
+    l3_evicted_line: Optional[int] = None
+    l3_evicted_dirty: bool = False
+
+
+class PrivateHierarchy:
+    """One core's private L1 and L2."""
+
+    def __init__(self, socket: SocketConfig, policy: str = "lru"):
+        self.l1 = SetAssociativeCache(socket.l1, policy=policy)
+        self.l2 = SetAssociativeCache(socket.l2, policy=policy)
+
+    def access(self, line_addr: int, is_write: bool = False) -> str:
+        """Probe L1 then L2, filling missed levels; return the private
+        level that hit, or :data:`L3` meaning "goes to the shared level"."""
+        if self.l1.access(line_addr, is_write=is_write).hit:
+            return L1
+        if self.l2.access(line_addr, is_write=is_write).hit:
+            self.l1.install(line_addr, is_write=is_write)
+            return L2
+        self.l1.install(line_addr, is_write=is_write)
+        self.l2.install(line_addr, is_write=is_write)
+        return L3
+
+
+class SocketHierarchy:
+    """Reference model of a full socket: private levels + shared L3.
+
+    No timing, no prefetch, no bandwidth — purely the residency/hit
+    semantics. The engine layers those concerns on top of the same
+    semantics in its fused loop.
+    """
+
+    def __init__(self, socket: SocketConfig, policy: str = "lru", track_owner: bool = False):
+        self.socket = socket
+        self.privates = [PrivateHierarchy(socket, policy) for _ in range(socket.n_cores)]
+        self.l3 = SetAssociativeCache(socket.l3, policy=policy, track_owner=track_owner)
+
+    def access(self, core: int, line_addr: int, is_write: bool = False) -> HierarchyResult:
+        """One access by ``core``; returns the satisfying level."""
+        private_level = self.privates[core].access(line_addr, is_write=is_write)
+        if private_level != L3:
+            return HierarchyResult(level=private_level)
+        result = self.l3.access(line_addr, is_write=is_write, owner=core)
+        if result.hit:
+            return HierarchyResult(level=L3)
+        return HierarchyResult(
+            level=DRAM,
+            l3_evicted_line=result.evicted_line,
+            l3_evicted_dirty=result.evicted_dirty,
+        )

@@ -1,0 +1,105 @@
+"""Per-core stride prefetcher model.
+
+The paper's BWThr deliberately uses a *constant* (large-prime) stride "so
+that the hardware prefetcher can help use up more bandwidth", while CSThr
+uses random access so "the hardware pre-fetcher will not recognize the
+access pattern". This model reproduces exactly that dichotomy:
+
+- it watches the stream of **private-cache (L2) misses** of its core,
+- after ``detect_after`` consecutive misses with the same non-zero line
+  stride ``s`` it confirms a stream and stages the next ``degree`` lines
+  (``L+s .. L+d*s``) into the shared L3,
+- it then expects the next miss of that stream at ``L+(d+1)*s``; when
+  the miss arrives there, the stream stays confirmed and the next batch
+  is staged — so a perfectly strided stream pays one DRAM latency per
+  ``degree+1`` lines, which is what calibrates BWThr's ~2.8 GB/s
+  (Section III-A),
+- the engine installs staged lines into the shared L3 *and* the issuing
+  core's L2 (absent lines consume link bandwidth like demand fills, and
+  carry an arrival time); lines already L3-resident are pulled into L2
+  for free, like a real mid-level-cache prefetcher.
+
+Streams are distinguished by a ``stream_id`` carried on each access chunk
+(one per workload buffer). A real prefetcher associates accesses to
+streams by address locality; giving the model the association directly is
+an *oracle simplification* that errs in the paper's favour exactly where
+the paper asserts the hardware succeeds (constant-stride streams) and has
+no effect where the paper defeats the prefetcher (random access never
+confirms a stride). See DESIGN.md, decision 4, and the prefetch-degree
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..config import PrefetchConfig
+
+
+class _Stream:
+    __slots__ = ("last_line", "stride", "streak", "expected")
+
+    def __init__(self) -> None:
+        self.last_line = -1
+        self.stride = 0
+        self.streak = 0
+        #: Line address where the next demand miss of a confirmed stream
+        #: is expected; -1 while unconfirmed.
+        self.expected = -1
+
+
+class StridePrefetcher:
+    """Constant-stride stream detector for one core.
+
+    Only detection lives here; the engine performs the actual L3 installs
+    so fill accounting stays in one place.
+    """
+
+    def __init__(self, config: PrefetchConfig):
+        self.config = config
+        self._streams: Dict[int, _Stream] = {}
+        #: Total prefetch batches issued (for introspection/tests).
+        self.issued_batches = 0
+
+    def observe_miss(self, line_addr: int, stream_id: int = 0) -> List[int]:
+        """Feed one demand L3 miss; return line addresses to stage."""
+        cfg = self.config
+        if not cfg.enabled or cfg.degree == 0:
+            return []
+        stream = self._streams.get(stream_id)
+        if stream is None:
+            if len(self._streams) >= cfg.n_streams:
+                # Evict an arbitrary tracker (bounded table, like hardware).
+                self._streams.pop(next(iter(self._streams)))
+            stream = _Stream()
+            self._streams[stream_id] = stream
+        degree = cfg.degree
+        if stream.expected == line_addr:
+            # Confirmed stream progressing as staged: fetch the next batch.
+            stride = stream.stride
+            stream.last_line = line_addr
+            stream.expected = line_addr + (degree + 1) * stride
+            self.issued_batches += 1
+            return [line_addr + stride * k for k in range(1, degree + 1)]
+        # Not the expected continuation: run plain stride detection. The
+        # first observed stride counts as a streak of 1, so a stream is
+        # confirmed on its ``detect_after``-th identical stride.
+        stride = line_addr - stream.last_line if stream.last_line >= 0 else 0
+        if stride == 0:
+            stream.streak = 0
+        elif stride == stream.stride:
+            stream.streak += 1
+        else:
+            stream.streak = 1
+        stream.stride = stride
+        stream.last_line = line_addr
+        if stride != 0 and stream.streak >= cfg.detect_after:
+            stream.expected = line_addr + (degree + 1) * stride
+            self.issued_batches += 1
+            return [line_addr + stride * k for k in range(1, degree + 1)]
+        stream.expected = -1
+        return []
+
+    def reset(self) -> None:
+        self._streams.clear()
+        self.issued_batches = 0

@@ -1,0 +1,181 @@
+"""Replacement policies for the reference cache model.
+
+The fast simulation path (``repro.engine.fastpath``) hard-codes LRU — the
+policy of the modelled Xeon — but the reference
+:class:`~repro.mem.cache.SetAssociativeCache` accepts any policy here,
+which the ablation benches use to quantify how much the paper's results
+depend on LRU specifically.
+
+A policy instance owns all per-set metadata; the cache calls
+:meth:`on_hit`, :meth:`on_fill` and :meth:`victim`.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List
+
+
+class ReplacementPolicy(ABC):
+    """Per-cache replacement state. ``n_sets``/``ways`` fix the shape."""
+
+    name: str = "abstract"
+
+    def __init__(self, n_sets: int, ways: int):
+        self.n_sets = n_sets
+        self.ways = ways
+
+    @abstractmethod
+    def on_hit(self, set_idx: int, way: int) -> None:
+        """An access hit ``way`` of ``set_idx``."""
+
+    @abstractmethod
+    def on_fill(self, set_idx: int, way: int) -> None:
+        """A new line was installed into ``way`` of ``set_idx``."""
+
+    @abstractmethod
+    def victim(self, set_idx: int) -> int:
+        """Choose the way to evict from a full set."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used: evict the way with the oldest last touch."""
+
+    name = "lru"
+
+    def __init__(self, n_sets: int, ways: int):
+        super().__init__(n_sets, ways)
+        # Recency stack per set: way indices, most recently used last.
+        self._stacks: List[List[int]] = [[] for _ in range(n_sets)]
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        stack = self._stacks[set_idx]
+        stack.remove(way)
+        stack.append(way)
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        stack = self._stacks[set_idx]
+        if way in stack:
+            stack.remove(way)
+        stack.append(way)
+
+    def victim(self, set_idx: int) -> int:
+        return self._stacks[set_idx][0]
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: evict the oldest *installed* line; hits do not
+    refresh a line's position."""
+
+    name = "fifo"
+
+    def __init__(self, n_sets: int, ways: int):
+        super().__init__(n_sets, ways)
+        self._queues: List[List[int]] = [[] for _ in range(n_sets)]
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        pass
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        queue = self._queues[set_idx]
+        if way in queue:
+            queue.remove(way)
+        queue.append(way)
+
+    def victim(self, set_idx: int) -> int:
+        return self._queues[set_idx][0]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random way. Deterministic under a seeded RNG."""
+
+    name = "random"
+
+    def __init__(self, n_sets: int, ways: int, seed: int = 0):
+        super().__init__(n_sets, ways)
+        self._rng = random.Random(seed)
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        pass
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        pass
+
+    def victim(self, set_idx: int) -> int:
+        return self._rng.randrange(self.ways)
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU over the next power of two of ``ways``.
+
+    The decision tree holds one bit per internal node; a touch flips the
+    bits along the path away from the touched way, and the victim walk
+    follows the bits. Ways beyond the true associativity are never
+    reported as victims (their leaves are remapped to ``way % ways``).
+    """
+
+    name = "plru"
+
+    def __init__(self, n_sets: int, ways: int):
+        super().__init__(n_sets, ways)
+        self._leaf_count = 1
+        while self._leaf_count < ways:
+            self._leaf_count *= 2
+        # One flat array of tree bits per set (leaf_count - 1 internal nodes).
+        self._bits: List[List[int]] = [
+            [0] * max(1, self._leaf_count - 1) for _ in range(n_sets)
+        ]
+
+    def _touch(self, set_idx: int, way: int) -> None:
+        bits = self._bits[set_idx]
+        node = 0
+        lo, hi = 0, self._leaf_count
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                bits[node] = 1  # point away: next victim search goes right
+                node = 2 * node + 1
+                hi = mid
+            else:
+                bits[node] = 0
+                node = 2 * node + 2
+                lo = mid
+        # fall off at a leaf
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        self._touch(set_idx, way)
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        self._touch(set_idx, way)
+
+    def victim(self, set_idx: int) -> int:
+        bits = self._bits[set_idx]
+        node = 0
+        lo, hi = 0, self._leaf_count
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if bits[node]:
+                node = 2 * node + 2
+                lo = mid
+            else:
+                node = 2 * node + 1
+                hi = mid
+        return lo % self.ways
+
+
+POLICIES = {
+    cls.name: cls for cls in (LRUPolicy, FIFOPolicy, RandomPolicy, TreePLRUPolicy)
+}
+
+
+def make_policy(name: str, n_sets: int, ways: int, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a policy by registry name (``lru``/``fifo``/``random``/
+    ``plru``)."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}") from None
+    if cls is RandomPolicy:
+        return cls(n_sets, ways, seed=seed)
+    return cls(n_sets, ways)

@@ -1,0 +1,53 @@
+"""Analytic models: Eq. 4 EHR, empirical baselines, degradation curves.
+
+Public surface:
+
+- :class:`EHRModel`, :func:`expected_hit_rate`,
+  :func:`predicted_miss_rate`, :func:`effective_capacity_lines`,
+  :func:`sum_f_squared`, :func:`check_assumptions`
+- :class:`PowerLawMissModel`, :func:`associativity_inflation`,
+  :func:`corrected_miss_rate`
+- :class:`DegradationCurve`, :class:`DegradationPoint`,
+  :class:`ResourceUseEstimate`, :class:`AlternativeMachinePrediction`,
+  :func:`combine_slowdowns`, :func:`curve_from_measurements`
+"""
+
+from .degradation import (
+    AlternativeMachinePrediction,
+    DegradationCurve,
+    DegradationPoint,
+    ResourceUseEstimate,
+    combine_slowdowns,
+    curve_from_measurements,
+)
+from .ehr import (
+    EHRModel,
+    check_assumptions,
+    effective_capacity_lines,
+    expected_hit_rate,
+    predicted_miss_rate,
+    sum_f_squared,
+)
+from .missrate import (
+    PowerLawMissModel,
+    associativity_inflation,
+    corrected_miss_rate,
+)
+
+__all__ = [
+    "EHRModel",
+    "expected_hit_rate",
+    "predicted_miss_rate",
+    "effective_capacity_lines",
+    "sum_f_squared",
+    "check_assumptions",
+    "PowerLawMissModel",
+    "associativity_inflation",
+    "corrected_miss_rate",
+    "DegradationCurve",
+    "DegradationPoint",
+    "ResourceUseEstimate",
+    "AlternativeMachinePrediction",
+    "combine_slowdowns",
+    "curve_from_measurements",
+]

@@ -1,0 +1,171 @@
+"""Resource-availability -> performance-degradation models.
+
+This is the *output* side of Active Measurement (paper Section IV and
+contribution 4): once an interference sweep has measured execution time
+at several resource-availability points, these models
+
+- interpolate the degradation curve,
+- extract the paper's resource-use bracketing ("the most interference
+  with no degradation" / "the least interference with degradation"), and
+- predict performance on an alternative machine that offers a given
+  amount of capacity and bandwidth per process, combining the two
+  resource dimensions multiplicatively (justified by the orthogonality
+  validation of Section III-D).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class DegradationPoint:
+    """One measured point of a sweep."""
+
+    #: Resource available to the application at this point (bytes of
+    #: shared cache, or bytes/s of memory bandwidth).
+    available: float
+    #: Measured execution time (ns) — any consistent unit works.
+    time_ns: float
+    #: How many interference threads produced this availability.
+    n_interference: int = 0
+
+
+@dataclass
+class DegradationCurve:
+    """Execution time as a function of resource availability.
+
+    Built from interference-sweep measurements; the paper's Figures 9
+    and 11 are exactly these curves. ``baseline`` is the no-interference
+    time.
+    """
+
+    resource: str
+    points: List[DegradationPoint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise MeasurementError("a degradation curve needs measurements")
+        self.points = sorted(self.points, key=lambda p: p.available)
+
+    @property
+    def baseline_time_ns(self) -> float:
+        """Time at the most generous availability measured."""
+        return self.points[-1].time_ns
+
+    def slowdown_at(self, available: float) -> float:
+        """Interpolated slowdown factor (>= ~1) when ``available`` of the
+        resource is provided. Clamps outside the measured range to the
+        nearest endpoint (extrapolation would be unsupported by data)."""
+        pts = self.points
+        base = self.baseline_time_ns
+        if base <= 0:
+            raise MeasurementError("baseline time must be positive")
+        xs = [p.available for p in pts]
+        if available <= xs[0]:
+            return pts[0].time_ns / base
+        if available >= xs[-1]:
+            return pts[-1].time_ns / base
+        i = bisect_left(xs, available)
+        lo, hi = pts[i - 1], pts[i]
+        frac = (available - lo.available) / (hi.available - lo.available)
+        t = lo.time_ns + frac * (hi.time_ns - lo.time_ns)
+        return t / base
+
+    def use_bounds(self, threshold: float = 0.05) -> Tuple[float, float]:
+        """The paper's bracketing of resource *use*.
+
+        Returns ``(lower, upper)``: the availability at the most-starved
+        point with **no** degradation beyond ``threshold`` (upper bound
+        on use: the app demonstrably needs no more than this) and the
+        availability at the least-starved point **with** degradation
+        (lower bound: taking it away hurts). When the application never
+        degrades, both bounds collapse to the smallest availability
+        tested; when it always degrades, to the largest.
+        """
+        base = self.baseline_time_ns
+        degraded = [p for p in self.points if p.time_ns / base > 1.0 + threshold]
+        clean = [p for p in self.points if p.time_ns / base <= 1.0 + threshold]
+        if not degraded:
+            low = self.points[0].available
+            return (low, low)
+        if not clean:
+            high = self.points[-1].available
+            return (high, high)
+        lower = max(p.available for p in degraded)
+        upper = min(p.available for p in clean)
+        if lower > upper:
+            # Non-monotone measurement noise: report the crossing region.
+            lower, upper = upper, lower
+        return (lower, upper)
+
+
+@dataclass(frozen=True)
+class ResourceUseEstimate:
+    """Per-process resource use derived from a sweep (paper Fig. 10/12)."""
+
+    resource: str
+    lower: float
+    upper: float
+    n_processes: int = 1
+
+    @property
+    def per_process(self) -> Tuple[float, float]:
+        return (self.lower / self.n_processes, self.upper / self.n_processes)
+
+
+def combine_slowdowns(capacity_slowdown: float, bandwidth_slowdown: float) -> float:
+    """Combine per-resource slowdowns into one prediction.
+
+    Orthogonality (Section III-D) lets the two dimensions be treated as
+    independent; the combined stall time composes multiplicatively on
+    the memory-bound fraction, which first-order reduces to the product
+    of the individual slowdowns. Both inputs must be >= 1 (clamped).
+    """
+    return max(1.0, capacity_slowdown) * max(1.0, bandwidth_slowdown)
+
+
+@dataclass
+class AlternativeMachinePrediction:
+    """Prediction of an application's slowdown on a hypothetical machine
+    (paper: 'predict performance for future memory-constrained
+    architectures')."""
+
+    capacity_curve: DegradationCurve
+    bandwidth_curve: Optional[DegradationCurve] = None
+
+    def predict(
+        self,
+        capacity_available: float,
+        bandwidth_available: Optional[float] = None,
+    ) -> float:
+        """Slowdown factor expected when the target machine provides the
+        given shared-cache capacity and memory bandwidth per socket."""
+        s_cap = self.capacity_curve.slowdown_at(capacity_available)
+        s_bw = 1.0
+        if self.bandwidth_curve is not None and bandwidth_available is not None:
+            s_bw = self.bandwidth_curve.slowdown_at(bandwidth_available)
+        return combine_slowdowns(s_cap, s_bw)
+
+
+def curve_from_measurements(
+    resource: str,
+    availabilities: Sequence[float],
+    times_ns: Sequence[float],
+    n_interference: Optional[Sequence[int]] = None,
+) -> DegradationCurve:
+    """Convenience constructor from parallel sequences."""
+    if len(availabilities) != len(times_ns):
+        raise MeasurementError("availabilities and times differ in length")
+    ks = list(n_interference) if n_interference is not None else [0] * len(times_ns)
+    if len(ks) != len(times_ns):
+        raise MeasurementError("n_interference length mismatch")
+    pts = [
+        DegradationPoint(available=a, time_ns=t, n_interference=k)
+        for a, t, k in zip(availabilities, times_ns, ks)
+    ]
+    return DegradationCurve(resource=resource, points=pts)

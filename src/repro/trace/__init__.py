@@ -1,0 +1,20 @@
+"""Trace capture and reuse-distance analysis.
+
+An *offline* companion to Active Measurement: where the paper's method
+infers capacity use from interference experiments, Mattson stack
+analysis computes the exact fully-associative miss-rate-vs-capacity
+curve from a recorded trace in one pass. The two instruments answer the
+same question from opposite directions, which is what the
+``model_vs_trace`` ablation exploits.
+"""
+
+from .recorder import RecordedTrace, record_trace
+from .stack_distance import COLD, ReuseProfile, reuse_distances
+
+__all__ = [
+    "COLD",
+    "ReuseProfile",
+    "reuse_distances",
+    "RecordedTrace",
+    "record_trace",
+]

@@ -1,0 +1,88 @@
+"""Recording access traces from workloads.
+
+A :class:`TraceRecorder` drains a workload's chunk generator into a flat
+line-address trace (optionally keeping per-chunk metadata), so any
+:class:`~repro.engine.thread.SimThread` can be fed to the reuse-distance
+analyses in :mod:`repro.trace.stack_distance` without running the full
+socket simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import SocketConfig
+from ..engine.thread import SimThread, ThreadContext
+from ..errors import SimulationError
+from ..mem.addrspace import AddressSpace
+
+
+@dataclass
+class RecordedTrace:
+    """A flat line-address trace plus bookkeeping."""
+
+    lines: np.ndarray
+    #: Parallel array: 1 where the access was a write.
+    writes: np.ndarray
+    thread_name: str = ""
+    chunk_lengths: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return int(self.lines.size)
+
+    @property
+    def write_fraction(self) -> float:
+        return float(self.writes.mean()) if len(self) else 0.0
+
+    def distinct_lines(self) -> int:
+        return int(np.unique(self.lines).size)
+
+
+def record_trace(
+    thread: SimThread,
+    n_accesses: int,
+    socket: SocketConfig,
+    seed: int = 0,
+    addrspace: Optional[AddressSpace] = None,
+    core_id: int = 0,
+) -> RecordedTrace:
+    """Start ``thread`` on a fresh context and capture its first
+    ``n_accesses`` accesses.
+
+    The thread is *not* simulated — no cache state, no timing — it is
+    simply asked to produce its program-order access stream, which is
+    well-defined because generators are deterministic under the seeded
+    per-thread RNG.
+    """
+    if n_accesses <= 0:
+        raise SimulationError("n_accesses must be positive")
+    ctx = ThreadContext(
+        socket=socket,
+        addrspace=addrspace if addrspace is not None else AddressSpace(
+            line_bytes=socket.line_bytes
+        ),
+        rng=np.random.default_rng((seed, core_id)),
+        core_id=core_id,
+    )
+    thread.start(ctx)
+    lines: List[int] = []
+    writes: List[int] = []
+    chunk_lengths: List[int] = []
+    for chunk in thread.chunks():
+        take = min(len(chunk.lines), n_accesses - len(lines))
+        lines.extend(chunk.lines[:take])
+        writes.extend([1 if chunk.is_write else 0] * take)
+        chunk_lengths.append(take)
+        if len(lines) >= n_accesses:
+            break
+    if not lines:
+        raise SimulationError(f"{thread.name} produced no accesses")
+    return RecordedTrace(
+        lines=np.asarray(lines, dtype=np.int64),
+        writes=np.asarray(writes, dtype=np.int8),
+        thread_name=thread.name,
+        chunk_lengths=chunk_lengths,
+    )

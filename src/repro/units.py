@@ -1,0 +1,69 @@
+"""Unit helpers shared across the library.
+
+All sizes are plain ``int`` bytes, all times are ``float`` nanoseconds and
+all rates are ``float`` bytes/second unless a name says otherwise. These
+helpers exist so that configuration code reads like the paper
+(``20 * MiB``, ``GBps(17)``) instead of raw powers of two.
+"""
+
+from __future__ import annotations
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+#: Nanoseconds per second; times inside the simulator are kept in ns.
+NS_PER_S: float = 1e9
+
+
+def GBps(x: float) -> float:
+    """Convert a bandwidth in gigabytes/second to bytes/second."""
+    return float(x) * 1e9
+
+
+def as_GBps(bytes_per_s: float) -> float:
+    """Convert bytes/second to gigabytes/second (for reporting)."""
+    return bytes_per_s / 1e9
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``fmt_bytes(20*MiB)``
+    -> ``'20.0MiB'``. Used by reports and figure axes."""
+    n = float(n)
+    for suffix, unit in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(n) >= unit:
+            return f"{n / unit:.4g}{suffix}"
+    return f"{n:.0f}B"
+
+
+def fmt_time_ns(ns: float) -> str:
+    """Render a duration in the largest natural unit."""
+    ns = float(ns)
+    if abs(ns) >= 1e9:
+        return f"{ns / 1e9:.4g}s"
+    if abs(ns) >= 1e6:
+        return f"{ns / 1e6:.4g}ms"
+    if abs(ns) >= 1e3:
+        return f"{ns / 1e3:.4g}us"
+    return f"{ns:.4g}ns"
+
+
+def parse_size(text: str) -> int:
+    """Parse ``'20MiB'``/``'64B'``/``'4 MB'`` into bytes.
+
+    Decimal suffixes (kB/MB/GB) are powers of ten; binary suffixes
+    (KiB/MiB/GiB) are powers of two, following IEC usage. A bare number is
+    bytes.
+    """
+    s = text.strip().replace(" ", "")
+    units = {
+        "B": 1,
+        "KB": 1000, "MB": 1000**2, "GB": 1000**3,
+        "KIB": KiB, "MIB": MiB, "GIB": GiB,
+    }
+    upper = s.upper()
+    for suffix in sorted(units, key=len, reverse=True):
+        if upper.endswith(suffix):
+            num = upper[: -len(suffix)]
+            return int(float(num) * units[suffix])
+    return int(float(s))

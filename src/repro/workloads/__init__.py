@@ -1,0 +1,48 @@
+"""Workload library: interference threads, probes and synthetic benchmarks.
+
+Public surface:
+
+- :class:`BWThr` — bandwidth interference thread (paper Fig. 2)
+- :class:`CSThr` — cache-storage interference thread (paper Fig. 3)
+- :class:`ProbabilisticBenchmark` — the Fig. 4 validation benchmark
+- Table II distributions (:func:`table_ii_distributions` and classes)
+- :class:`StreamTriad` — STREAM-style bandwidth calibration
+- :class:`PointerChase` — dependent-load latency probe
+- :class:`BubbleProbe` — the one-knob Bubble-Up comparison probe (ref [14])
+"""
+
+from .bubble import BubbleProbe
+from .bwthr import BWThr, DEFAULT_OVERHEAD_OPS as BWTHR_DEFAULT_OPS, LINE_STRIDE
+from .csthr import CSThr
+from .hotcold import HotColdProbe
+from .distributions import (
+    ExponentialDist,
+    IndexDistribution,
+    NormalDist,
+    TriangularDist,
+    UniformDist,
+    ZipfDist,
+    table_ii_distributions,
+)
+from .pointer_chase import PointerChase
+from .stream import StreamTriad
+from .synthetic import ProbabilisticBenchmark
+
+__all__ = [
+    "BubbleProbe",
+    "BWThr",
+    "BWTHR_DEFAULT_OPS",
+    "LINE_STRIDE",
+    "CSThr",
+    "HotColdProbe",
+    "ProbabilisticBenchmark",
+    "IndexDistribution",
+    "NormalDist",
+    "ExponentialDist",
+    "TriangularDist",
+    "UniformDist",
+    "ZipfDist",
+    "table_ii_distributions",
+    "StreamTriad",
+    "PointerChase",
+]

@@ -1,0 +1,252 @@
+"""Index distributions of Table II.
+
+Each distribution describes how the paper's probabilistic benchmark
+(Fig. 4) draws buffer indices: ``X()`` has a probability distribution
+``f`` over the ``n`` buffer elements. The ten named instances of
+Table II — Norm_4/6/8, Exp_4/6/8, Tri_1/2/3 and Uni — are available via
+:func:`table_ii_distributions`.
+
+Two capabilities are required of each distribution:
+
+- :meth:`IndexDistribution.sample` — draw element indices (for the
+  simulated benchmark), and
+- :meth:`IndexDistribution.cdf` — the continuous CDF over ``[0, n]``
+  (for the analytic EHR model of Eqs. 2–4, evaluated per cache line).
+
+Sampling is rejection-based truncation to ``[0, n)``, and the CDF is the
+matching truncated CDF, so model and benchmark see exactly the same
+``f`` — the property the paper's validation depends on.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+class IndexDistribution(ABC):
+    """A distribution over the fractional position ``u in [0, 1)`` of an
+    index in an ``n``-element buffer.
+
+    All parameters in Table II scale with the buffer size ``n``, so the
+    distribution is defined over the unit interval and stretched to the
+    buffer at use time.
+    """
+
+    #: Table II pattern name, e.g. ``"Norm_4"``.
+    name: str = "abstract"
+
+    @abstractmethod
+    def cdf01(self, u: float) -> float:
+        """*Untruncated* CDF of the underlying distribution at ``u``
+        (u in unit-buffer coordinates; may have mass outside [0,1))."""
+
+    @abstractmethod
+    def _raw_sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Raw draws in unit coordinates, possibly outside [0, 1)."""
+
+    # -- derived ---------------------------------------------------------------
+
+    def truncated_cdf(self, u: float) -> float:
+        """CDF renormalised to the [0,1) support actually addressable."""
+        lo, hi = self.cdf01(0.0), self.cdf01(1.0)
+        z = hi - lo
+        if z <= 0:
+            raise ModelError(f"{self.name}: no mass on the buffer support")
+        u = min(max(u, 0.0), 1.0)
+        return (self.cdf01(u) - lo) / z
+
+    def sample(self, rng: np.random.Generator, size: int, n: int) -> np.ndarray:
+        """Draw ``size`` integer indices in ``[0, n)``."""
+        if n <= 0:
+            raise ModelError("buffer must have at least one element")
+        out = np.empty(size, dtype=np.int64)
+        filled = 0
+        # Rejection: Table II's parameters keep accept rates >= ~95%.
+        while filled < size:
+            want = size - filled
+            draws = self._raw_sample(rng, int(want * 1.25) + 8)
+            ok = draws[(draws >= 0.0) & (draws < 1.0)]
+            take = min(len(ok), want)
+            out[filled : filled + take] = (ok[:take] * n).astype(np.int64)
+            filled += take
+        # Guard against float rounding u*n == n.
+        np.clip(out, 0, n - 1, out=out)
+        return out
+
+    def line_pmf(self, n_elems: int, elems_per_line: int) -> np.ndarray:
+        """Probability that one access lands in each cache line of the
+        buffer: the per-line mass function the EHR model (Eq. 4) sums.
+
+        Line ``L`` covers elements ``[L*e, (L+1)*e)``; its mass is the
+        truncated CDF difference across that span.
+        """
+        if n_elems <= 0 or elems_per_line <= 0:
+            raise ModelError("line_pmf needs positive sizes")
+        n_lines = (n_elems + elems_per_line - 1) // elems_per_line
+        bounds = np.minimum(
+            np.arange(n_lines + 1, dtype=np.float64) * elems_per_line, n_elems
+        )
+        cdf_vals = np.array([self.truncated_cdf(b / n_elems) for b in bounds])
+        pmf = np.diff(cdf_vals)
+        # Numerical guard: renormalise tiny drift.
+        total = pmf.sum()
+        if not 0.99 < total < 1.01:
+            raise ModelError(f"{self.name}: line pmf sums to {total}")
+        return pmf / total
+
+    def std(self) -> float:
+        """Standard deviation in unit-buffer coordinates, estimated from
+        the truncated distribution (Table II's 'Standard Deviation'
+        column, divided by n). Computed numerically on a fine grid."""
+        grid = np.linspace(0.0, 1.0, 4097)
+        cdf = np.array([self.truncated_cdf(u) for u in grid])
+        pmf = np.diff(cdf)
+        mids = (grid[:-1] + grid[1:]) / 2
+        mean = float((pmf * mids).sum())
+        var = float((pmf * (mids - mean) ** 2).sum())
+        return math.sqrt(max(var, 0.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+@dataclass(frozen=True)
+class NormalDist(IndexDistribution):
+    """Normal with mu = n/2, sigma = n/k (Table II Norm_k)."""
+
+    k: float
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ModelError("Normal k must be positive")
+        object.__setattr__(self, "name", f"Norm_{self.k:g}")
+
+    def cdf01(self, u: float) -> float:
+        z = (u - 0.5) * self.k
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+    def _raw_sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.normal(0.5, 1.0 / self.k, size)
+
+
+@dataclass(frozen=True)
+class ExponentialDist(IndexDistribution):
+    """Exponential with rate lambda = k/n (Table II Exp_k)."""
+
+    k: float
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ModelError("Exponential k must be positive")
+        object.__setattr__(self, "name", f"Exp_{self.k:g}")
+
+    def cdf01(self, u: float) -> float:
+        if u <= 0:
+            return 0.0
+        return 1.0 - math.exp(-self.k * u)
+
+    def _raw_sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(1.0 / self.k, size)
+
+
+@dataclass(frozen=True)
+class TriangularDist(IndexDistribution):
+    """Triangular over [0, n] with mode b = mode_frac * n (Table II Tri)."""
+
+    mode_frac: float
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mode_frac <= 1.0:
+            raise ModelError("Triangular mode must lie in [0, 1]")
+        label = f"Tri_{self.index}" if self.index else f"Tri_b{self.mode_frac:g}"
+        object.__setattr__(self, "name", label)
+
+    def cdf01(self, u: float) -> float:
+        b = self.mode_frac
+        if u <= 0:
+            return 0.0
+        if u >= 1:
+            return 1.0
+        if u < b:
+            return u * u / b
+        return 1.0 - (1.0 - u) ** 2 / (1.0 - b)
+
+    def _raw_sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.triangular(0.0, self.mode_frac, 1.0, size)
+
+
+@dataclass(frozen=True)
+class UniformDist(IndexDistribution):
+    """Uniform over the whole buffer (Table II Uni)."""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", "Uni")
+
+    def cdf01(self, u: float) -> float:
+        return min(max(u, 0.0), 1.0)
+
+    def _raw_sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.random(size)
+
+
+@dataclass(frozen=True)
+class ZipfDist(IndexDistribution):
+    """Zipf-like power law over buffer positions (not in Table II; the
+    canonical skewed pattern for key-value and graph workloads, provided
+    for studies beyond the paper's grid).
+
+    ``f(u) ~ (u + q)^-alpha`` over unit positions, with a small offset
+    ``q`` keeping the head finite. ``alpha=0`` degenerates to uniform.
+    """
+
+    alpha: float = 1.0
+    q: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.q <= 0:
+            raise ModelError("Zipf needs alpha >= 0 and q > 0")
+        object.__setattr__(self, "name", f"Zipf_{self.alpha:g}")
+
+    def cdf01(self, u: float) -> float:
+        # Integral of (x+q)^-alpha from 0 to u (unnormalised; truncation
+        # renormalises).
+        a, q = self.alpha, self.q
+        if u <= 0:
+            return 0.0
+        if abs(a - 1.0) < 1e-9:
+            return math.log((u + q) / q)
+        return ((u + q) ** (1 - a) - q ** (1 - a)) / (1 - a)
+
+    def _raw_sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        # Inverse-CDF sampling of the truncated distribution.
+        a, q = self.alpha, self.q
+        lo, hi = self.cdf01(0.0), self.cdf01(1.0)
+        y = lo + rng.random(size) * (hi - lo)
+        if abs(a - 1.0) < 1e-9:
+            return q * np.exp(y) - q
+        return (y * (1 - a) + q ** (1 - a)) ** (1.0 / (1 - a)) - q
+
+
+def table_ii_distributions() -> Dict[str, IndexDistribution]:
+    """The ten memory-access patterns of Table II, keyed by pattern name."""
+    dists: List[IndexDistribution] = [
+        NormalDist(4),
+        NormalDist(6),
+        NormalDist(8),
+        ExponentialDist(4),
+        ExponentialDist(6),
+        ExponentialDist(8),
+        TriangularDist(0.4, index=1),
+        TriangularDist(0.6, index=2),
+        TriangularDist(0.8, index=3),
+        UniformDist(),
+    ]
+    return {d.name: d for d in dists}

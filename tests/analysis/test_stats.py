@@ -1,0 +1,68 @@
+"""Statistics helpers."""
+
+import pytest
+
+from repro.analysis import (
+    Band,
+    band,
+    bootstrap_ci,
+    geometric_mean,
+    relative_change,
+    slowdown,
+)
+
+
+class TestBand:
+    def test_mean_and_std(self):
+        b = band([1.0, 2.0, 3.0])
+        assert b.mean == pytest.approx(2.0)
+        assert b.std == pytest.approx((2 / 3) ** 0.5)
+        assert b.n == 3
+        assert b.lo == pytest.approx(b.mean - b.std)
+        assert b.hi == pytest.approx(b.mean + b.std)
+
+    def test_single_value(self):
+        b = band([5.0])
+        assert b.mean == 5.0 and b.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            band([])
+
+    def test_str(self):
+        assert "n=2" in str(band([1.0, 2.0]))
+
+
+class TestRatios:
+    def test_relative_change(self):
+        assert relative_change(120.0, 100.0) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            relative_change(1.0, 0.0)
+
+    def test_slowdown(self):
+        assert slowdown(150.0, 100.0) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            slowdown(1.0, -1.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestBootstrap:
+    def test_ci_contains_mean_for_clean_data(self):
+        data = [10.0, 11.0, 9.0, 10.5, 9.5] * 10
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo <= 10.0 <= hi
+        assert hi - lo < 1.0
+
+    def test_deterministic_under_seed(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(data, seed=7) == bootstrap_ci(data, seed=7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])

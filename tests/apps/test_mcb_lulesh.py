@@ -1,0 +1,124 @@
+"""MCB and Lulesh proxies: structure matches the paper's characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.apps import LuleshProxy, MCBProxy
+from repro.cluster import Distance, ProcessMapping
+from repro.config import xeon20mb, xeon20mb_cluster
+from repro.engine import SocketSimulator, ThreadContext
+from repro.errors import ConfigError
+from repro.mem import AddressSpace
+from repro.units import MiB
+
+
+@pytest.fixture
+def cluster():
+    return xeon20mb_cluster(n_nodes=32)
+
+
+def ctx_for(socket, seed=0):
+    return ThreadContext(
+        socket=socket,
+        addrspace=AddressSpace(line_bytes=socket.line_bytes),
+        rng=np.random.default_rng(seed),
+        core_id=0,
+    )
+
+
+class TestMCBStructure:
+    def test_hot_working_set_in_paper_bracket(self):
+        """Fig. 10: MCB uses ~4-7 MB per process; tally + xs must land
+        inside that bracket."""
+        mcb = MCBProxy(n_particles=20_000)
+        tally_xs = sum(
+            s.paper_bytes for s in mcb.buffer_specs() if s.label in ("tally", "xs")
+        )
+        assert 4 * MiB <= tally_xs <= 7 * MiB
+
+    def test_fixed_structures_census_independent(self):
+        small = {s.label: s.paper_bytes for s in MCBProxy(n_particles=20_000).buffer_specs()}
+        large = {s.label: s.paper_bytes for s in MCBProxy(n_particles=260_000).buffer_specs()}
+        assert small["tally"] == large["tally"]
+        assert small["xs"] == large["xs"]
+        assert large["particles"] > small["particles"]
+
+    def test_comm_saturates_at_90k(self, cluster):
+        """Fig. 9 bottom-right: communication stops growing past ~90k."""
+        mapping = ProcessMapping(cluster, n_ranks=24, procs_per_socket=1)
+        def total_comm(n):
+            m = MCBProxy(n_particles=n, mapping=mapping)
+            return sum(m.comm_bytes_by_distance().values())
+        assert total_comm(40_000) > total_comm(20_000)
+        assert total_comm(260_000) == total_comm(90_000)
+
+    def test_remote_fraction_depends_on_mapping(self, cluster):
+        def remote_share(p):
+            mapping = ProcessMapping(cluster, n_ranks=24, procs_per_socket=p)
+            comm = MCBProxy(n_particles=20_000, mapping=mapping).comm_bytes_by_distance()
+            total = sum(comm.values())
+            return comm.get(Distance.REMOTE, 0) / total
+        assert remote_share(1) == pytest.approx(1.0)
+        assert remote_share(4) == pytest.approx(0.25, abs=0.02)
+
+    def test_no_mapping_means_no_comm(self):
+        assert MCBProxy(n_particles=20_000).comm_bytes_by_distance() == {}
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MCBProxy(n_particles=0)
+        with pytest.raises(ConfigError):
+            MCBProxy(n_particles=10, n_ranks=24)
+
+
+class TestLuleshStructure:
+    def test_working_set_calibration(self):
+        """Fig. 11/12 brackets: 22^3 -> ~3.5 MB; 36^3 -> >15 MB."""
+        ws22 = LuleshProxy(edge=22).working_set_paper_bytes()
+        ws36 = LuleshProxy(edge=36).working_set_paper_bytes()
+        assert 3 * MiB <= ws22 <= 7 * MiB
+        assert ws36 >= 15 * MiB
+
+    def test_comm_scales_with_face_area(self, cluster):
+        mapping = ProcessMapping(cluster, n_ranks=64, procs_per_socket=1)
+        def total_comm(edge):
+            l = LuleshProxy(edge=edge, mapping=mapping)
+            return sum(l.comm_bytes_by_distance().values())
+        ratio = total_comm(36) / total_comm(22)
+        assert ratio == pytest.approx((37 / 23) ** 2, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LuleshProxy(edge=2)
+
+    def test_describe_mentions_working_set(self):
+        assert "MB/rank" in LuleshProxy(edge=22).describe()
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_mcb_runs_on_socket(self, xeon):
+        sim = SocketSimulator(xeon, seed=1)
+        core = sim.add_thread(MCBProxy(n_particles=20_000, n_iterations=1), main=True)
+        r = sim.run_to_completion()
+        assert r.makespan_ns > 0
+        assert r.counters_of(core).accesses > 1000
+
+    def test_lulesh_overflows_under_storage_interference(self, xeon):
+        """Fig. 11: 36^3 (15.3 MB) fits the 20 MB L3 alone but 'overflows
+        the L3 with any amount of storage interference', while 22^3
+        (3.5 MB) shrugs off 3 CSThrs (7 MB still available)."""
+        from repro.workloads import CSThr
+
+        def slowdown(edge):
+            times = []
+            for k in (0, 3):
+                sim = SocketSimulator(xeon, seed=2)
+                sim.add_thread(LuleshProxy(edge=edge, n_iterations=3), main=True)
+                for i in range(k):
+                    sim.add_thread(CSThr(name=f"CS{i}"))
+                times.append(sim.run_to_completion().makespan_ns)
+            return times[1] / times[0]
+
+        assert slowdown(22) < 1.03
+        assert slowdown(36) > 1.06

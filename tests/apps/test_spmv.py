@@ -1,0 +1,52 @@
+"""SpMV/CG proxy."""
+
+import pytest
+
+from repro.apps import SpMVProxy
+from repro.cluster import Distance, ProcessMapping
+from repro.config import xeon20mb_cluster
+from repro.engine import SocketSimulator
+from repro.errors import ConfigError
+from repro.units import MiB
+
+
+class TestStructure:
+    def test_matrix_dominates_working_set(self):
+        app = SpMVProxy(rows=100_000, nnz_per_row=27)
+        specs = {s.label: s.paper_bytes for s in app.buffer_specs()}
+        assert specs["matrix"] > 10 * specs["vectors"]
+        assert app.working_set_paper_bytes() > 30 * MiB  # L3-hopeless
+
+    def test_comm_scales_with_rows(self):
+        cluster = xeon20mb_cluster(n_nodes=8)
+        mapping = ProcessMapping(cluster, n_ranks=16, procs_per_socket=2)
+        small = sum(SpMVProxy(rows=50_000, mapping=mapping).comm_bytes_by_distance().values())
+        large = sum(SpMVProxy(rows=200_000, mapping=mapping).comm_bytes_by_distance().values())
+        assert large == pytest.approx(4 * small, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SpMVProxy(rows=0)
+        with pytest.raises(ConfigError):
+            SpMVProxy(nnz_per_row=-1)
+
+
+@pytest.mark.slow
+class TestBehaviour:
+    def test_spmv_is_bandwidth_bound(self, xeon):
+        """The CG rank must be far more sensitive to bandwidth than to
+        storage interference — the opposite signature from MCB."""
+        from repro.workloads import BWThr, CSThr
+
+        def run(intf):
+            sim = SocketSimulator(xeon, seed=4)
+            sim.add_thread(SpMVProxy(rows=150_000, n_iterations=2), main=True)
+            for t in intf:
+                sim.add_thread(t)
+            return sim.run_to_completion().makespan_ns
+
+        base = run([])
+        with_cs = run([CSThr(name=f"C{i}") for i in range(2)])
+        with_bw = run([BWThr(name=f"B{i}") for i in range(2)])
+        assert with_bw / base > 1.03
+        assert with_bw > with_cs

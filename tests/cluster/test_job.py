@@ -1,0 +1,87 @@
+"""ClusterJob: representative-socket simulation + amplification."""
+
+import pytest
+
+from repro.apps import MCBProxy
+from repro.cluster import ClusterJob, NoiseModel, ProcessMapping, run_job
+from repro.config import xeon20mb_cluster
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def cluster():
+    return xeon20mb_cluster(n_nodes=12)
+
+
+def mcb_factory(mapping, particles=20_000, iters=1):
+    def build(rank, env):
+        return MCBProxy(
+            n_particles=particles,
+            n_ranks=mapping.n_ranks,
+            rank=rank,
+            mapping=mapping,
+            comm_env=env,
+            n_iterations=iters,
+        )
+
+    return build
+
+
+class TestValidation:
+    def test_interference_must_fit_free_cores(self, cluster):
+        mapping = ProcessMapping(cluster, n_ranks=24, procs_per_socket=6)
+        with pytest.raises(ConfigError, match="do not fit"):
+            ClusterJob(cluster, mapping, mcb_factory(mapping),
+                       interference_kind="cs", n_interference=3)
+
+    def test_kind_required_with_threads(self, cluster):
+        mapping = ProcessMapping(cluster, n_ranks=24, procs_per_socket=1)
+        with pytest.raises(ConfigError, match="without a kind"):
+            ClusterJob(cluster, mapping, mcb_factory(mapping), n_interference=2)
+
+    def test_unknown_kind_rejected(self, cluster):
+        mapping = ProcessMapping(cluster, n_ranks=24, procs_per_socket=1)
+        with pytest.raises(ConfigError, match="unknown interference"):
+            ClusterJob(cluster, mapping, mcb_factory(mapping),
+                       interference_kind="zap", n_interference=1)
+
+
+class TestExecution:
+    def test_job_produces_times_and_rank_map(self, cluster):
+        mapping = ProcessMapping(cluster, n_ranks=24, procs_per_socket=2)
+        res = run_job(cluster, mapping, mcb_factory(mapping), seed=3)
+        assert res.time_ns > 0
+        assert res.time_ns >= res.socket_makespan_ns  # amplification >= 1
+        assert set(res.rank_finish_ns) == {0, 1}
+        assert res.amplification >= 1.0
+        assert "24 ranks" in res.mapping_desc
+
+    def test_noise_off_means_no_amplification(self, cluster):
+        mapping = ProcessMapping(cluster, n_ranks=24, procs_per_socket=1)
+        res = run_job(
+            cluster, mapping, mcb_factory(mapping),
+            noise=NoiseModel(sigma=0.0), seed=3,
+        )
+        assert res.amplification == pytest.approx(1.0)
+        assert res.time_ns == pytest.approx(res.socket_makespan_ns)
+
+    def test_interference_slows_job(self, cluster):
+        mapping = ProcessMapping(cluster, n_ranks=24, procs_per_socket=1)
+        base = run_job(cluster, mapping, mcb_factory(mapping),
+                       noise=NoiseModel(0.0), seed=3)
+        loaded = run_job(cluster, mapping, mcb_factory(mapping),
+                         interference_kind="cs", n_interference=5,
+                         noise=NoiseModel(0.0), seed=3)
+        assert loaded.time_ns > base.time_ns
+
+    def test_deterministic_under_seed(self, cluster):
+        mapping = ProcessMapping(cluster, n_ranks=24, procs_per_socket=2)
+        a = run_job(cluster, mapping, mcb_factory(mapping), seed=9)
+        b = run_job(cluster, mapping, mcb_factory(mapping), seed=9)
+        assert a.time_ns == b.time_ns
+
+    def test_multi_rank_socket_observes_jitter(self, cluster):
+        mapping = ProcessMapping(cluster, n_ranks=24, procs_per_socket=4)
+        res = run_job(cluster, mapping, mcb_factory(mapping), seed=5)
+        assert res.observed_cv >= 0.0
+        assert len(res.rank_finish_ns) == 4

@@ -1,0 +1,82 @@
+"""Process-to-hardware mappings (Section IV's p processes/processor)."""
+
+import pytest
+
+from repro.cluster import Distance, ProcessMapping
+from repro.config import xeon20mb_cluster
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def cluster():
+    return xeon20mb_cluster(n_nodes=12)
+
+
+class TestGeometry:
+    def test_paper_mcb_mappings(self, cluster):
+        """MCB: 24 ranks, p processes/socket -> 24/(2p) nodes."""
+        for p, nodes in [(1, 12), (2, 6), (3, 4), (4, 3), (6, 2)]:
+            m = ProcessMapping(cluster, n_ranks=24, procs_per_socket=p)
+            assert m.nodes_used == nodes
+            assert m.free_cores_per_socket == 8 - p
+
+    def test_ranks_on_socket_blocks(self, cluster):
+        m = ProcessMapping(cluster, n_ranks=24, procs_per_socket=4)
+        assert list(m.ranks_on_socket(0)) == [0, 1, 2, 3]
+        assert list(m.ranks_on_socket(2)) == [8, 9, 10, 11]
+
+    def test_socket_and_node_of(self, cluster):
+        m = ProcessMapping(cluster, n_ranks=24, procs_per_socket=2)
+        assert m.socket_of(0) == 0 and m.socket_of(3) == 1
+        assert m.node_of(3) == 0 and m.node_of(4) == 1
+
+
+class TestDistances:
+    def test_distance_classes(self, cluster):
+        m = ProcessMapping(cluster, n_ranks=24, procs_per_socket=2)
+        assert m.distance(0, 0) == Distance.SELF
+        assert m.distance(0, 1) == Distance.SOCKET
+        assert m.distance(0, 2) == Distance.NODE
+        assert m.distance(0, 4) == Distance.REMOTE
+
+    def test_remote_fraction_ring(self, cluster):
+        """Block placement: 1/p of ring messages leave the socket."""
+        for p in (1, 2, 4):
+            m = ProcessMapping(cluster, n_ranks=24, procs_per_socket=p)
+            assert m.remote_fraction_ring() == pytest.approx(1.0 / p)
+
+    def test_single_socket_job_has_no_remote(self, cluster):
+        m = ProcessMapping(cluster, n_ranks=4, procs_per_socket=4)
+        assert m.remote_fraction_ring() == 0.0
+
+    def test_neighbor_profile(self, cluster):
+        m = ProcessMapping(cluster, n_ranks=24, procs_per_socket=2)
+        profile = m.neighbor_distance_profile(1, [0, 2, 5])
+        assert profile[Distance.SOCKET] == 1
+        assert profile[Distance.NODE] == 1
+        assert profile[Distance.REMOTE] == 1
+
+
+class TestValidation:
+    def test_uneven_fill_rejected(self, cluster):
+        with pytest.raises(ConfigError, match="evenly"):
+            ProcessMapping(cluster, n_ranks=24, procs_per_socket=5)
+
+    def test_too_many_per_socket_rejected(self, cluster):
+        with pytest.raises(ConfigError):
+            ProcessMapping(cluster, n_ranks=18, procs_per_socket=9)
+
+    def test_cluster_too_small_rejected(self, cluster):
+        with pytest.raises(ConfigError, match="sockets"):
+            ProcessMapping(cluster, n_ranks=1000, procs_per_socket=1)
+
+    def test_rank_range_checked(self, cluster):
+        m = ProcessMapping(cluster, n_ranks=24, procs_per_socket=2)
+        with pytest.raises(ConfigError):
+            m.distance(0, 24)
+        with pytest.raises(ConfigError):
+            m.ranks_on_socket(99)
+
+    def test_describe(self, cluster):
+        m = ProcessMapping(cluster, n_ranks=24, procs_per_socket=2)
+        assert "24 ranks" in m.describe()

@@ -1,0 +1,103 @@
+"""Communication cost model and OS-noise amplification."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import CommModel, Distance, NoiseModel
+from repro.config import NetworkConfig
+from repro.errors import CommError, ConfigError
+
+
+@pytest.fixture
+def comm():
+    return CommModel.for_network(NetworkConfig())
+
+
+class TestCommModel:
+    def test_distance_ordering(self, comm):
+        n = 64 * 1024
+        t_sock = comm.p2p_ns(n, Distance.SOCKET)
+        t_node = comm.p2p_ns(n, Distance.NODE)
+        t_rem = comm.p2p_ns(n, Distance.REMOTE)
+        assert t_sock < t_node < t_rem
+
+    def test_self_messages_are_free(self, comm):
+        assert comm.p2p_ns(1000, Distance.SELF) == 0.0
+
+    def test_exchange_is_max_over_classes(self, comm):
+        by_dist = {Distance.SOCKET: 10_000, Distance.REMOTE: 10_000}
+        assert comm.exchange_ns(by_dist) == comm.p2p_ns(10_000, Distance.REMOTE)
+
+    def test_exchange_skips_zero_volumes(self, comm):
+        assert comm.exchange_ns({Distance.REMOTE: 0}) == 0.0
+
+    def test_allreduce_log_steps(self, comm):
+        one = comm.p2p_ns(8, Distance.REMOTE)
+        assert comm.allreduce_ns(8, 64) == pytest.approx(2 * 6 * one)
+        assert comm.allreduce_ns(8, 1) == 0.0
+
+    def test_barrier_is_zero_byte_allreduce(self, comm):
+        assert comm.barrier_ns(16) == comm.allreduce_ns(0, 16)
+
+    def test_negative_size_rejected(self, comm):
+        with pytest.raises(CommError):
+            comm.p2p_ns(-1, Distance.REMOTE)
+
+    def test_missing_distance_rejected(self):
+        empty = CommModel(costs={})
+        with pytest.raises(CommError):
+            empty.p2p_ns(10, Distance.REMOTE)
+
+
+class TestNoiseModel:
+    def test_sample_mean_is_one(self):
+        noise = NoiseModel(sigma=0.05)
+        rng = np.random.default_rng(0)
+        factors = noise.sample_factor(rng, size=200_000)
+        assert factors.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_sigma_zero_is_identity(self):
+        noise = NoiseModel(sigma=0.0)
+        rng = np.random.default_rng(0)
+        assert noise.sample_factor(rng) == 1.0
+        assert noise.expected_max_factor(4096) == 1.0
+        assert noise.amplify(100.0, 4096) == 100.0
+
+    def test_amplification_grows_with_scale(self):
+        noise = NoiseModel(sigma=0.02)
+        f = [noise.expected_max_factor(n) for n in (1, 24, 64, 4096)]
+        assert f[0] == 1.0
+        assert f[1] < f[2] < f[3]
+
+    def test_amplification_matches_gumbel_formula(self):
+        noise = NoiseModel(sigma=0.02)
+        n = 64
+        expected = math.exp(0.02 * math.sqrt(2 * math.log(n)) - 0.5 * 0.02**2)
+        assert noise.expected_max_factor(n) == pytest.approx(expected)
+
+    def test_empirical_max_close_to_model(self):
+        """The Gumbel approximation should track the empirical maximum of
+        n lognormal factors within a few percent."""
+        noise = NoiseModel(sigma=0.03)
+        rng = np.random.default_rng(1)
+        n = 64
+        maxima = noise.sample_factor(rng, size=(3000, n)).max(axis=1)
+        assert noise.expected_max_factor(n) == pytest.approx(
+            float(maxima.mean()), rel=0.03
+        )
+
+    def test_extra_cv_amplifies_more(self):
+        noise = NoiseModel(sigma=0.01)
+        base = noise.amplify(100.0, 64)
+        jittery = noise.amplify(100.0, 64, extra_cv=0.1)
+        assert jittery > base
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NoiseModel(sigma=-0.1)
+        with pytest.raises(ConfigError):
+            NoiseModel().expected_max_factor(0)
+        with pytest.raises(ConfigError):
+            NoiseModel().amplify(-1.0, 4)

@@ -1,0 +1,80 @@
+"""CacheGeometry: derived quantities, validation, scaling."""
+
+import pytest
+
+from repro.config import CacheGeometry
+from repro.errors import ConfigError
+from repro.units import KiB, MiB
+
+
+class TestDerivedQuantities:
+    def test_paper_l3_geometry(self):
+        l3 = CacheGeometry(20 * MiB, 64, 20, name="L3")
+        assert l3.n_lines == 327_680
+        assert l3.n_sets == 16_384
+        assert l3.set_mask == 16_383
+        assert l3.line_shift == 6
+
+    def test_paper_l1_geometry(self):
+        l1 = CacheGeometry(32 * KiB, 64, 8)
+        assert l1.n_lines == 512
+        assert l1.n_sets == 64
+
+    def test_direct_mapped(self):
+        c = CacheGeometry(4 * KiB, 64, 1)
+        assert c.n_sets == c.n_lines == 64
+
+    def test_fully_associative(self):
+        c = CacheGeometry(4 * KiB, 64, 64)
+        assert c.n_sets == 1
+        assert c.set_mask == 0
+
+    def test_describe_mentions_ways_and_size(self):
+        text = CacheGeometry(20 * MiB, 64, 20, name="L3").describe()
+        assert "L3" in text and "20-way" in text and "20MiB" in text
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError, match="power of two"):
+            CacheGeometry(4 * KiB, 48, 4)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(0, 64, 4)
+
+    def test_rejects_negative_ways(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(4 * KiB, 64, -1)
+
+    def test_rejects_indivisible_capacity(self):
+        with pytest.raises(ConfigError, match="not divisible"):
+            CacheGeometry(4 * KiB + 64, 64, 4)
+
+    def test_rejects_non_pow2_set_count(self):
+        # 3 ways x 64B = 192; 4KiB/192 is not an integer -> indivisible;
+        # use 12 KiB / 3 ways -> 64 sets (ok); 20 MiB / 20 ways -> 16384
+        # sets (ok); build a non-pow2 set count explicitly:
+        with pytest.raises(ConfigError, match="not a power"):
+            CacheGeometry(12 * KiB, 64, 4)  # 48 sets
+
+
+class TestScaling:
+    def test_scaled_divides_capacity_keeps_shape(self):
+        l3 = CacheGeometry(20 * MiB, 64, 20, name="L3")
+        s = l3.scaled(16)
+        assert s.capacity_bytes == 20 * MiB // 16
+        assert s.ways == 20
+        assert s.line_bytes == 64
+        assert s.n_sets == l3.n_sets // 16
+
+    def test_scaled_rejects_bad_scale(self):
+        l3 = CacheGeometry(20 * MiB, 64, 20)
+        with pytest.raises(ConfigError):
+            l3.scaled(0)
+        with pytest.raises(ConfigError):
+            l3.scaled(3000000)  # not a divisor
+
+    def test_scale_one_is_identity(self):
+        l3 = CacheGeometry(20 * MiB, 64, 20)
+        assert l3.scaled(1) == l3

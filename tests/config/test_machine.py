@@ -1,0 +1,123 @@
+"""TimingConfig / SocketConfig / NodeConfig / ClusterConfig validation."""
+
+import pytest
+
+from repro.config import (
+    CacheGeometry,
+    ClusterConfig,
+    NetworkConfig,
+    NodeConfig,
+    PrefetchConfig,
+    SocketConfig,
+    TimingConfig,
+    xeon20mb,
+)
+from repro.errors import ConfigError
+from repro.units import GBps, KiB, MiB
+
+
+class TestTimingConfig:
+    def test_defaults_are_monotone(self):
+        t = TimingConfig()
+        assert t.l1_hit_ns <= t.l2_hit_ns <= t.l3_hit_ns <= t.dram_latency_ns
+
+    def test_rejects_non_monotone_ladder(self):
+        with pytest.raises(ConfigError, match="monotone"):
+            TimingConfig(l1_hit_ns=10.0, l2_hit_ns=5.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            TimingConfig(l3_hit_ns=-1.0)
+
+    def test_rejects_mlp_below_one(self):
+        with pytest.raises(ConfigError, match="mlp"):
+            TimingConfig(mlp=0.5)
+
+
+class TestPrefetchConfig:
+    def test_defaults_valid(self):
+        p = PrefetchConfig()
+        assert p.enabled and p.degree > 0
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ConfigError):
+            PrefetchConfig(degree=-1)
+
+    def test_rejects_zero_detect(self):
+        with pytest.raises(ConfigError):
+            PrefetchConfig(detect_after=0)
+
+
+class TestSocketConfig:
+    def test_line_size_must_match_across_levels(self):
+        with pytest.raises(ConfigError, match="line size"):
+            SocketConfig(
+                n_cores=4,
+                l1=CacheGeometry(2 * KiB, 32, 2),
+                l2=CacheGeometry(8 * KiB, 64, 4),
+                l3=CacheGeometry(64 * KiB, 64, 4),
+                dram_bandwidth_Bps=GBps(1),
+            )
+
+    def test_capacities_must_be_monotone(self):
+        with pytest.raises(ConfigError, match="monotone"):
+            SocketConfig(
+                n_cores=4,
+                l1=CacheGeometry(64 * KiB, 64, 4),
+                l2=CacheGeometry(8 * KiB, 64, 4),
+                l3=CacheGeometry(64 * KiB, 64, 4),
+                dram_bandwidth_Bps=GBps(1),
+            )
+
+    def test_scaled_and_unscaled_roundtrip(self):
+        s = xeon20mb(scale=16)
+        assert s.scale == 16
+        assert s.unscaled_bytes(s.l3.capacity_bytes) == 20 * MiB
+        assert s.scaled_bytes(20 * MiB) == s.l3.capacity_bytes
+
+    def test_scaled_bytes_rejects_too_small(self):
+        s = xeon20mb(scale=16)
+        with pytest.raises(ConfigError):
+            s.scaled_bytes(8)
+
+    def test_compound_scaling(self):
+        s = xeon20mb(scale=1).scaled(4).scaled(4)
+        assert s.scale == 16
+        assert s.l3.capacity_bytes == 20 * MiB // 16
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            SocketConfig(
+                n_cores=0,
+                l1=CacheGeometry(2 * KiB, 64, 2),
+                l2=CacheGeometry(8 * KiB, 64, 4),
+                l3=CacheGeometry(64 * KiB, 64, 4),
+                dram_bandwidth_Bps=GBps(1),
+            )
+
+
+class TestNetworkConfig:
+    def test_transfer_time_is_alpha_plus_beta(self):
+        net = NetworkConfig(latency_ns=1000.0, bandwidth_Bps=1e9)
+        assert net.transfer_ns(0) == pytest.approx(1000.0)
+        # 1e9 B/s -> 1 ns per byte.
+        assert net.transfer_ns(500) == pytest.approx(1500.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(bandwidth_Bps=0)
+
+
+class TestNodeAndCluster:
+    def test_cores_per_node(self):
+        node = NodeConfig(socket=xeon20mb(), n_sockets=2)
+        assert node.cores_per_node == 16
+
+    def test_cluster_totals(self):
+        cluster = ClusterConfig(node=NodeConfig(socket=xeon20mb()), n_nodes=12)
+        assert cluster.total_sockets == 24
+        assert cluster.total_cores == 192
+
+    def test_cluster_rejects_zero_nodes(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(node=NodeConfig(socket=xeon20mb()), n_nodes=0)

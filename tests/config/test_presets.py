@@ -1,0 +1,60 @@
+"""Machine presets match the paper's Table I and Section IV setup."""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_SCALE,
+    exascale_node,
+    tiny_socket,
+    xeon20mb,
+    xeon20mb_cluster,
+    xeon20mb_node,
+)
+from repro.units import GiB, KiB, MiB
+
+
+class TestXeon20MB:
+    def test_table_i_full_scale(self):
+        """Table I verbatim: the headline architecture numbers."""
+        s = xeon20mb(scale=1)
+        assert s.n_cores == 8
+        assert s.l1.capacity_bytes == 32 * KiB and s.l1.ways == 8
+        assert s.l2.capacity_bytes == 256 * KiB and s.l2.ways == 8
+        assert s.l3.capacity_bytes == 20 * MiB and s.l3.ways == 20
+        assert s.line_bytes == 64
+        assert s.dram_bandwidth_Bps == pytest.approx(17e9)
+
+    def test_default_scale_preserves_ratios(self):
+        full, scaled = xeon20mb(scale=1), xeon20mb()
+        assert scaled.scale == DEFAULT_SCALE
+        assert (
+            full.l3.capacity_bytes / full.l2.capacity_bytes
+            == scaled.l3.capacity_bytes / scaled.l2.capacity_bytes
+        )
+        assert scaled.l3.ways == full.l3.ways
+
+    def test_node_has_two_sockets_32_gb(self):
+        node = xeon20mb_node()
+        assert node.n_sockets == 2
+        assert node.dram_bytes == 32 * GiB
+
+    def test_cluster_network_is_qdr(self):
+        c = xeon20mb_cluster(n_nodes=12)
+        assert c.n_nodes == 12
+        assert c.network.bandwidth_Bps == pytest.approx(4e9)
+
+
+class TestOtherPresets:
+    def test_exascale_node_is_starved(self):
+        x, e = xeon20mb(scale=1), exascale_node(scale=1)
+        assert e.l3.capacity_bytes < x.l3.capacity_bytes
+        assert e.dram_bandwidth_Bps < x.dram_bandwidth_Bps
+        assert e.n_cores == x.n_cores  # fewer resources *per core*
+
+    def test_tiny_socket_is_consistent(self):
+        t = tiny_socket()
+        assert t.l1.capacity_bytes < t.l2.capacity_bytes < t.l3.capacity_bytes
+        assert t.scale == 1
+
+    def test_tiny_socket_core_count_parameter(self):
+        assert tiny_socket(n_cores=2).n_cores == 2

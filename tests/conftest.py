@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_socket, xeon20mb
+
+
+@pytest.fixture
+def tiny():
+    """A miniature 4-core socket (L1 512 B, L2 2 KiB, L3 16 KiB)."""
+    return tiny_socket()
+
+
+@pytest.fixture
+def xeon():
+    """The default (1/16-scaled) Xeon20MB socket."""
+    return xeon20mb()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running end-to-end measurement tests"
+    )

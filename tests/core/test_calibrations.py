@@ -1,0 +1,79 @@
+"""Capacity and bandwidth calibrations (Sections III-A, III-C3)."""
+
+import pytest
+
+from repro.core import (
+    BandwidthCalibration,
+    CapacityCalibration,
+    calibrate_capacity,
+    eq1_bandwidth_Bps,
+    measure_effective_capacity,
+)
+from repro.errors import MeasurementError
+from repro.units import GBps, MiB
+
+
+class TestEq1:
+    def test_formula_verbatim(self):
+        # 1000 misses x 64 B in 1 us = 64 GB/s.
+        assert eq1_bandwidth_Bps(64, 1000, 1000.0) == pytest.approx(64e9)
+
+    def test_rejects_zero_time(self):
+        with pytest.raises(MeasurementError):
+            eq1_bandwidth_Bps(64, 10, 0.0)
+
+
+class TestBandwidthCalibration:
+    def calib(self):
+        return BandwidthCalibration(
+            socket=None, stream_peak_Bps=GBps(17.0), bwthr_unit_Bps=GBps(2.8)
+        )
+
+    def test_available_ladder_matches_paper(self):
+        """'17 GB/s with no interference, 14.2 with 1 BWThr, 11.4 with 2'."""
+        c = self.calib()
+        assert c.available(0) == pytest.approx(GBps(17.0))
+        assert c.available(1) == pytest.approx(GBps(14.2))
+        assert c.available(2) == pytest.approx(GBps(11.4))
+
+    def test_threads_to_saturate_is_seven(self):
+        assert self.calib().threads_to_saturate() == 7
+
+    def test_two_thread_steal_is_32_percent(self):
+        assert self.calib().steal_fraction(2) == pytest.approx(0.329, abs=0.01)
+
+    def test_available_floors_at_zero(self):
+        assert self.calib().available(10) == 0.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(MeasurementError):
+            self.calib().available(-1)
+
+
+@pytest.mark.slow
+class TestMeasuredCapacity:
+    def test_no_interference_recovers_nominal_l3(self, xeon):
+        cap = measure_effective_capacity(
+            xeon, 0, warmup_accesses=40_000, measure_accesses=25_000
+        )
+        assert cap / MiB == pytest.approx(20.0, rel=0.2)
+
+    def test_ladder_is_decreasing(self, xeon):
+        calib = calibrate_capacity(
+            xeon, ks=[0, 2, 5], warmup_accesses=30_000, measure_accesses=20_000
+        )
+        ladder = calib.ladder()
+        assert ladder[0] > ladder[1] > ladder[2]
+
+    def test_naive_estimate_available(self, xeon):
+        calib = CapacityCalibration(socket=xeon, csthr_bytes=4 * MiB)
+        assert calib.naive_available(2) == pytest.approx(12 * MiB)
+
+    def test_missing_k_raises(self, xeon):
+        calib = CapacityCalibration(socket=xeon, csthr_bytes=4 * MiB)
+        with pytest.raises(MeasurementError):
+            calib.available(3)
+
+    def test_too_many_csthrs_rejected(self, xeon):
+        with pytest.raises(MeasurementError):
+            measure_effective_capacity(xeon, xeon.n_cores)

@@ -1,0 +1,38 @@
+"""One-call MeasurementCampaign."""
+
+import pytest
+
+from repro.config import exascale_node, xeon20mb
+from repro.core import MeasurementCampaign
+from repro.errors import MeasurementError
+from repro.units import MiB
+from repro.workloads import ProbabilisticBenchmark, UniformDist
+
+
+@pytest.mark.slow
+class TestCampaign:
+    def test_end_to_end(self):
+        campaign = MeasurementCampaign(
+            xeon20mb(),
+            lambda: ProbabilisticBenchmark(UniformDist(), 40 * MiB),
+            cs_ks=[0, 2, 5],
+            bw_ks=[0, 2],
+            warmup_accesses=15_000,
+            measure_accesses=10_000,
+            seed=8,
+        )
+        outcome = campaign.run()
+        assert outcome.capacity_use.lower <= outcome.capacity_use.upper
+        pred = outcome.predict_socket(exascale_node(scale=1))
+        assert pred.combined_slowdown >= 1.0
+        report = outcome.report()
+        assert "L3 capacity use" in report
+        assert "GB/s" in report
+
+    def test_rejects_bad_process_count(self):
+        with pytest.raises(MeasurementError):
+            MeasurementCampaign(
+                xeon20mb(),
+                lambda: ProbabilisticBenchmark(UniformDist(), 40 * MiB),
+                n_processes=0,
+            )

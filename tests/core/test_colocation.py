@@ -1,0 +1,103 @@
+"""Co-location advisor unit tests (hand-built profiles)."""
+
+import pytest
+
+from repro.config import xeon20mb
+from repro.core.colocation import (
+    CoLocationAdvisor,
+    PlacementDecision,
+    ResourceProfile,
+    predict_colocation_slowdowns,
+)
+from repro.errors import MeasurementError
+from repro.models import DegradationCurve, DegradationPoint
+from repro.units import GBps, MiB
+
+
+def curve(points, resource="capacity"):
+    return DegradationCurve(
+        resource=resource,
+        points=[DegradationPoint(available=a, time_ns=t) for a, t in points],
+    )
+
+
+def profile(name, cap_mb, draw_gbps, cap_points, bw_points):
+    return ResourceProfile(
+        name=name,
+        capacity_use_bytes=(cap_mb * MiB, cap_mb * MiB),
+        bandwidth_use_Bps=(GBps(draw_gbps), GBps(draw_gbps)),
+        bandwidth_draw_Bps=GBps(draw_gbps),
+        capacity_curve=curve(cap_points),
+        bandwidth_curve=curve(bw_points, resource="bandwidth"),
+    )
+
+
+def small_tenant():
+    # Needs 4 MB; insensitive above that; zero bandwidth.
+    return profile(
+        "small", 4, 0.0,
+        [(2 * MiB, 130.0), (4 * MiB, 100.0), (20 * MiB, 100.0)],
+        [(GBps(5), 100.0), (GBps(17), 100.0)],
+    )
+
+
+def greedy_tenant():
+    # Wants 14 MB and 6 GB/s; degrades when starved.
+    return profile(
+        "greedy", 14, 6.0,
+        [(5 * MiB, 140.0), (10 * MiB, 115.0), (20 * MiB, 100.0)],
+        [(GBps(8), 120.0), (GBps(17), 100.0)],
+    )
+
+
+class TestBudgeting:
+    def test_compatible_small_pair(self):
+        s = predict_colocation_slowdowns(
+            [small_tenant(), small_tenant()], 20 * MiB, GBps(17)
+        )
+        assert max(s) == pytest.approx(1.0, abs=0.01)
+
+    def test_greedy_pair_predicts_degradation(self):
+        s = predict_colocation_slowdowns(
+            [greedy_tenant(), greedy_tenant()], 20 * MiB, GBps(17)
+        )
+        assert max(s) > 1.15
+
+    def test_asymmetric_budget(self):
+        """The small tenant barely suffers next to the greedy one, but
+        the greedy one pays for the small tenant's 4 MB."""
+        s_small, s_greedy = predict_colocation_slowdowns(
+            [small_tenant(), greedy_tenant()], 20 * MiB, GBps(17)
+        )
+        assert s_small < s_greedy
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(MeasurementError):
+            predict_colocation_slowdowns([], 20 * MiB, GBps(17))
+
+
+class TestAdvisor:
+    def test_pairing_respects_qos(self):
+        advisor = CoLocationAdvisor(xeon20mb(), qos_slowdown=1.05)
+        assert advisor.compatible(small_tenant(), small_tenant())
+        assert not advisor.compatible(greedy_tenant(), greedy_tenant())
+
+    def test_plan_pairs_compatible_and_isolates_rest(self):
+        advisor = CoLocationAdvisor(xeon20mb(), qos_slowdown=1.05)
+        profiles = [small_tenant(), small_tenant(), greedy_tenant(), greedy_tenant()]
+        # Give them distinct names for bookkeeping.
+        for i, p in enumerate(profiles):
+            p.name = f"{p.name}-{i}"
+        pairs, solo = advisor.plan(profiles)
+        paired_names = {n for d in pairs for n in d.tenants}
+        assert any("small" in n for n in paired_names)
+        # The two greedy tenants cannot share within 5%.
+        assert sum("greedy" in n for n in solo) >= 1
+
+    def test_decision_worst(self):
+        d = PlacementDecision(tenants=("a", "b"), predicted_slowdowns=(1.0, 1.2))
+        assert d.worst == 1.2
+
+    def test_qos_validation(self):
+        with pytest.raises(MeasurementError):
+            CoLocationAdvisor(xeon20mb(), qos_slowdown=0.9)

@@ -1,0 +1,74 @@
+"""Miss-rate-guarded bandwidth bracketing (the paper's disambiguation)."""
+
+import pytest
+
+from repro.core import (
+    BW,
+    CS,
+    BandwidthCalibration,
+    InterferencePoint,
+    InterferenceSweep,
+    guarded_bandwidth_use,
+)
+from repro.errors import MeasurementError
+from repro.units import GBps
+
+
+def pt(k, t, missrate):
+    return InterferencePoint(
+        kind=BW, k=k, makespan_ns=t, main_cores=[0],
+        l3_miss_rates={0: missrate}, bandwidths_Bps={0: 1e9},
+        time_per_access_ns=1.0,
+    )
+
+
+def calib():
+    return BandwidthCalibration(
+        socket=None, stream_peak_Bps=GBps(17), bwthr_unit_Bps=GBps(2.8)
+    )
+
+
+class TestGuard:
+    def test_clean_sweep_passes_through(self):
+        """No miss-rate rise: behaves exactly like the unguarded path."""
+        sweep = InterferenceSweep(
+            BW, [pt(0, 100.0, 0.30), pt(1, 101.0, 0.30), pt(2, 112.0, 0.31)]
+        )
+        est = guarded_bandwidth_use(sweep, calib(), threshold=0.05)
+        # degraded at k=2 (avail 11.4), clean at k=1 (avail 14.2)
+        assert est.lower == pytest.approx(GBps(11.4))
+        assert est.upper == pytest.approx(GBps(14.2))
+
+    def test_contaminated_point_is_excluded(self):
+        """A k=1 point whose miss rate jumped is capacity pollution: its
+        degradation must not tighten the bandwidth bracket."""
+        sweep = InterferenceSweep(
+            BW,
+            [
+                pt(0, 100.0, 0.10),
+                pt(1, 120.0, 0.35),   # degraded AND missrate exploded
+                pt(2, 121.0, 0.11),   # clean point, mild degradation
+            ],
+        )
+        est = guarded_bandwidth_use(sweep, calib(), threshold=0.05)
+        # Bracket computed from k=0 and k=2 only: degraded at 11.4 GB/s,
+        # clean at 17 GB/s (the polluted k=1 rung no longer tightens it).
+        assert est.lower == pytest.approx(GBps(11.4))
+        assert est.upper == pytest.approx(GBps(17.0))
+
+    def test_fully_contaminated_sweep_reports_unbounded(self):
+        sweep = InterferenceSweep(
+            BW, [pt(0, 100.0, 0.10), pt(1, 130.0, 0.40), pt(2, 150.0, 0.55)]
+        )
+        est = guarded_bandwidth_use(sweep, calib())
+        assert est.lower == 0.0
+        assert est.upper == pytest.approx(GBps(17))
+        assert "contaminated" in est.resource
+
+    def test_wrong_sweep_kind_rejected(self):
+        cs_pt = InterferencePoint(
+            kind=CS, k=0, makespan_ns=1.0, main_cores=[0],
+            l3_miss_rates={}, bandwidths_Bps={}, time_per_access_ns=1.0,
+        )
+        with pytest.raises(MeasurementError):
+            guarded_bandwidth_use(InterferenceSweep(CS, [cs_pt]), calib())

@@ -1,0 +1,40 @@
+"""Orthogonality validation machinery (structure + smoke behaviour)."""
+
+import pytest
+
+from repro.core import CrossInterferenceSeries, validate_orthogonality
+
+
+class TestSeries:
+    def series(self):
+        return CrossInterferenceSeries(
+            victim="BWThr",
+            interferer="CSThr",
+            ks=[0, 1, 2],
+            time_per_access_ns=[10.0, 10.5, 12.0],
+            bandwidth_Bps=[2.8e9, 2.7e9, 2.5e9],
+            l3_miss_rate=[0.9, 0.9, 0.9],
+        )
+
+    def test_slowdown_at(self):
+        assert self.series().slowdown_at(2) == pytest.approx(1.2)
+
+    def test_max_slowdown(self):
+        assert self.series().max_slowdown() == pytest.approx(1.2)
+        assert self.series().max_slowdown(up_to_k=1) == pytest.approx(1.05)
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_report_reproduces_section_iii_d(self, xeon):
+        report = validate_orthogonality(
+            xeon, ks=[0, 1, 2, 3, 5], warmup=15_000, measure=15_000, seed=3
+        )
+        # Fig. 7: BWThr flat under CSThr interference.
+        assert report.bwthr_is_flat
+        # CSThr uses almost no bandwidth when alone.
+        assert report.csthr_max_bandwidth_Bps < 0.2e9
+        # Fig. 8: at least 1 BWThr is capacity-neutral; not all 5 are.
+        assert 1 <= report.capacity_neutral_bwthrs <= 3
+        text = report.summary()
+        assert "FLAT" in text and "CSThr" in text

@@ -1,0 +1,72 @@
+"""Campaign report rendering."""
+
+from repro.core import (
+    BandwidthCalibration,
+    CapacityCalibration,
+    CS,
+    InterferencePoint,
+    InterferenceSweep,
+    render_bandwidth_calibration,
+    render_campaign,
+    render_capacity_calibration,
+    render_sweep,
+    render_use_estimates,
+)
+from repro.models import ResourceUseEstimate
+from repro.units import GBps, MiB
+
+
+def sweep():
+    def pt(k, t):
+        return InterferencePoint(
+            kind=CS, k=k, makespan_ns=t, main_cores=[0],
+            l3_miss_rates={0: 0.3}, bandwidths_Bps={0: 1e9},
+            time_per_access_ns=20.0,
+        )
+
+    return InterferenceSweep(CS, [pt(0, 1e6), pt(3, 1.2e6)])
+
+
+def test_render_sweep_contains_slowdowns():
+    text = render_sweep(sweep())
+    assert "CSThrs" in text
+    assert "1.200" in text
+
+
+def test_render_capacity_calibration():
+    calib = CapacityCalibration(socket=None, csthr_bytes=4 * MiB)
+    calib.socket = __import__("repro").config.xeon20mb()
+    calib.available_bytes = {0: 20 * MiB, 1: 15 * MiB}
+    text = render_capacity_calibration(calib)
+    assert "15MiB" in text and "naive" in text
+
+
+def test_render_bandwidth_calibration():
+    calib = BandwidthCalibration(
+        socket=None,
+        stream_peak_Bps=GBps(17),
+        bwthr_unit_Bps=GBps(2.8),
+        saturation_Bps={1: GBps(2.8), 7: GBps(16.5)},
+    )
+    text = render_bandwidth_calibration(calib)
+    assert "17.00" in text and "2.80" in text and "Saturation" in text
+
+
+def test_render_use_estimates_both_units():
+    est = {
+        1: ResourceUseEstimate("cap", lower=5 * MiB, upper=12 * MiB, n_processes=1),
+        4: ResourceUseEstimate("cap", lower=12 * MiB, upper=16 * MiB, n_processes=4),
+    }
+    text = render_use_estimates(est, unit="bytes")
+    assert "p" not in text.splitlines()[0] or True
+    assert "5MiB" in text and "4MiB" in text  # 16/4 per process
+
+    est_bw = {1: ResourceUseEstimate("bw", lower=GBps(8), upper=GBps(14), n_processes=1)}
+    text_bw = render_use_estimates(est_bw, unit="GBps")
+    assert "8.00 GB/s" in text_bw
+
+
+def test_render_campaign_composes_sections():
+    text = render_campaign(capacity_sweep=sweep(), header="Demo campaign")
+    assert text.startswith("Demo campaign")
+    assert "Capacity (CSThr) sweep" in text

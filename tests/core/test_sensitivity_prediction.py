@@ -1,0 +1,129 @@
+"""Sweep -> availability curves -> use estimates -> predictions."""
+
+import pytest
+
+from repro.config import exascale_node, xeon20mb
+from repro.core import (
+    BandwidthCalibration,
+    CapacityCalibration,
+    CS,
+    BW,
+    HierarchyPredictor,
+    InterferencePoint,
+    InterferenceSweep,
+    MachineScenario,
+    bandwidth_curve,
+    capacity_curve,
+    resource_use,
+    sweep_to_curve,
+)
+from repro.errors import MeasurementError
+from repro.models import DegradationCurve, DegradationPoint
+from repro.units import GBps, MiB
+
+
+def pt(kind, k, t):
+    return InterferencePoint(
+        kind=kind, k=k, makespan_ns=t, main_cores=[0],
+        l3_miss_rates={}, bandwidths_Bps={}, time_per_access_ns=1.0,
+    )
+
+
+def cs_sweep():
+    return InterferenceSweep(
+        CS, [pt(CS, 0, 100.0), pt(CS, 2, 101.0), pt(CS, 4, 125.0)]
+    )
+
+
+def bw_sweep():
+    return InterferenceSweep(BW, [pt(BW, 0, 100.0), pt(BW, 1, 112.0)])
+
+
+def cap_calib(xeon):
+    c = CapacityCalibration(socket=xeon, csthr_bytes=4 * MiB)
+    c.available_bytes = {0: 20 * MiB, 2: 12 * MiB, 4: 5 * MiB}
+    return c
+
+
+def bw_calib():
+    return BandwidthCalibration(
+        socket=None, stream_peak_Bps=GBps(17), bwthr_unit_Bps=GBps(2.8)
+    )
+
+
+class TestCurves:
+    def test_capacity_curve_attaches_availability(self, xeon):
+        curve = capacity_curve(cs_sweep(), cap_calib(xeon))
+        assert [p.available for p in curve.points] == [5 * MiB, 12 * MiB, 20 * MiB]
+        assert curve.baseline_time_ns == 100.0
+
+    def test_bandwidth_curve(self, xeon):
+        curve = bandwidth_curve(bw_sweep(), bw_calib())
+        assert curve.points[0].available == pytest.approx(GBps(14.2))
+
+    def test_kind_mismatch_rejected(self, xeon):
+        with pytest.raises(MeasurementError):
+            capacity_curve(bw_sweep(), cap_calib(xeon))
+        with pytest.raises(MeasurementError):
+            bandwidth_curve(cs_sweep(), bw_calib())
+
+    def test_missing_calibration_point(self, xeon):
+        calib = cap_calib(xeon)
+        del calib.available_bytes[4]
+        with pytest.raises(MeasurementError, match="k=4"):
+            capacity_curve(cs_sweep(), calib)
+
+    def test_sweep_to_curve_generic(self):
+        curve = sweep_to_curve(cs_sweep(), {0: 3.0, 2: 2.0, 4: 1.0}, "widgets")
+        assert curve.resource == "widgets"
+
+
+class TestResourceUse:
+    def test_bracketing_divided_by_processes(self, xeon):
+        curve = capacity_curve(cs_sweep(), cap_calib(xeon))
+        est = resource_use(curve, n_processes=4, threshold=0.05)
+        lo, hi = est.per_process
+        # degraded at 5 MB, clean at 12 MB -> per process /4
+        assert lo == pytest.approx(5 * MiB / 4)
+        assert hi == pytest.approx(12 * MiB / 4)
+
+    def test_rejects_bad_process_count(self, xeon):
+        curve = capacity_curve(cs_sweep(), cap_calib(xeon))
+        with pytest.raises(MeasurementError):
+            resource_use(curve, n_processes=0)
+
+
+class TestPrediction:
+    def make_predictor(self):
+        cap = DegradationCurve(
+            resource="capacity",
+            points=[
+                DegradationPoint(available=5 * MiB, time_ns=130.0),
+                DegradationPoint(available=20 * MiB, time_ns=100.0),
+            ],
+        )
+        bw = DegradationCurve(
+            resource="bandwidth",
+            points=[
+                DegradationPoint(available=GBps(8), time_ns=115.0),
+                DegradationPoint(available=GBps(17), time_ns=100.0),
+            ],
+        )
+        return HierarchyPredictor(cap, bw)
+
+    def test_exascale_slower_than_xeon(self):
+        pred = self.make_predictor()
+        rx = pred.predict_socket(xeon20mb(scale=1))
+        re = pred.predict_socket(exascale_node(scale=1))
+        assert re.combined_slowdown > rx.combined_slowdown
+        assert rx.combined_slowdown == pytest.approx(1.0, abs=0.01)
+
+    def test_scenario_from_scaled_socket_uses_paper_units(self):
+        scen = MachineScenario.from_socket(xeon20mb(scale=16))
+        assert scen.l3_bytes == 20 * MiB  # unscaled back
+
+    def test_prediction_composes_multiplicatively(self):
+        pred = self.make_predictor()
+        r = pred.predict(MachineScenario("x", l3_bytes=5 * MiB, bandwidth_Bps=GBps(8)))
+        assert r.combined_slowdown == pytest.approx(1.3 * 1.15)
+        assert "x1.3" in r.summary() or "1.3" in r.summary()

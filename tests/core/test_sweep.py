@@ -1,0 +1,105 @@
+"""ActiveMeasurement campaign driver."""
+
+import pytest
+
+from repro.core import ActiveMeasurement, CS, BW, InterferencePoint, InterferenceSweep
+from repro.errors import MeasurementError
+from repro.units import MiB
+from repro.workloads import ProbabilisticBenchmark, UniformDist
+
+
+def probe_factory(buf_mb=50):
+    return lambda: ProbabilisticBenchmark(UniformDist(), buf_mb * MiB)
+
+
+def make_am(xeon, **kw):
+    defaults = dict(warmup_accesses=8_000, measure_accesses=6_000, seed=1)
+    defaults.update(kw)
+    return ActiveMeasurement(xeon, probe_factory(), **defaults)
+
+
+class TestRunPoint:
+    def test_point_carries_observables(self, xeon):
+        am = make_am(xeon)
+        p = am.run_point(CS, 2)
+        assert p.kind == CS and p.k == 2
+        assert p.makespan_ns > 0
+        assert 0.0 <= p.mean_miss_rate <= 1.0
+        assert p.time_per_access_ns > 0
+        assert p.main_cores == [0]
+
+    def test_too_many_interference_threads_rejected(self, xeon):
+        am = make_am(xeon)
+        with pytest.raises(MeasurementError, match="only"):
+            am.run_point(CS, xeon.n_cores)
+
+    def test_unknown_kind_rejected(self, xeon):
+        am = make_am(xeon)
+        with pytest.raises(MeasurementError, match="unknown interference"):
+            am.run_point("heat", 1)
+
+    def test_multi_thread_workload(self, xeon):
+        am = ActiveMeasurement(
+            xeon,
+            lambda: [
+                ProbabilisticBenchmark(UniformDist(), 40 * MiB),
+                ProbabilisticBenchmark(UniformDist(), 40 * MiB),
+            ],
+            warmup_accesses=5_000,
+            measure_accesses=4_000,
+        )
+        p = am.run_point(CS, 1)
+        assert len(p.main_cores) == 2
+
+    def test_empty_workload_rejected(self, xeon):
+        am = ActiveMeasurement(xeon, lambda: [])
+        with pytest.raises(MeasurementError, match="no threads"):
+            am.run_point(CS, 0)
+
+
+class TestSweeps:
+    def test_capacity_sweep_miss_rate_increases(self, xeon):
+        am = make_am(xeon)
+        sweep = am.capacity_sweep(ks=[0, 3, 5])
+        rates = [p.mean_miss_rate for p in sweep.points]
+        assert rates[0] < rates[-1]
+        assert sweep.ks() == [0, 3, 5]
+
+    def test_baseline_requires_k0(self, xeon):
+        sweep = InterferenceSweep(
+            CS,
+            [
+                InterferencePoint(
+                    kind=CS, k=2, makespan_ns=1.0, main_cores=[0],
+                    l3_miss_rates={}, bandwidths_Bps={}, time_per_access_ns=1.0,
+                )
+            ],
+        )
+        with pytest.raises(MeasurementError, match="k=0"):
+            sweep.baseline
+
+    def test_slowdowns_normalised_to_baseline(self, xeon):
+        am = make_am(xeon)
+        sweep = am.capacity_sweep(ks=[0, 5])
+        s = sweep.slowdowns()
+        assert s[0] == pytest.approx(1.0)
+        assert s[1] >= 1.0
+
+    def test_degradation_onset(self):
+        def pt(k, t):
+            return InterferencePoint(
+                kind=CS, k=k, makespan_ns=t, main_cores=[0],
+                l3_miss_rates={}, bandwidths_Bps={}, time_per_access_ns=1.0,
+            )
+
+        sweep = InterferenceSweep(CS, [pt(0, 100.0), pt(1, 102.0), pt(2, 120.0)])
+        assert sweep.degradation_onset(threshold=0.05) == 2
+        assert sweep.degradation_onset(threshold=0.5) is None
+
+    def test_point_lookup(self, xeon):
+        am = make_am(xeon)
+        sweep = am.bandwidth_sweep(ks=[0, 1])
+        assert sweep.point(1).k == 1
+        with pytest.raises(KeyError):
+            sweep.point(9)
+        assert sweep.kind == BW

@@ -1,0 +1,35 @@
+"""AccessChunk construction helpers."""
+
+import numpy as np
+import pytest
+
+from repro.engine import AccessChunk
+from repro.mem import AddressSpace
+
+
+class TestConstruction:
+    def test_from_indices_converts_to_lines(self):
+        buf = AddressSpace(line_bytes=64).alloc(1024, elem_bytes=4)
+        chunk = AccessChunk.from_indices(buf, np.array([0, 15, 16]))
+        assert chunk.lines[0] == chunk.lines[1]  # same line (16 ints/line)
+        assert chunk.lines[2] == chunk.lines[0] + 1
+        assert isinstance(chunk.lines, list)
+
+    def test_from_lines_accepts_ndarray_and_sequence(self):
+        a = AccessChunk.from_lines(np.array([1, 2, 3]))
+        b = AccessChunk.from_lines((1, 2, 3))
+        assert a.lines == b.lines == [1, 2, 3]
+
+    def test_len(self):
+        assert len(AccessChunk(lines=[1, 2, 3])) == 3
+
+    def test_rejects_negative_ops(self):
+        with pytest.raises(ValueError):
+            AccessChunk(lines=[1], ops_per_access=-1)
+
+    def test_defaults(self):
+        c = AccessChunk(lines=[1])
+        assert not c.is_write
+        assert not c.serialize
+        assert c.prefetchable
+        assert c.extra_ns == 0.0

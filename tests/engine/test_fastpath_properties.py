@@ -1,0 +1,98 @@
+"""Property-based invariants of the fused simulation kernel."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import PrefetchConfig, tiny_socket
+from repro.engine import AccessChunk, FastSocket
+
+SOCKET = tiny_socket(n_cores=2)
+SOCKET_NOPF = replace(SOCKET, prefetch=PrefetchConfig(enabled=False))
+
+chunk_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),               # core
+        st.lists(st.integers(min_value=0, max_value=500),    # lines
+                 min_size=1, max_size=64),
+        st.booleans(),                                       # write
+        st.integers(min_value=0, max_value=20),              # ops
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(chunk_strategy)
+@settings(max_examples=150, deadline=None)
+def test_counters_partition_accesses(spec):
+    """Every access lands in exactly one level bucket."""
+    fast = FastSocket(SOCKET_NOPF)
+    clocks = [0.0, 0.0]
+    for core, lines, write, ops in spec:
+        clocks[core] = fast.run_chunk(
+            core, AccessChunk(lines=lines, is_write=write, ops_per_access=ops),
+            clocks[core],
+        )
+    for c in fast.counters:
+        assert (
+            c.l1_hits + c.l2_hits + c.l3_hits + c.prefetch_hits + c.l3_misses
+            == c.accesses
+        )
+        assert c.stall_ns >= 0.0
+        assert c.elapsed_ns == pytest.approx(
+            c.compute_ns + c.stall_ns + c.offsocket_ns
+        )
+
+
+@given(chunk_strategy)
+@settings(max_examples=100, deadline=None)
+def test_clock_is_monotone_and_positive(spec):
+    fast = FastSocket(SOCKET_NOPF)
+    clocks = [0.0, 0.0]
+    for core, lines, write, ops in spec:
+        t = fast.run_chunk(
+            core, AccessChunk(lines=lines, is_write=write, ops_per_access=ops),
+            clocks[core],
+        )
+        assert t >= clocks[core]
+        clocks[core] = t
+
+
+@given(chunk_strategy)
+@settings(max_examples=100, deadline=None)
+def test_l3_occupancy_bounded_and_fill_accounting(spec):
+    fast = FastSocket(SOCKET_NOPF)
+    clocks = [0.0, 0.0]
+    for core, lines, write, ops in spec:
+        clocks[core] = fast.run_chunk(
+            core, AccessChunk(lines=lines, is_write=write, ops_per_access=ops),
+            clocks[core],
+        )
+    assert fast.l3_resident_count() <= SOCKET.l3.n_lines
+    total_misses = sum(c.l3_misses for c in fast.counters)
+    assert fast.arbiter.fill_bytes == total_misses * SOCKET.line_bytes
+
+
+@given(chunk_strategy)
+@settings(max_examples=60, deadline=None)
+def test_prefetch_never_breaks_invariants(spec):
+    """With the prefetcher on, fills may exceed demand misses but the
+    partition and occupancy invariants still hold."""
+    fast = FastSocket(SOCKET)
+    clocks = [0.0, 0.0]
+    for core, lines, write, ops in spec:
+        clocks[core] = fast.run_chunk(
+            core,
+            AccessChunk(lines=lines, is_write=write, ops_per_access=ops, stream_id=core),
+            clocks[core],
+        )
+    for c in fast.counters:
+        assert (
+            c.l1_hits + c.l2_hits + c.l3_hits + c.prefetch_hits + c.l3_misses
+            == c.accesses
+        )
+    assert fast.l3_resident_count() <= SOCKET.l3.n_lines
+    total_fills = sum(c.l3_misses + c.prefetch_fills for c in fast.counters)
+    assert fast.arbiter.fill_bytes == total_fills * SOCKET.line_bytes

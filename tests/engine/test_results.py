@@ -1,0 +1,65 @@
+"""MeasureResult accessors and reporting."""
+
+import pytest
+
+from repro.engine.results import MeasureResult
+from repro.mem import CoreCounters, SocketCounters
+
+
+def make_result():
+    cores = {
+        0: CoreCounters(
+            accesses=1000, l1_hits=500, l2_hits=200, l3_hits=200,
+            l3_misses=100, prefetch_fills=50, elapsed_ns=10_000.0,
+        ),
+        1: CoreCounters(accesses=0),
+    }
+    socket = SocketCounters(
+        cores=list(cores.values()),
+        link_fill_bytes=150 * 64,
+        link_busy_ns=500.0,
+        elapsed_ns=10_000.0,
+    )
+    return MeasureResult(
+        elapsed_ns=10_000.0,
+        makespan_ns=9_000.0,
+        core_counters=cores,
+        socket=socket,
+        main_cores=[0],
+        main_finish_ns={0: 9_000.0},
+        line_bytes=64,
+    )
+
+
+class TestAccessors:
+    def test_miss_rate(self):
+        r = make_result()
+        assert r.l3_miss_rate(0) == pytest.approx(100 / 300)
+
+    def test_eq1_bandwidth_includes_prefetch_fills(self):
+        r = make_result()
+        expected = (100 + 50) * 64 / (10_000e-9)
+        assert r.bandwidth_Bps(0) == pytest.approx(expected)
+
+    def test_bandwidth_zero_for_idle_core(self):
+        assert make_result().bandwidth_Bps(1) == 0.0
+
+    def test_total_bandwidth(self):
+        r = make_result()
+        assert r.total_bandwidth_Bps() == pytest.approx(150 * 64 / 10_000e-9)
+
+    def test_unknown_core_raises(self):
+        with pytest.raises(KeyError, match="core 7"):
+            make_result().counters_of(7)
+
+
+class TestSummary:
+    def test_summary_mentions_main_and_rates(self):
+        text = make_result().summary()
+        assert "core 0 [main]" in text
+        assert "GB/s" in text
+        assert "makespan" in text
+
+    def test_idle_cores_omitted(self):
+        text = make_result().summary()
+        assert "core 1" not in text

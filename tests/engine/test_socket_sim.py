@@ -1,0 +1,116 @@
+"""SocketSimulator facade: lifecycle, placement, determinism."""
+
+import pytest
+
+from repro.config import tiny_socket, xeon20mb
+from repro.engine import SocketSimulator
+from repro.errors import SimulationError
+from repro.units import KiB
+from repro.workloads import CSThr, ProbabilisticBenchmark, UniformDist
+
+
+def make_probe(buf_kib=64):
+    return ProbabilisticBenchmark(UniformDist(), buf_kib * KiB, ops_per_access=1)
+
+
+class TestPlacement:
+    def test_cores_assigned_in_order(self, tiny):
+        sim = SocketSimulator(tiny)
+        assert sim.add_thread(make_probe(), main=True) == 0
+        assert sim.add_thread(CSThr(buffer_bytes=4 * KiB)) == 1
+
+    def test_explicit_core(self, tiny):
+        sim = SocketSimulator(tiny)
+        assert sim.add_thread(make_probe(), core=3, main=True) == 3
+
+    def test_duplicate_core_rejected(self, tiny):
+        sim = SocketSimulator(tiny)
+        sim.add_thread(make_probe(), core=1, main=True)
+        with pytest.raises(SimulationError, match="occupied"):
+            sim.add_thread(CSThr(buffer_bytes=4 * KiB), core=1)
+
+    def test_out_of_range_core_rejected(self, tiny):
+        sim = SocketSimulator(tiny)
+        with pytest.raises(SimulationError, match="out of range"):
+            sim.add_thread(make_probe(), core=99, main=True)
+
+    def test_needs_a_main_thread(self, tiny):
+        sim = SocketSimulator(tiny)
+        sim.add_thread(CSThr(buffer_bytes=4 * KiB))
+        with pytest.raises(SimulationError, match="main"):
+            sim.measure(accesses=100)
+
+    def test_cannot_add_after_start(self, tiny):
+        sim = SocketSimulator(tiny)
+        sim.add_thread(make_probe(), main=True)
+        sim.measure(accesses=100)
+        with pytest.raises(SimulationError, match="after the run started"):
+            sim.add_thread(CSThr(buffer_bytes=4 * KiB))
+
+
+class TestMeasurementFlow:
+    def test_measure_reports_requested_accesses(self, tiny):
+        sim = SocketSimulator(tiny)
+        core = sim.add_thread(make_probe(), main=True)
+        result = sim.measure(accesses=500)
+        c = result.counters_of(core)
+        # quantum-granular stop: within one chunk of the budget
+        assert 500 <= c.accesses <= 500 + 256
+
+    def test_warmup_discards_counters_keeps_cache(self, tiny):
+        sim = SocketSimulator(tiny)
+        core = sim.add_thread(make_probe(buf_kib=8), main=True)
+        sim.warmup(accesses=2000)
+        result = sim.measure(accesses=1000)
+        c = result.counters_of(core)
+        # 8 KiB buffer (128 lines) fits the 16 KiB tiny L3: after warmup
+        # essentially everything hits.
+        assert c.l3_miss_rate < 0.02
+
+    def test_cold_run_misses_more_than_warm(self, tiny):
+        cold = SocketSimulator(tiny, seed=1)
+        core = cold.add_thread(make_probe(buf_kib=8), main=True)
+        cold_rate = cold.measure(accesses=1000).l3_miss_rate(core)
+
+        warm = SocketSimulator(tiny, seed=1)
+        core = warm.add_thread(make_probe(buf_kib=8), main=True)
+        warm.warmup(accesses=2000)
+        warm_rate = warm.measure(accesses=1000).l3_miss_rate(core)
+        assert warm_rate < cold_rate
+
+    def test_unknown_core_lookup_raises(self, tiny):
+        sim = SocketSimulator(tiny)
+        sim.add_thread(make_probe(), main=True)
+        result = sim.measure(accesses=200)
+        with pytest.raises(KeyError):
+            result.counters_of(7)
+
+    def test_thread_on_core(self, tiny):
+        sim = SocketSimulator(tiny)
+        probe = make_probe()
+        core = sim.add_thread(probe, main=True)
+        assert sim.thread_on_core(core) is probe
+        with pytest.raises(KeyError):
+            sim.thread_on_core(5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        def run(seed):
+            sim = SocketSimulator(xeon20mb(), seed=seed)
+            core = sim.add_thread(make_probe(buf_kib=2048), main=True)
+            sim.add_thread(CSThr())
+            sim.warmup(accesses=3000)
+            r = sim.measure(accesses=3000)
+            return (r.l3_miss_rate(core), r.makespan_ns)
+
+        assert run(42) == run(42)
+
+    def test_different_seed_different_trace(self):
+        def run(seed):
+            sim = SocketSimulator(xeon20mb(), seed=seed)
+            core = sim.add_thread(make_probe(buf_kib=2048), main=True)
+            sim.warmup(accesses=2000)
+            return sim.measure(accesses=2000).l3_miss_rate(core)
+
+        assert run(1) != run(2)

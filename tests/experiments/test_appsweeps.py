@@ -1,0 +1,71 @@
+"""App-sweep helpers (mapping/input sweeps, normalisation, JSON form)."""
+
+import pytest
+
+from repro.apps import MCBProxy
+from repro.config import xeon20mb_cluster
+from repro.errors import MeasurementError
+from repro.experiments import appsweeps
+
+
+@pytest.fixture
+def cluster():
+    return xeon20mb_cluster(n_nodes=32)
+
+
+def builder(n_particles, rank, mapping, env):
+    return MCBProxy(
+        n_particles=int(n_particles), n_ranks=24, rank=rank,
+        mapping=mapping, comm_env=env, n_iterations=1,
+    )
+
+
+class TestHelpers:
+    def test_slowdown_series_normalises(self):
+        sweep = {"cs": {0: 100.0, 2: 130.0}, "bw": {0: 100.0, 1: 110.0}}
+        cs = appsweeps.slowdown_series(sweep, "cs")
+        assert cs == {0: pytest.approx(1.0), 2: pytest.approx(1.3)}
+        bw = appsweeps.slowdown_series(sweep, "bw")
+        assert bw[1] == pytest.approx(1.1)
+
+    def test_slowdown_series_empty(self):
+        assert appsweeps.slowdown_series({"cs": {0: 1.0}, "bw": {}}, "bw") == {}
+
+    def test_jsonable_stringifies_keys(self):
+        sweeps = {1: {"cs": {0: 1.5}}}
+        out = appsweeps.jsonable(sweeps)
+        assert out == {"1": {"cs": {"0": 1.5}}}
+
+
+@pytest.mark.slow
+class TestSweeps:
+    def test_interference_levels_that_do_not_fit_are_skipped(self, cluster):
+        """Paper: 'not all combinations of mapping and interference can
+        be executed' — p=6 leaves 2 free cores, so k>2 is dropped."""
+        from repro.cluster import ProcessMapping
+
+        mapping = ProcessMapping(cluster, n_ranks=24, procs_per_socket=6)
+
+        def build(rank, env):
+            return builder(20_000, rank, mapping, env)
+
+        sweep = appsweeps.interference_sweep(
+            cluster, mapping, build, cs_ks=[0, 2, 5], bw_ks=[0, 2], seed=1
+        )
+        assert set(sweep["cs"]) == {0, 2}
+        assert set(sweep["bw"]) == {0, 2}
+
+    def test_mapping_sweeps_skip_uneven_mappings(self, cluster):
+        out = appsweeps.mapping_sweeps(
+            cluster, 24, mappings=[1, 5], builder=builder, input_value=20_000,
+            cs_ks=[0], bw_ks=[], seed=1,
+        )
+        assert 1 in out and 5 not in out  # 24 % 5 != 0
+
+    def test_input_sweeps_keyed_by_value(self, cluster):
+        out = appsweeps.input_sweeps(
+            cluster, 24, inputs=[20_000], builder=builder,
+            cs_ks=[0], bw_ks=[], seed=1,
+        )
+        assert set(out) == {20_000}
+        assert 0 in out[20_000]["cs"]

@@ -1,0 +1,64 @@
+"""Experiment-mode plumbing and grid definitions."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import common
+
+
+class TestModeResolution:
+    def test_default_is_smoke(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MODE", raising=False)
+        assert common.resolve_mode(None) == common.SMOKE
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODE", "paper")
+        assert common.resolve_mode(None) == common.PAPER
+
+    def test_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODE", "paper")
+        assert common.resolve_mode("full") == common.FULL
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            common.resolve_mode("turbo")
+
+    def test_pick(self):
+        assert common.pick("smoke", 1, 2, 3) == 1
+        assert common.pick("full", 1, 2, 3) == 3
+
+
+class TestGrids:
+    def test_full_grid_is_papers_660_configs(self):
+        """10 distributions x 3 intensities x 22 buffer sizes = 660."""
+        n = (
+            len(common.distribution_names("full"))
+            * len(common.ops_per_load("full"))
+            * len(common.probe_buffer_sizes_mb("full"))
+        )
+        assert n == 660
+
+    def test_buffer_sizes_cover_30_to_74(self):
+        for mode in ("smoke", "paper", "full"):
+            sizes = common.probe_buffer_sizes_mb(mode)
+            assert sizes[0] in (30, 32) and sizes[-1] == 74
+
+    def test_smoke_grids_are_smaller(self):
+        assert len(common.probe_buffer_sizes_mb("smoke")) < len(
+            common.probe_buffer_sizes_mb("paper")
+        )
+        assert len(common.distribution_names("smoke")) < 10
+
+    def test_mcb_mappings_match_paper(self):
+        assert common.mcb_mappings("paper") == [1, 2, 3, 4, 6]
+
+    def test_lulesh_edges_bracket(self):
+        for mode in ("smoke", "paper", "full"):
+            edges = common.lulesh_edges(mode)
+            assert edges[0] == 22 and edges[-1] == 36
+
+    def test_env_windows_grow_with_mode(self):
+        smoke = common.default_env("smoke")
+        full = common.default_env("full")
+        assert smoke.measure_accesses < full.measure_accesses
+        assert smoke.l3_paper_bytes == 20 * 1024 * 1024

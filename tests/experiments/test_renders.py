@@ -1,0 +1,101 @@
+"""Experiment render functions on synthetic records (no simulation)."""
+
+from repro.analysis import ExperimentRecord
+from repro.experiments import calibration, fig5, fig6, fig7_fig8, fig9, fig10_fig12, fig11
+
+
+def test_fig5_render():
+    rec = ExperimentRecord(
+        experiment_id="fig5", title="t",
+        data={
+            "sizes_mb": [30, 74],
+            "mean_abs_error": [0.08, 0.05],
+            "std_abs_error": [0.03, 0.02],
+        },
+    )
+    out = fig5.render(rec)
+    assert "sigma" in out
+
+
+def test_fig6_render():
+    rec = ExperimentRecord(
+        experiment_id="fig6", title="t",
+        data={
+            "sizes_mb": [30, 74],
+            "panels": {"1": {"0": {"mean": [19.0, 20.0], "std": [0.5, 0.2]}}},
+            "capacity_ladder_mb": {"0": 19.5},
+        },
+    )
+    out = fig6.render(rec)
+    assert "eff. capacity" in out and "19" in out
+
+
+def test_fig7_fig8_render():
+    rec = ExperimentRecord(
+        experiment_id="fig7_fig8", title="t",
+        data={
+            "fig7": {
+                "csthrs": [0, 1],
+                "bwthr_bandwidth_GBps": [2.5, 2.5],
+                "bwthr_time_per_access_ns": [25.0, 25.1],
+                "bwthr_l3_miss_rate": [0.9, 0.9],
+            },
+            "fig8": {
+                "bwthrs": [0, 1],
+                "csthr_bandwidth_GBps": [0.0, 0.1],
+                "csthr_time_per_access_ns": [15.0, 15.2],
+                "csthr_l3_miss_rate": [0.0, 0.01],
+            },
+        },
+    )
+    out = fig7_fig8.render(rec)
+    assert "Fig. 7" in out and "Fig. 8" in out
+
+
+def test_fig9_and_fig11_render():
+    data = {
+        "top_times_ns": {"1": {"cs": {"0": 100.0, "2": 120.0}, "bw": {"0": 100.0}}},
+        "bottom_times_ns": {"20000": {"cs": {"0": 100.0, "5": 130.0}, "bw": {}}},
+    }
+    out9 = fig9.render(ExperimentRecord(experiment_id="fig9", title="t", data=data))
+    assert "slowdown" in out9 and "1.200" in out9
+    out11 = fig11.render(ExperimentRecord(experiment_id="fig11", title="t", data=data))
+    assert "slowdown" in out11
+
+
+def test_fig10_12_render():
+    rec = ExperimentRecord(
+        experiment_id="fig10", title="t",
+        data={
+            "use_tables": {
+                "20000": {
+                    "1": {
+                        "capacity_mb": {"lower": 5.0, "upper": 8.0},
+                        "bandwidth_GBps": {"lower": 11.0, "upper": 13.0},
+                    },
+                    "4": {"capacity_mb": {"lower": 4.0, "upper": 5.0}},
+                }
+            }
+        },
+    )
+    out = fig10_fig12.render(rec)
+    assert "cap>=" in out and "5" in out
+
+
+def test_calibration_render():
+    rec = ExperimentRecord(
+        experiment_id="calibration", title="t",
+        data={
+            "table1": "Xeon20MB: ...",
+            "stream_peak_GBps": 16.0,
+            "bwthr_unit_GBps": 2.6,
+            "threads_to_saturate": 7,
+            "two_bwthr_steal_fraction": 0.32,
+            "saturation_GBps": {"1": 2.6},
+            "capacity_ladder_mb": {"0": 19.0},
+            "paper_capacity_ladder_mb": {"0": 20.0},
+            "paper_bw_ladder_GBps": {"0": 17.0},
+        },
+    )
+    out = calibration.render(rec)
+    assert "STREAM" in out and "Capacity ladder" in out

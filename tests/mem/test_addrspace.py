@@ -1,0 +1,104 @@
+"""Address-space allocator and Buffer index math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError
+from repro.mem import AddressSpace
+
+
+class TestAllocation:
+    def test_buffers_never_overlap(self):
+        space = AddressSpace(line_bytes=64)
+        bufs = [space.alloc(1000, elem_bytes=4) for _ in range(10)]
+        for i, a in enumerate(bufs):
+            for b in bufs[i + 1 :]:
+                assert a.end <= b.base or b.end <= a.base
+
+    def test_buffers_never_share_lines(self):
+        """A guard line separates allocations (the paper's threads must
+        not share cache lines)."""
+        space = AddressSpace(line_bytes=64)
+        a = space.alloc(100, elem_bytes=4)
+        b = space.alloc(100, elem_bytes=4)
+        a_lines = set(range(a.base_line, a.base_line + a.n_lines))
+        b_lines = set(range(b.base_line, b.base_line + b.n_lines))
+        assert not (a_lines & b_lines)
+
+    def test_base_is_line_aligned(self):
+        space = AddressSpace(line_bytes=64)
+        space.alloc(33, elem_bytes=1)
+        b = space.alloc(100, elem_bytes=4)
+        assert b.base % 64 == 0
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(AllocationError):
+            AddressSpace().alloc(0)
+
+    def test_rejects_indivisible_elem_size(self):
+        with pytest.raises(AllocationError):
+            AddressSpace().alloc(10, elem_bytes=3)
+
+    def test_exhaustion(self):
+        space = AddressSpace(line_bytes=64, capacity_bytes=4096)
+        with pytest.raises(AllocationError, match="exhausted"):
+            for _ in range(100):
+                space.alloc(1024)
+
+    def test_alloc_elems(self):
+        b = AddressSpace().alloc_elems(100, elem_bytes=8)
+        assert b.size_bytes == 800 and b.n_elems == 100
+
+    def test_allocations_listing(self):
+        space = AddressSpace()
+        a = space.alloc(64, label="a")
+        b = space.alloc(64, label="b")
+        assert [x.label for x in space.allocations()] == ["a", "b"]
+
+
+class TestBufferIndexMath:
+    def test_line_of_index_matches_vectorised(self):
+        space = AddressSpace(line_bytes=64)
+        buf = space.alloc(4096, elem_bytes=4)
+        idx = np.arange(0, buf.n_elems, 7)
+        vec = buf.lines_of_indices(idx)
+        scalar = [buf.line_of_index(int(i)) for i in idx]
+        assert vec.tolist() == scalar
+
+    def test_sixteen_ints_per_line(self):
+        space = AddressSpace(line_bytes=64)
+        buf = space.alloc(4096, elem_bytes=4)
+        assert buf.line_of_index(0) == buf.line_of_index(15)
+        assert buf.line_of_index(0) != buf.line_of_index(16)
+
+    def test_out_of_range_index_raises(self):
+        buf = AddressSpace().alloc(64, elem_bytes=4)
+        with pytest.raises(IndexError):
+            buf.line_of_index(16)
+        with pytest.raises(IndexError):
+            buf.line_of_index(-1)
+
+    def test_sequential_lines_cover_buffer(self):
+        buf = AddressSpace(line_bytes=64).alloc(640, elem_bytes=4)
+        lines = buf.sequential_lines()
+        assert len(lines) == buf.n_lines == 10
+        assert lines[0] == buf.base_line
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=4, max_value=10_000).map(lambda n: n * 4),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_no_line_sharing_ever(sizes):
+    space = AddressSpace(line_bytes=64)
+    seen_lines: set[int] = set()
+    for size in sizes:
+        buf = space.alloc(size, elem_bytes=4)
+        lines = set(range(buf.base_line, buf.base_line + buf.n_lines))
+        assert not (lines & seen_lines)
+        seen_lines |= lines

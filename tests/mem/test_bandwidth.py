@@ -1,0 +1,146 @@
+"""Rate-matching DRAM-link arbiter."""
+
+import pytest
+
+from repro.config import xeon20mb
+from repro.mem import BandwidthArbiter
+
+
+def make():
+    return BandwidthArbiter(xeon20mb(scale=1))
+
+
+class TestBasics:
+    def test_service_time_matches_capacity(self):
+        arb = make()
+        # 64 B at 17 GB/s ~ 3.76 ns.
+        assert arb.service_ns == pytest.approx(64 / 17e9 * 1e9)
+
+    def test_counters_accumulate(self):
+        arb = make()
+        arb.request_fill(0.0)
+        arb.request_fill(10.0)
+        assert arb.fill_bytes == 128
+        assert arb.busy_ns == pytest.approx(2 * arb.service_ns)
+
+    def test_writeback_counted_not_throttled(self):
+        arb = make()
+        arb.note_writeback()
+        assert arb.writeback_bytes == 64
+        assert arb.current_delay_ns() == 0.0
+
+    def test_reset_counters_keeps_controller(self):
+        arb = make()
+        for i in range(10000):
+            arb.request_fill(i * 0.5)  # heavy overload
+        delay_before = arb.current_delay_ns()
+        arb.reset_counters()
+        assert arb.fill_bytes == 0
+        assert arb.current_delay_ns() == delay_before
+
+
+class TestControlBehaviour:
+    def test_sub_capacity_delay_is_small(self):
+        """At half the service rate the controller stays off; only the
+        (small) bandwidth-latency knee remains."""
+        arb = make()
+        gap = 2 * arb.service_ns
+        t = 0.0
+        for _ in range(5000):
+            delay = arb.request_fill(t)
+            t += gap
+        assert delay < arb.service_ns
+        assert arb._delay_ns == 0.0  # saturation controller never engaged
+        assert arb.offered_rho() < 0.75
+
+    def test_overload_builds_delay(self):
+        """Fills at 3x capacity must accumulate queueing delay."""
+        arb = make()
+        gap = arb.service_ns / 3
+        t = 0.0
+        for _ in range(20000):
+            t += gap
+            arb.request_fill(t)
+        assert arb.current_delay_ns() > arb.service_ns
+
+    def test_closed_loop_throttles_to_capacity(self):
+        """A source that waits out the returned delay (closed loop) is
+        throttled to ~the link capacity."""
+        arb = make()
+        native_gap = arb.service_ns / 4  # 4x overload if unthrottled
+        t = 0.0
+        fills = 0
+        # warm-up for controller convergence
+        for _ in range(30000):
+            t += native_gap + arb.request_fill(t)
+        t0 = t
+        for _ in range(20000):
+            t += native_gap + arb.request_fill(t)
+            fills += 1
+        achieved = fills * arb.line_bytes / ((t - t0) * 1e-9)
+        assert achieved <= arb.capacity_Bps * 1.25
+        assert achieved >= arb.capacity_Bps * 0.5
+
+    def test_skewed_timestamps_do_not_fake_load(self):
+        """Out-of-order timestamps within a window (scheduler chunk skew)
+        must not register as overload."""
+        arb = make()
+        gap = 4 * arb.service_ns  # 25% load overall
+        t = 0.0
+        for i in range(20000):
+            t += gap
+            # Every other request is stamped in the past (lagging core).
+            stamp = t - 30 * gap if i % 2 else t
+            arb.request_fill(stamp)
+        assert arb.current_delay_ns() < arb.service_ns
+
+    def test_knee_grows_with_load(self):
+        def run_at(relative_load):
+            arb = make()
+            gap = arb.service_ns / relative_load
+            t = 0.0
+            for _ in range(30000):
+                t += gap
+                arb.request_fill(t)
+            return arb.current_delay_ns()
+
+        assert run_at(0.2) < run_at(0.6) < run_at(0.9)
+
+    def test_delay_is_never_negative(self):
+        arb = make()
+        for i in range(5000):
+            assert arb.request_fill(i * 100.0) >= 0.0
+
+    def test_delay_is_bounded(self):
+        arb = make()
+        for i in range(50000):
+            arb.request_fill(i * 0.1)  # absurd overload
+        limit = (arb.MAX_DELAY_SERVICES + 1) * arb.service_ns
+        # knee adds at most service/ (1-0.97)
+        limit += arb.service_ns * 0.97**2 / 0.03 + 1
+        assert arb.current_delay_ns() <= limit
+
+
+class TestWritebackThrottling:
+    def test_default_writebacks_do_not_feed_rate(self):
+        arb = make()
+        for i in range(2000):
+            arb.note_writeback(i * 1.0)
+        assert arb.busy_ns == 0.0
+        assert arb.writeback_bytes == 2000 * 64
+
+    def test_throttled_writebacks_raise_offered_load(self):
+        from dataclasses import replace
+
+        from repro.config import xeon20mb
+
+        socket = replace(xeon20mb(scale=1), throttle_writebacks=True)
+        arb = BandwidthArbiter(socket)
+        gap = 2 * arb.service_ns  # fills alone: 50% load
+        t = 0.0
+        for _ in range(20_000):
+            t += gap
+            arb.request_fill(t)
+            arb.note_writeback(t)  # doubles the traffic -> ~100% load
+        assert arb.offered_rho() > 0.8
+        assert arb.busy_ns > 0.0

@@ -1,0 +1,174 @@
+"""Reference SetAssociativeCache semantics."""
+
+import pytest
+
+from repro.config import CacheGeometry
+from repro.mem import SetAssociativeCache
+
+#: 4 sets x 2 ways x 64B lines = 512 B; line addresses used directly.
+GEOM = CacheGeometry(512, 64, 2, name="test")
+
+
+def make(policy="lru", track_owner=False):
+    return SetAssociativeCache(GEOM, policy=policy, track_owner=track_owner)
+
+
+def line(set_idx, tag):
+    """Compose a line address mapping to a given set with a given tag."""
+    return (tag << 2) | set_idx  # 4 sets -> 2 set bits
+
+
+class TestBasicHitMiss:
+    def test_first_access_misses_then_hits(self):
+        c = make()
+        assert not c.access(line(0, 1)).hit
+        assert c.access(line(0, 1)).hit
+        assert c.stats.accesses == 2
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_distinct_sets_do_not_conflict(self):
+        c = make()
+        c.access(line(0, 1))
+        c.access(line(1, 1))
+        assert c.access(line(0, 1)).hit
+        assert c.access(line(1, 1)).hit
+
+    def test_set_and_tag_split(self):
+        c = make()
+        s, t = c.set_and_tag(line(3, 7))
+        assert (s, t) == (3, 7)
+
+    def test_miss_rate_property(self):
+        c = make()
+        for tag in range(4):
+            c.access(line(0, tag))
+        assert c.stats.miss_rate == 1.0
+
+
+class TestEviction:
+    def test_lru_evicts_oldest(self):
+        c = make()
+        c.access(line(0, 1))
+        c.access(line(0, 2))
+        res = c.access(line(0, 3))  # set 0 full (2 ways): evict tag 1
+        assert res.evicted_line == line(0, 1)
+        assert not c.probe(line(0, 1))
+        assert c.probe(line(0, 2)) and c.probe(line(0, 3))
+
+    def test_hit_refreshes_recency(self):
+        c = make()
+        c.access(line(0, 1))
+        c.access(line(0, 2))
+        c.access(line(0, 1))  # 2 is now LRU
+        res = c.access(line(0, 3))
+        assert res.evicted_line == line(0, 2)
+
+    def test_eviction_counts(self):
+        c = make()
+        for tag in range(5):
+            c.access(line(0, tag))
+        assert c.stats.evictions == 3
+
+
+class TestDirtyAndWriteback:
+    def test_dirty_eviction_counts_writeback(self):
+        c = make()
+        c.access(line(0, 1), is_write=True)
+        c.access(line(0, 2))
+        c.access(line(0, 3))  # evicts dirty tag 1
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = make()
+        c.access(line(0, 1))
+        c.access(line(0, 2))
+        res = c.access(line(0, 3))
+        assert not res.evicted_dirty
+        assert c.stats.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        c = make()
+        c.access(line(0, 1))
+        c.access(line(0, 1), is_write=True)
+        c.access(line(0, 2))
+        c.access(line(0, 3))
+        assert c.stats.writebacks == 1
+
+
+class TestInstallProbeInvalidate:
+    def test_install_does_not_count_access(self):
+        c = make()
+        c.install(line(0, 1))
+        assert c.stats.accesses == 0
+        assert c.probe(line(0, 1))
+
+    def test_install_refreshes_existing(self):
+        c = make()
+        c.access(line(0, 1))
+        c.access(line(0, 2))
+        c.install(line(0, 1))  # refresh: 2 becomes LRU
+        assert c.access(line(0, 3)).evicted_line == line(0, 2)
+
+    def test_invalidate(self):
+        c = make()
+        c.access(line(0, 1))
+        assert c.invalidate(line(0, 1))
+        assert not c.probe(line(0, 1))
+        assert not c.invalidate(line(0, 1))
+
+    def test_probe_is_non_mutating(self):
+        c = make()
+        c.access(line(0, 1))
+        c.access(line(0, 2))
+        c.probe(line(0, 1))  # must NOT refresh recency
+        assert c.access(line(0, 3)).evicted_line == line(0, 1)
+
+
+class TestOccupancyAndOwner:
+    def test_resident_lines_and_occupancy(self):
+        c = make()
+        addresses = {line(0, 1), line(1, 2), line(2, 3)}
+        for a in addresses:
+            c.access(a)
+        assert set(c.resident_lines()) == addresses
+        assert c.occupancy() == 3
+
+    def test_owner_attribution(self):
+        c = make(track_owner=True)
+        c.access(line(0, 1), owner=7)
+        c.access(line(1, 1), owner=7)
+        c.access(line(2, 1), owner=3)
+        assert c.occupancy_by_owner() == {7: 2, 3: 1}
+
+    def test_owner_changes_on_touch(self):
+        c = make(track_owner=True)
+        c.access(line(0, 1), owner=1)
+        c.access(line(0, 1), owner=2)
+        assert c.occupancy_by_owner() == {2: 1}
+
+    def test_owner_requires_tracking(self):
+        c = make()
+        with pytest.raises(ValueError):
+            c.occupancy_by_owner()
+
+    def test_flush_empties_but_keeps_stats(self):
+        c = make()
+        c.access(line(0, 1))
+        c.flush()
+        assert c.occupancy() == 0
+        assert c.stats.accesses == 1
+
+
+class TestPolicyPluggability:
+    def test_fifo_policy_by_name(self):
+        c = make(policy="fifo")
+        c.access(line(0, 1))
+        c.access(line(0, 2))
+        c.access(line(0, 1))  # FIFO: does not refresh
+        assert c.access(line(0, 3)).evicted_line == line(0, 1)
+
+    def test_policy_shape_mismatch_raises(self):
+        from repro.mem import LRUPolicy
+
+        with pytest.raises(ValueError, match="shape"):
+            SetAssociativeCache(GEOM, policy=LRUPolicy(8, 8))

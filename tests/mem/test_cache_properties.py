@@ -1,0 +1,93 @@
+"""Property-based tests of the reference cache (hypothesis).
+
+The key invariant is the LRU *inclusion property*: an access hits a
+``W``-way LRU set iff fewer than ``W`` distinct lines of that set were
+touched since the previous access to the same line. We check the cache
+against an oracle that computes exactly that.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheGeometry
+from repro.mem import SetAssociativeCache
+
+GEOM = CacheGeometry(1024, 64, 4, name="prop")  # 4 sets x 4 ways
+N_SETS, WAYS = GEOM.n_sets, GEOM.ways
+
+traces = st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=400)
+
+
+def oracle_hits(trace: list[int]) -> list[bool]:
+    """Per-set LRU stack simulation, the textbook way."""
+    stacks: dict[int, list[int]] = {}
+    hits = []
+    for a in trace:
+        s = a % N_SETS
+        stack = stacks.setdefault(s, [])
+        if a in stack:
+            hits.append(True)
+            stack.remove(a)
+        else:
+            hits.append(False)
+            if len(stack) == WAYS:
+                stack.pop(0)
+        stack.append(a)
+    return hits
+
+
+@given(traces)
+@settings(max_examples=200, deadline=None)
+def test_lru_matches_stack_oracle(trace):
+    cache = SetAssociativeCache(GEOM)
+    got = [cache.access(a).hit for a in trace]
+    assert got == oracle_hits(trace)
+
+
+@given(traces)
+@settings(max_examples=100, deadline=None)
+def test_occupancy_never_exceeds_capacity(trace):
+    cache = SetAssociativeCache(GEOM)
+    for a in trace:
+        cache.access(a)
+        assert cache.occupancy() <= GEOM.n_lines
+
+
+@given(traces)
+@settings(max_examples=100, deadline=None)
+def test_stats_are_consistent(trace):
+    cache = SetAssociativeCache(GEOM)
+    for a in trace:
+        cache.access(a)
+    s = cache.stats
+    assert s.hits + s.misses == s.accesses == len(trace)
+    assert s.fills == s.misses
+    assert s.evictions <= s.misses
+    assert s.writebacks <= s.evictions
+    # Every missed line was filled; residency = fills - evictions.
+    assert cache.occupancy() == s.fills - s.evictions
+
+
+@given(traces, st.sampled_from(["lru", "fifo", "plru", "random"]))
+@settings(max_examples=100, deadline=None)
+def test_all_policies_preserve_capacity_invariants(trace, policy):
+    cache = SetAssociativeCache(GEOM, policy=policy)
+    for a in trace:
+        cache.access(a)
+    assert cache.occupancy() <= GEOM.n_lines
+    assert cache.stats.hits + cache.stats.misses == len(trace)
+
+
+@given(traces)
+@settings(max_examples=100, deadline=None)
+def test_resident_lines_agree_with_probe_and_trace(trace):
+    cache = SetAssociativeCache(GEOM)
+    for a in trace:
+        cache.access(a)
+    resident = set(cache.resident_lines())
+    # Residency reported by the iterator agrees with probe(), and every
+    # resident line was actually accessed.
+    for a in set(trace) | resident:
+        assert (a in resident) == cache.probe(a)
+    assert resident <= set(trace)

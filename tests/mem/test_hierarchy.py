@@ -1,0 +1,71 @@
+"""Reference multi-level hierarchy composition."""
+
+import pytest
+
+from repro.mem import DRAM, L1, L2, L3, SocketHierarchy
+
+
+@pytest.fixture
+def hier(tiny):
+    return SocketHierarchy(tiny)
+
+
+class TestAccessPath:
+    def test_cold_access_goes_to_dram(self, hier):
+        assert hier.access(0, 100).level == DRAM
+
+    def test_immediate_reuse_hits_l1(self, hier):
+        hier.access(0, 100)
+        assert hier.access(0, 100).level == L1
+
+    def test_l2_hit_after_l1_eviction(self, hier, tiny):
+        hier.access(0, 100)
+        # Evict line 100 from L1 (2-way x 8 sets at tiny scale) by
+        # touching enough conflicting lines; they stay in the larger L2.
+        n_l1_sets = tiny.l1.n_sets
+        for i in range(1, 3):
+            hier.access(0, 100 + i * n_l1_sets)
+        assert hier.access(0, 100).level == L2
+
+    def test_l3_hit_after_private_eviction(self, hier, tiny):
+        hier.access(0, 100)
+        # Blow both private levels with conflicting lines; the shared L3
+        # (4-way, larger) keeps the line.
+        n_l2_sets = tiny.l2.n_sets
+        for i in range(1, 5):
+            hier.access(0, 100 + i * n_l2_sets * tiny.l3.n_sets)
+        result = hier.access(0, 100)
+        assert result.level in (L3, DRAM)
+
+    def test_shared_l3_serves_other_core(self, hier):
+        """Core 1 can hit a line core 0 fetched: the L3 is shared, the
+        private levels are not."""
+        hier.access(0, 100)
+        res = hier.access(1, 100)
+        assert res.level == L3
+
+    def test_private_levels_are_private(self, hier):
+        hier.access(0, 100)
+        hier.access(1, 100)  # L3 hit, fills core 1 privates
+        assert hier.access(0, 100).level == L1
+        assert hier.access(1, 100).level == L1
+
+
+class TestEvictionReporting:
+    def test_l3_eviction_reported_with_dirtiness(self, tiny):
+        hier = SocketHierarchy(tiny)
+        n_l3_lines = tiny.l3.n_lines
+        n_sets = tiny.l3.n_sets
+        # Fill one L3 set (4 ways) with writes, then overflow it.
+        lines = [7 + i * n_sets for i in range(tiny.l3.ways + 1)]
+        for a in lines[:-1]:
+            hier.access(0, a, is_write=True)
+        res = hier.access(0, lines[-1])
+        assert res.level == DRAM
+        assert res.l3_evicted_line == lines[0]
+        assert res.l3_evicted_dirty
+
+    def test_owner_tracking_through_hierarchy(self, tiny):
+        hier = SocketHierarchy(tiny, track_owner=True)
+        hier.access(2, 500)
+        assert hier.l3.occupancy_by_owner() == {2: 1}

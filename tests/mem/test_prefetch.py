@@ -1,0 +1,106 @@
+"""Stride prefetcher: detection, continuation, defeat by randomness."""
+
+import numpy as np
+
+from repro.config import PrefetchConfig
+from repro.mem import StridePrefetcher
+
+
+def make(degree=4, detect_after=2, n_streams=8, enabled=True):
+    return StridePrefetcher(
+        PrefetchConfig(
+            enabled=enabled, degree=degree, detect_after=detect_after, n_streams=n_streams
+        )
+    )
+
+
+class TestDetection:
+    def test_confirms_after_detect_after_strides(self):
+        pf = make(degree=4, detect_after=2)
+        assert pf.observe_miss(100) == []
+        assert pf.observe_miss(107) == []  # first stride seen
+        out = pf.observe_miss(114)  # second identical stride -> confirm
+        assert out == [121, 128, 135, 142]
+
+    def test_batch_respects_degree(self):
+        pf = make(degree=2)
+        pf.observe_miss(0)
+        pf.observe_miss(5)
+        assert pf.observe_miss(10) == [15, 20]
+
+    def test_negative_stride_streams(self):
+        pf = make(degree=3)
+        pf.observe_miss(100)
+        pf.observe_miss(90)
+        assert pf.observe_miss(80) == [70, 60, 50]
+
+    def test_zero_stride_never_confirms(self):
+        pf = make()
+        for _ in range(10):
+            assert pf.observe_miss(42) == []
+
+
+class TestContinuation:
+    def test_expected_miss_continues_stream(self):
+        """After a batch, the next miss at L+(d+1)s re-stages immediately
+        (steady state: one miss per degree+1 lines)."""
+        pf = make(degree=4, detect_after=2)
+        pf.observe_miss(0)
+        pf.observe_miss(7)
+        pf.observe_miss(14)  # confirm, stages 21..42, expects 49
+        out = pf.observe_miss(49)
+        assert out == [56, 63, 70, 77]
+
+    def test_unexpected_miss_breaks_stream(self):
+        pf = make(degree=4, detect_after=2)
+        pf.observe_miss(0)
+        pf.observe_miss(7)
+        pf.observe_miss(14)
+        assert pf.observe_miss(1000) == []  # wrap/jump: re-detection needed
+
+    def test_streams_are_independent(self):
+        pf = make(degree=2, detect_after=2)
+        # Interleave two streams with different strides on distinct ids.
+        seq_a = [0, 7, 14, 21]
+        seq_b = [1000, 1003, 1006, 1009]
+        outs_a, outs_b = [], []
+        for a, b in zip(seq_a, seq_b):
+            outs_a.append(pf.observe_miss(a, stream_id=0))
+            outs_b.append(pf.observe_miss(b, stream_id=1))
+        assert outs_a[2] == [21, 28]
+        assert outs_b[2] == [1009, 1012]
+
+
+class TestDefeatAndLimits:
+    def test_random_access_never_confirms(self):
+        """The paper's CSThr design point: random access defeats the
+        prefetcher."""
+        pf = make(degree=4)
+        rng = np.random.default_rng(0)
+        for a in rng.integers(0, 100_000, size=2000).tolist():
+            assert pf.observe_miss(a) == []
+
+    def test_disabled_returns_nothing(self):
+        pf = make(enabled=False)
+        for a in (0, 7, 14, 21, 28):
+            assert pf.observe_miss(a) == []
+
+    def test_degree_zero_returns_nothing(self):
+        pf = StridePrefetcher(PrefetchConfig(enabled=True, degree=0))
+        for a in (0, 7, 14, 21):
+            assert pf.observe_miss(a) == []
+
+    def test_stream_table_is_bounded(self):
+        pf = make(n_streams=4)
+        for sid in range(100):
+            pf.observe_miss(sid * 1000, stream_id=sid)
+        assert len(pf._streams) <= 4
+
+    def test_reset(self):
+        pf = make()
+        pf.observe_miss(0)
+        pf.observe_miss(7)
+        pf.observe_miss(14)
+        pf.reset()
+        assert pf.issued_batches == 0
+        assert pf.observe_miss(21) == []  # state gone

@@ -1,0 +1,95 @@
+"""Replacement policies on hand-checkable traces."""
+
+import pytest
+
+from repro.mem import (
+    FIFOPolicy,
+    LRUPolicy,
+    POLICIES,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        p = LRUPolicy(1, 3)
+        for way in (0, 1, 2):
+            p.on_fill(0, way)
+        assert p.victim(0) == 0
+        p.on_hit(0, 0)  # refresh 0 -> oldest becomes 1
+        assert p.victim(0) == 1
+
+    def test_refill_refreshes(self):
+        p = LRUPolicy(1, 2)
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        p.on_fill(0, 0)  # re-install way 0
+        assert p.victim(0) == 1
+
+    def test_sets_are_independent(self):
+        p = LRUPolicy(2, 2)
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        p.on_fill(1, 1)
+        p.on_fill(1, 0)
+        assert p.victim(0) == 0
+        assert p.victim(1) == 1
+
+
+class TestFIFO:
+    def test_hit_does_not_refresh(self):
+        p = FIFOPolicy(1, 2)
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        p.on_hit(0, 0)  # FIFO ignores hits
+        assert p.victim(0) == 0
+
+    def test_fill_order_respected(self):
+        p = FIFOPolicy(1, 3)
+        for way in (2, 0, 1):
+            p.on_fill(0, way)
+        assert p.victim(0) == 2
+
+
+class TestRandom:
+    def test_deterministic_under_seed(self):
+        a = RandomPolicy(1, 8, seed=42)
+        b = RandomPolicy(1, 8, seed=42)
+        assert [a.victim(0) for _ in range(20)] == [b.victim(0) for _ in range(20)]
+
+    def test_victims_in_range(self):
+        p = RandomPolicy(1, 4, seed=1)
+        assert all(0 <= p.victim(0) < 4 for _ in range(100))
+
+
+class TestTreePLRU:
+    def test_victim_in_range_non_pow2_ways(self):
+        p = TreePLRUPolicy(1, 20)  # the paper's L3 associativity
+        for way in range(20):
+            p.on_fill(0, way)
+        assert 0 <= p.victim(0) < 20
+
+    def test_points_away_from_most_recent(self):
+        p = TreePLRUPolicy(1, 4)
+        p.on_hit(0, 0)
+        assert p.victim(0) != 0
+
+    def test_approximates_lru_on_sequential_touch(self):
+        p = TreePLRUPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            p.on_hit(0, way)
+        # After touching 0..3 in order the victim should be in the old half.
+        assert p.victim(0) in (0, 1)
+
+
+class TestRegistry:
+    def test_all_policies_constructible(self):
+        for name in POLICIES:
+            p = make_policy(name, 4, 4)
+            assert p.n_sets == 4 and p.ways == 4
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown replacement"):
+            make_policy("belady", 4, 4)

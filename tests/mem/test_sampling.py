@@ -1,0 +1,65 @@
+"""Set-sampled miss-ratio estimation."""
+
+import numpy as np
+import pytest
+
+from repro.config import xeon20mb
+from repro.errors import ConfigError
+from repro.mem import SampledL3, sampled_miss_rate
+from repro.trace import record_trace
+from repro.units import MiB
+from repro.workloads import ProbabilisticBenchmark, UniformDist, NormalDist
+
+
+class TestMechanics:
+    def test_sample_shift_zero_simulates_everything(self, xeon):
+        sim = SampledL3(xeon, sample_shift=0)
+        rng = np.random.default_rng(0)
+        n = sim.run(rng.integers(0, 10_000, size=5000))
+        assert n == 5000
+
+    def test_sampling_fraction(self, xeon):
+        sim = SampledL3(xeon, sample_shift=3)
+        rng = np.random.default_rng(1)
+        n = sim.run(rng.integers(0, 100_000, size=40_000))
+        assert n == pytest.approx(40_000 / 8, rel=0.1)
+        assert sim.sampled_fraction == 0.125
+
+    def test_counters_and_reset(self, xeon):
+        sim = SampledL3(xeon, sample_shift=2)
+        rng = np.random.default_rng(2)
+        sim.run(rng.integers(0, 50_000, size=20_000))
+        assert sim.hits + sim.misses == sim.accesses > 0
+        sim.reset_counters()
+        assert sim.accesses == 0
+
+    def test_accepts_plain_lists(self, xeon):
+        sim = SampledL3(xeon, sample_shift=1)
+        sim.run([0, 1, 2, 3, 4, 5, 6, 7])
+        assert sim.accesses == 4  # even set indices only
+
+    def test_validation(self, xeon):
+        with pytest.raises(ConfigError):
+            SampledL3(xeon, sample_shift=-1)
+        with pytest.raises(ConfigError):
+            SampledL3(xeon, sample_shift=30)
+        with pytest.raises(ConfigError):
+            sampled_miss_rate(xeon, np.array([1, 2]), warmup_fraction=1.0)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("dist", [UniformDist(), NormalDist(6)], ids=["Uni", "Norm_6"])
+    def test_sampled_estimate_tracks_full_simulation(self, xeon, dist):
+        """Kessler's result: 1/8 sampling estimates the miss ratio of the
+        full cache within a few points."""
+        probe = ProbabilisticBenchmark(dist, 50 * MiB)
+        trace = record_trace(probe, 120_000, xeon).lines
+        full = sampled_miss_rate(xeon, trace, sample_shift=0)
+        est = sampled_miss_rate(xeon, trace, sample_shift=3)
+        assert est == pytest.approx(full, abs=0.03)
+
+    def test_uniform_matches_eq4(self, xeon):
+        probe = ProbabilisticBenchmark(UniformDist(), 40 * MiB)
+        trace = record_trace(probe, 120_000, xeon).lines
+        est = sampled_miss_rate(xeon, trace, sample_shift=3)
+        assert est == pytest.approx(1 - 20 / 40, abs=0.05)

@@ -1,0 +1,108 @@
+"""Degradation curves, use-bracketing, alternative-machine prediction."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.models import (
+    AlternativeMachinePrediction,
+    DegradationCurve,
+    DegradationPoint,
+    combine_slowdowns,
+    curve_from_measurements,
+)
+
+
+def curve(points):
+    return DegradationCurve(
+        resource="capacity",
+        points=[DegradationPoint(available=a, time_ns=t) for a, t in points],
+    )
+
+
+class TestCurve:
+    def test_points_sorted_by_availability(self):
+        c = curve([(20, 100.0), (5, 200.0), (12, 110.0)])
+        assert [p.available for p in c.points] == [5, 12, 20]
+
+    def test_baseline_is_most_generous_point(self):
+        c = curve([(5, 200.0), (20, 100.0)])
+        assert c.baseline_time_ns == 100.0
+
+    def test_interpolated_slowdown(self):
+        c = curve([(10, 150.0), (20, 100.0)])
+        assert c.slowdown_at(15) == pytest.approx(1.25)
+
+    def test_clamps_outside_range(self):
+        c = curve([(10, 150.0), (20, 100.0)])
+        assert c.slowdown_at(5) == pytest.approx(1.5)
+        assert c.slowdown_at(100) == pytest.approx(1.0)
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(MeasurementError):
+            DegradationCurve(resource="x", points=[])
+
+
+class TestUseBounds:
+    def test_bracketing(self):
+        """Paper protocol: most-starved clean point = upper bound; the
+        least-starved degraded point = lower bound."""
+        c = curve([(2.5, 130.0), (5, 120.0), (7, 101.0), (12, 100.5), (20, 100.0)])
+        lo, hi = c.use_bounds(threshold=0.05)
+        assert lo == 5  # degraded at 5 and below
+        assert hi == 7  # clean at 7 and above
+
+    def test_never_degrades(self):
+        c = curve([(5, 100.0), (20, 100.0)])
+        lo, hi = c.use_bounds()
+        assert lo == hi == 5  # uses at most the least we offered
+
+    def test_always_degrades(self):
+        c = curve([(5, 200.0), (20, 150.0), (40, 100.0)])
+        lo, hi = c.use_bounds()
+        # degraded even at 20 (150/100 > 1.05) -> crossing around the top
+        assert hi == 40
+
+    def test_threshold_sensitivity(self):
+        c = curve([(5, 104.0), (20, 100.0)])
+        assert c.use_bounds(threshold=0.05) == (5, 5)      # 4% ignored
+        lo, hi = c.use_bounds(threshold=0.01)
+        assert (lo, hi) == (5, 20)                          # 4% counted
+
+
+class TestPrediction:
+    def test_combination_is_multiplicative(self):
+        assert combine_slowdowns(1.2, 1.5) == pytest.approx(1.8)
+
+    def test_combination_clamps_speedups(self):
+        assert combine_slowdowns(0.9, 1.5) == pytest.approx(1.5)
+
+    def test_alternative_machine(self):
+        cap = curve([(5, 130.0), (10, 110.0), (20, 100.0)])
+        bw = DegradationCurve(
+            resource="bandwidth",
+            points=[
+                DegradationPoint(available=8e9, time_ns=120.0),
+                DegradationPoint(available=17e9, time_ns=100.0),
+            ],
+        )
+        pred = AlternativeMachinePrediction(capacity_curve=cap, bandwidth_curve=bw)
+        s = pred.predict(capacity_available=5, bandwidth_available=8e9)
+        assert s == pytest.approx(1.3 * 1.2)
+
+    def test_capacity_only_prediction(self):
+        cap = curve([(5, 130.0), (20, 100.0)])
+        pred = AlternativeMachinePrediction(capacity_curve=cap)
+        assert pred.predict(5) == pytest.approx(1.3)
+
+
+class TestConstructor:
+    def test_from_measurements(self):
+        c = curve_from_measurements("capacity", [20, 5], [100.0, 150.0], [0, 5])
+        assert c.points[0].available == 5
+        assert c.points[0].n_interference == 5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MeasurementError):
+            curve_from_measurements("x", [1, 2], [1.0])
+        with pytest.raises(MeasurementError):
+            curve_from_measurements("x", [1, 2], [1.0, 2.0], [0])

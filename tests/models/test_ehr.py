@@ -1,0 +1,111 @@
+"""Eq. 4 (EHR) model and its inversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models import (
+    EHRModel,
+    check_assumptions,
+    effective_capacity_lines,
+    expected_hit_rate,
+    predicted_miss_rate,
+    sum_f_squared,
+)
+from repro.workloads import NormalDist, UniformDist
+
+
+def uniform_pmf(n_lines):
+    return np.full(n_lines, 1.0 / n_lines)
+
+
+class TestSumFSquared:
+    def test_uniform_closed_form(self):
+        """Uniform over n lines: sum f^2 = 1/n."""
+        assert sum_f_squared(uniform_pmf(100)) == pytest.approx(0.01)
+
+    def test_concentration_increases_s2(self):
+        n = 256
+        uni = UniformDist().line_pmf(n * 16, 16)
+        norm = NormalDist(8).line_pmf(n * 16, 16)
+        assert sum_f_squared(norm) > sum_f_squared(uni)
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ModelError, match="sums to"):
+            sum_f_squared(np.array([0.2, 0.2]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelError):
+            sum_f_squared(np.array([1.2, -0.2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            sum_f_squared(np.array([]))
+
+
+class TestEq4:
+    def test_uniform_ehr_is_capacity_ratio(self):
+        """EHR = C * (1/n): the paper's 'Cache capacity / Buffer size'."""
+        pmf = uniform_pmf(500)
+        assert expected_hit_rate(200, pmf) == pytest.approx(0.4)
+        assert predicted_miss_rate(200, pmf) == pytest.approx(0.6)
+
+    def test_clipped_at_one_when_buffer_fits(self):
+        assert expected_hit_rate(10_000, uniform_pmf(100)) == 1.0
+
+    def test_monotone_in_capacity(self):
+        pmf = NormalDist(6).line_pmf(4096, 16)
+        rates = [predicted_miss_rate(c, pmf) for c in (10, 50, 100, 200)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ModelError):
+            expected_hit_rate(0, uniform_pmf(10))
+
+
+class TestInversion:
+    def test_roundtrip_recovers_capacity(self):
+        """inversion(miss_rate(C)) == C while EHR is not clipped — the
+        measurement instrument of Section III-C3."""
+        pmf = uniform_pmf(1000)
+        for c in (100, 250, 500, 900):
+            mr = predicted_miss_rate(c, pmf)
+            assert effective_capacity_lines(mr, pmf) == pytest.approx(c)
+
+    def test_rejects_out_of_range_miss_rate(self):
+        with pytest.raises(ModelError):
+            effective_capacity_lines(1.5, uniform_pmf(10))
+
+    def test_monotone_in_miss_rate(self):
+        pmf = uniform_pmf(100)
+        caps = [effective_capacity_lines(m, pmf) for m in (0.2, 0.5, 0.8)]
+        assert caps == sorted(caps, reverse=True)
+
+
+class TestAssumptions:
+    def test_zero_probability_line_rejected(self):
+        pmf = np.array([0.5, 0.5, 0.0, 0.0])
+        pmf = pmf / pmf.sum()
+        with pytest.raises(ModelError, match="non-zero"):
+            check_assumptions(2, pmf)
+
+    def test_buffer_must_exceed_cache(self):
+        with pytest.raises(ModelError, match="larger than the cache"):
+            check_assumptions(200, uniform_pmf(100))
+
+    def test_valid_case_passes(self):
+        check_assumptions(50, uniform_pmf(100))
+
+
+class TestEHRModelWrapper:
+    def test_byte_conversions(self):
+        pmf = uniform_pmf(1000)
+        model = EHRModel(pmf, line_bytes=64)
+        mr = model.miss_rate(cache_bytes=500 * 64)
+        assert mr == pytest.approx(0.5)
+        assert model.effective_capacity_bytes(mr) == pytest.approx(500 * 64)
+
+    def test_check_delegates(self):
+        model = EHRModel(uniform_pmf(100), line_bytes=64)
+        with pytest.raises(ModelError):
+            model.check(cache_bytes=100 * 64)

@@ -1,0 +1,51 @@
+"""Property-based tests of the EHR model (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.models import (
+    effective_capacity_lines,
+    expected_hit_rate,
+    predicted_miss_rate,
+    sum_f_squared,
+)
+
+pmfs = st.lists(
+    st.floats(min_value=0.01, max_value=10.0),
+    min_size=8,
+    max_size=256,
+).map(lambda ws: np.array(ws) / np.sum(ws))
+
+
+@given(pmfs, st.integers(min_value=1, max_value=10_000))
+@settings(max_examples=200, deadline=None)
+def test_ehr_in_unit_interval(pmf, capacity):
+    ehr = expected_hit_rate(capacity, pmf)
+    assert 0.0 <= ehr <= 1.0
+    assert predicted_miss_rate(capacity, pmf) == pytest.approx(1.0 - ehr)
+
+
+@given(pmfs, st.integers(min_value=1, max_value=500))
+@settings(max_examples=200, deadline=None)
+def test_inversion_roundtrip_when_not_clipped(pmf, capacity):
+    ehr_raw = capacity * sum_f_squared(pmf)
+    assume(ehr_raw < 0.999)  # clipping destroys information by design
+    mr = predicted_miss_rate(capacity, pmf)
+    assert effective_capacity_lines(mr, pmf) == pytest.approx(capacity, rel=1e-9)
+
+
+@given(pmfs)
+@settings(max_examples=100, deadline=None)
+def test_s2_bounds(pmf):
+    """1/n <= sum f^2 <= max f; equality on the left iff uniform."""
+    s2 = sum_f_squared(pmf)
+    assert s2 >= 1.0 / len(pmf) - 1e-12
+    assert s2 <= pmf.max() + 1e-12
+
+
+@given(pmfs, st.integers(min_value=1, max_value=400), st.integers(min_value=1, max_value=400))
+@settings(max_examples=100, deadline=None)
+def test_ehr_monotone_in_capacity(pmf, c1, c2):
+    lo, hi = sorted((c1, c2))
+    assert expected_hit_rate(lo, pmf) <= expected_hit_rate(hi, pmf) + 1e-12

@@ -1,0 +1,69 @@
+"""Empirical miss-rate baselines (Hartstein power law, Hill & Smith)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models import (
+    PowerLawMissModel,
+    associativity_inflation,
+    corrected_miss_rate,
+)
+
+
+class TestPowerLaw:
+    def test_sqrt2_rule(self):
+        """Doubling capacity with alpha=0.5 divides the miss rate by
+        sqrt(2) — the rule the Hartstein paper is named after."""
+        m = PowerLawMissModel(m0=0.4, c0_bytes=1e6, alpha=0.5)
+        assert m.miss_rate(2e6) == pytest.approx(0.4 / np.sqrt(2))
+
+    def test_clips_at_one(self):
+        m = PowerLawMissModel(m0=0.9, c0_bytes=1e6, alpha=1.0)
+        assert m.miss_rate(1e3) == 1.0
+        assert m.miss_rate(0) == 1.0
+
+    def test_fit_recovers_parameters(self):
+        true = PowerLawMissModel(m0=0.3, c0_bytes=4e6, alpha=0.62)
+        caps = np.array([1e6, 2e6, 4e6, 8e6, 16e6])
+        rates = np.array([true.miss_rate(c) for c in caps])
+        fitted = PowerLawMissModel.fit(caps, rates)
+        assert fitted.alpha == pytest.approx(0.62, rel=0.05)
+        for c in caps:
+            assert fitted.miss_rate(c) == pytest.approx(true.miss_rate(c), rel=0.02)
+
+    def test_fit_rejects_degenerate_input(self):
+        with pytest.raises(ModelError):
+            PowerLawMissModel.fit(np.array([1e6]), np.array([0.5]))
+        with pytest.raises(ModelError):
+            PowerLawMissModel.fit(np.array([1e6, -1]), np.array([0.5, 0.4]))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            PowerLawMissModel(m0=0.0, c0_bytes=1e6)
+        with pytest.raises(ModelError):
+            PowerLawMissModel(m0=0.5, c0_bytes=-1)
+
+
+class TestAssociativity:
+    def test_monotone_decreasing_in_ways(self):
+        vals = [associativity_inflation(w) for w in (1, 2, 4, 8, 16, 20)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_limits(self):
+        assert associativity_inflation(1) == pytest.approx(1.33)
+        assert associativity_inflation(256) == 1.0
+
+    def test_interpolated_values_bracketed(self):
+        v = associativity_inflation(12)
+        assert associativity_inflation(16) < v < associativity_inflation(8)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ModelError):
+            associativity_inflation(0)
+
+    def test_correction_clips(self):
+        assert corrected_miss_rate(0.9, 1) == 1.0
+        assert corrected_miss_rate(0.5, 20) == pytest.approx(0.5 * 1.012)
+        with pytest.raises(ModelError):
+            corrected_miss_rate(1.2, 8)

@@ -1,0 +1,62 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.analysis import ExperimentRecord
+from repro.cli import main, _registry
+
+
+class TestBasicCommands:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        assert capsys.readouterr().out.strip() == __version__
+
+    def test_list_names_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig5", "fig6", "fig9", "fig11", "calibration"):
+            assert name in out
+
+    def test_machine_default_and_scaled(self, capsys):
+        assert main(["machine"]) == 0
+        assert "1/16" in capsys.readouterr().out
+        assert main(["machine", "--scale", "1"]) == 0
+        assert "20MiB" in capsys.readouterr().out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_executes_and_saves(self, capsys, tmp_path, monkeypatch):
+        import repro.cli as cli
+
+        def fake_registry():
+            def run(mode, seed=0):
+                return ExperimentRecord(
+                    experiment_id="fake", title="Fake", data={"x": [1]},
+                    notes=["note-1"],
+                )
+
+            return {"fake": ("a fake experiment", run, lambda r: "RENDERED")}
+
+        monkeypatch.setattr(cli, "_registry", fake_registry)
+        assert main(["run", "fake", "--out", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "RENDERED" in captured.out
+        assert "note-1" in captured.out
+        payload = json.loads((tmp_path / "fake.json").read_text())
+        assert payload["experiment_id"] == "fake"
+
+    def test_registry_entries_are_callable(self):
+        for name, (desc, run_fn, render_fn) in _registry().items():
+            assert callable(run_fn), name
+            assert isinstance(desc, str) and desc

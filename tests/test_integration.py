@@ -1,0 +1,76 @@
+"""End-to-end integration: the full Active Measurement pipeline.
+
+Probe -> interference sweeps -> calibrations -> availability curves ->
+resource-use bracketing -> alternative-machine prediction, exactly the
+workflow a user of the paper's tool would run.
+"""
+
+import pytest
+
+from repro import (
+    ActiveMeasurement,
+    calibrate_bandwidth,
+    calibrate_capacity,
+    exascale_node,
+    xeon20mb,
+)
+from repro.core import (
+    HierarchyPredictor,
+    bandwidth_curve,
+    capacity_curve,
+    resource_use,
+)
+from repro.units import MiB
+from repro.workloads import ProbabilisticBenchmark, UniformDist
+
+
+@pytest.mark.slow
+class TestFullPipeline:
+    def test_probe_campaign_to_prediction(self):
+        socket = xeon20mb()
+        am = ActiveMeasurement(
+            socket,
+            lambda: ProbabilisticBenchmark(UniformDist(), 40 * MiB),
+            warmup_accesses=20_000,
+            measure_accesses=15_000,
+            seed=5,
+        )
+        cs = am.capacity_sweep(ks=[0, 2, 4, 5])
+        bw = am.bandwidth_sweep(ks=[0, 1, 2])
+
+        cap_calib = calibrate_capacity(
+            socket, ks=[0, 2, 4, 5], warmup_accesses=25_000, measure_accesses=15_000
+        )
+        bw_calib = calibrate_bandwidth(socket, saturation_ks=())
+
+        cap_curve = capacity_curve(cs, cap_calib)
+        bw_curve = bandwidth_curve(bw, bw_calib)
+
+        # A 40 MB uniform probe is capacity-hungry: taking L3 away from it
+        # must slow it down monotonically-ish.
+        assert cs.slowdowns()[-1] > 1.02
+        est = resource_use(cap_curve, n_processes=1, threshold=0.03)
+        assert est.lower <= est.upper
+
+        predictor = HierarchyPredictor(cap_curve, bw_curve)
+        on_xeon = predictor.predict_socket(xeon20mb(scale=1))
+        on_exa = predictor.predict_socket(exascale_node(scale=1))
+        # The memory-starved machine must be predicted slower.
+        assert on_exa.combined_slowdown >= on_xeon.combined_slowdown
+        assert on_xeon.combined_slowdown == pytest.approx(1.0, abs=0.05)
+
+    def test_insensitive_workload_predicts_no_degradation(self):
+        """A probe whose working set fits far below any interference level
+        should be measured as insensitive (the paper's 'not sensitive'
+        branch of Fig. 1)."""
+        socket = xeon20mb()
+        am = ActiveMeasurement(
+            socket,
+            lambda: ProbabilisticBenchmark(UniformDist(), 1 * MiB),
+            warmup_accesses=15_000,
+            measure_accesses=10_000,
+            seed=6,
+        )
+        cs = am.capacity_sweep(ks=[0, 1, 2])
+        assert max(cs.slowdowns()) < 1.05
+        assert cs.degradation_onset() is None

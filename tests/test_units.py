@@ -1,0 +1,78 @@
+"""Unit helpers."""
+
+import pytest
+
+from repro.units import (
+    GBps,
+    GiB,
+    KiB,
+    MiB,
+    as_GBps,
+    fmt_bytes,
+    fmt_time_ns,
+    parse_size,
+)
+
+
+class TestConstants:
+    def test_binary_ladder(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+
+class TestBandwidth:
+    def test_roundtrip(self):
+        assert as_GBps(GBps(17.0)) == pytest.approx(17.0)
+
+    def test_gbps_is_decimal(self):
+        assert GBps(1) == 1e9
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0B"),
+            (63, "63B"),
+            (20 * MiB, "20MiB"),
+            (4 * KiB, "4KiB"),
+            (3 * GiB, "3GiB"),
+            (1536, "1.5KiB"),
+        ],
+    )
+    def test_fmt_bytes(self, n, expected):
+        assert fmt_bytes(n) == expected
+
+    @pytest.mark.parametrize(
+        "ns,expected",
+        [
+            (5.0, "5ns"),
+            (2_500.0, "2.5us"),
+            (3_000_000.0, "3ms"),
+            (2e9, "2s"),
+        ],
+    )
+    def test_fmt_time(self, ns, expected):
+        assert fmt_time_ns(ns) == expected
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64B", 64),
+            ("20MiB", 20 * MiB),
+            ("4 MB", 4_000_000),
+            ("1kb", 1000),
+            ("2GiB", 2 * GiB),
+            ("512", 512),
+            ("1.5KiB", 1536),
+        ],
+    )
+    def test_parse_size(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("lots")

@@ -1,0 +1,72 @@
+"""Trace recording from workloads."""
+
+import pytest
+
+from repro.config import tiny_socket, xeon20mb
+from repro.errors import SimulationError
+from repro.trace import ReuseProfile, record_trace
+from repro.units import KiB, MiB
+from repro.workloads import BWThr, CSThr, ProbabilisticBenchmark, UniformDist
+
+
+class TestRecorder:
+    def test_records_requested_length(self, tiny):
+        trace = record_trace(CSThr(buffer_bytes=4 * KiB), 1000, tiny)
+        assert len(trace) == 1000
+        assert trace.thread_name == "CSThr"
+
+    def test_write_fraction(self, tiny):
+        rmw = record_trace(CSThr(buffer_bytes=4 * KiB), 500, tiny)
+        assert rmw.write_fraction == 1.0
+        ro = record_trace(
+            ProbabilisticBenchmark(UniformDist(), 32 * KiB), 500, tiny
+        )
+        assert ro.write_fraction == 0.0
+
+    def test_deterministic_under_seed(self, tiny):
+        a = record_trace(CSThr(buffer_bytes=4 * KiB), 300, tiny, seed=5)
+        b = record_trace(CSThr(buffer_bytes=4 * KiB), 300, tiny, seed=5)
+        assert (a.lines == b.lines).all()
+
+    def test_rejects_zero_length(self, tiny):
+        with pytest.raises(SimulationError):
+            record_trace(CSThr(buffer_bytes=4 * KiB), 0, tiny)
+
+    def test_finite_thread_may_end_early(self, tiny):
+        probe = ProbabilisticBenchmark(UniformDist(), 32 * KiB, n_accesses=100)
+        trace = record_trace(probe, 10_000, tiny)
+        assert len(trace) == 100
+
+
+class TestTraceAnalysisIntegration:
+    def test_csthr_trace_working_set_is_its_buffer(self, xeon):
+        cs = CSThr()  # 4 MB paper -> 4096 sim lines
+        trace = record_trace(cs, 30_000, xeon)
+        assert trace.distinct_lines() <= cs.footprint_lines()
+        assert trace.distinct_lines() > 0.9 * cs.footprint_lines()
+
+    def test_bwthr_trace_is_streaming(self, xeon):
+        """BWThr's reuse distances are ~its whole footprint: stack
+        analysis sees it as a pure streaming workload (no capacity it
+        could productively use below its footprint)."""
+        bw = BWThr(n_buffers=4)
+        trace = record_trace(bw, 12_000, xeon)
+        profile = ReuseProfile.from_trace(trace.lines)
+        footprint = bw.footprint_lines()
+        # Miss rate stays ~1 until capacity approaches the footprint.
+        assert profile.miss_rate_at(footprint // 2, include_cold=False) > 0.95
+
+    def test_probe_curve_matches_eq4(self, xeon):
+        """Cross-instrument check: the stack-distance curve of a uniform
+        probe equals Eq. 4's prediction at every capacity. The trace must
+        be long relative to the buffer (many touches per line) or the
+        warm-access sample is biased toward short distances."""
+        probe = ProbabilisticBenchmark(UniformDist(), 4 * MiB)
+        trace = record_trace(probe, 80_000, xeon)  # ~20 touches/line
+        profile = ReuseProfile.from_trace(trace.lines)
+        n_lines = probe.buffer.n_lines
+        for frac in (0.25, 0.5, 0.75):
+            cap = int(n_lines * frac)
+            assert profile.miss_rate_at(cap, include_cold=False) == pytest.approx(
+                1 - frac, abs=0.03
+            )

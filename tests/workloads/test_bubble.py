@@ -1,0 +1,77 @@
+"""Bubble-Up comparison probe."""
+
+import numpy as np
+import pytest
+
+from repro.engine import SocketSimulator, ThreadContext
+from repro.errors import ConfigError
+from repro.mem import AddressSpace
+from repro.units import MiB
+from repro.workloads import BubbleProbe
+
+
+def ctx_for(socket, seed=0):
+    return ThreadContext(
+        socket=socket,
+        addrspace=AddressSpace(line_bytes=socket.line_bytes),
+        rng=np.random.default_rng(seed),
+        core_id=0,
+    )
+
+
+class TestStructure:
+    def test_pressure_scales_resident_buffer(self, xeon):
+        low = BubbleProbe(0.2)
+        low.start(ctx_for(xeon))
+        high = BubbleProbe(1.0)
+        high.start(ctx_for(xeon))
+        assert high.resident.size_bytes > low.resident.size_bytes
+
+    def test_pressure_bounds_validated(self):
+        with pytest.raises(ConfigError):
+            BubbleProbe(-0.1)
+        with pytest.raises(ConfigError):
+            BubbleProbe(1.5)
+        with pytest.raises(ConfigError):
+            BubbleProbe(0.5, resident_bytes=0)
+
+    def test_zero_pressure_emits_no_streaming(self, xeon):
+        b = BubbleProbe(0.0)
+        b.start(ctx_for(xeon))
+        gen = b.chunks()
+        chunks = [next(gen) for _ in range(6)]
+        # all chunks come from the (tiny) resident buffer
+        lo = b.resident.base_line
+        hi = lo + b.resident.n_lines
+        for c in chunks:
+            assert all(lo <= a < hi for a in c.lines)
+
+    def test_full_pressure_mixes_stream_chunks(self, xeon):
+        b = BubbleProbe(1.0)
+        b.start(ctx_for(xeon))
+        gen = b.chunks()
+        chunks = [next(gen) for _ in range(10)]
+        stream_lo = b.stream.base_line
+        has_stream = any(c.lines[0] >= stream_lo for c in chunks)
+        assert has_stream
+
+
+@pytest.mark.slow
+class TestPressureBehaviour:
+    def test_higher_pressure_degrades_victim_more(self, xeon):
+        from repro.workloads import CSThr
+
+        def victim_time(pressure):
+            sim = SocketSimulator(xeon, seed=2)
+            core = sim.add_thread(CSThr(buffer_bytes=6 * MiB), main=True)
+            if pressure > 0:
+                for i in range(3):
+                    sim.add_thread(BubbleProbe(pressure, name=f"b{i}"))
+            sim.warmup(accesses=15_000)
+            r = sim.measure(accesses=15_000)
+            return r.counters_of(core).elapsed_ns
+
+        t0 = victim_time(0.0)
+        t_mid = victim_time(0.5)
+        t_hi = victim_time(1.0)
+        assert t0 < t_mid < t_hi

@@ -1,0 +1,156 @@
+"""Table II distribution library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.workloads import (
+    ExponentialDist,
+    NormalDist,
+    TriangularDist,
+    UniformDist,
+    table_ii_distributions,
+)
+
+ALL = list(table_ii_distributions().values())
+
+
+class TestTableII:
+    def test_ten_patterns(self):
+        names = set(table_ii_distributions())
+        assert names == {
+            "Norm_4", "Norm_6", "Norm_8",
+            "Exp_4", "Exp_6", "Exp_8",
+            "Tri_1", "Tri_2", "Tri_3", "Uni",
+        }
+
+    def test_normal_std_ordering(self):
+        """Table II: sigma = n/4 > n/6 > n/8."""
+        s4 = NormalDist(4).std()
+        s6 = NormalDist(6).std()
+        s8 = NormalDist(8).std()
+        assert s4 > s6 > s8
+
+    def test_uniform_std_matches_closed_form(self):
+        # var of U(0,1) = 1/12.
+        assert UniformDist().std() == pytest.approx((1 / 12) ** 0.5, rel=0.01)
+
+
+@pytest.mark.parametrize("dist", ALL, ids=lambda d: d.name)
+class TestEveryDistribution:
+    def test_cdf_is_monotone_and_normalised(self, dist):
+        grid = np.linspace(0, 1, 101)
+        vals = [dist.truncated_cdf(u) for u in grid]
+        assert vals[0] == pytest.approx(0.0, abs=1e-12)
+        assert vals[-1] == pytest.approx(1.0, abs=1e-12)
+        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_samples_in_range(self, dist):
+        rng = np.random.default_rng(0)
+        idx = dist.sample(rng, 5000, 1000)
+        assert idx.min() >= 0 and idx.max() < 1000
+
+    def test_line_pmf_sums_to_one(self, dist):
+        pmf = dist.line_pmf(n_elems=4096, elems_per_line=16)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert len(pmf) == 256
+        assert (pmf >= 0).all()
+
+    def test_line_pmf_partial_last_line(self, dist):
+        pmf = dist.line_pmf(n_elems=100, elems_per_line=16)
+        assert len(pmf) == 7  # ceil(100/16)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_samples_match_pmf(self, dist):
+        """Empirical line frequencies must track the analytic line pmf —
+        the consistency the paper's validation hinges on."""
+        n_elems, epl = 1600, 16
+        rng = np.random.default_rng(1)
+        idx = dist.sample(rng, 60_000, n_elems)
+        lines = idx // epl
+        counts = np.bincount(lines, minlength=n_elems // epl)
+        empirical = counts / counts.sum()
+        pmf = dist.line_pmf(n_elems, epl)
+        # total-variation distance small
+        tv = 0.5 * np.abs(empirical - pmf).sum()
+        assert tv < 0.03
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ModelError):
+            NormalDist(0)
+        with pytest.raises(ModelError):
+            ExponentialDist(-2)
+        with pytest.raises(ModelError):
+            TriangularDist(1.5)
+
+    def test_sample_rejects_empty_buffer(self):
+        with pytest.raises(ModelError):
+            UniformDist().sample(np.random.default_rng(0), 10, 0)
+
+    def test_line_pmf_rejects_bad_sizes(self):
+        with pytest.raises(ModelError):
+            UniformDist().line_pmf(0, 16)
+
+
+@given(
+    k=st.sampled_from([4.0, 6.0, 8.0]),
+    n=st.integers(min_value=64, max_value=4096),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_normal_sampling_stays_in_buffer(k, n):
+    dist = NormalDist(k)
+    rng = np.random.default_rng(0)
+    idx = dist.sample(rng, 256, n)
+    assert ((idx >= 0) & (idx < n)).all()
+
+
+@given(mode=st.floats(min_value=0.1, max_value=0.9))
+@settings(max_examples=30, deadline=None)
+def test_property_triangular_cdf_at_mode(mode):
+    dist = TriangularDist(mode)
+    # CDF at the mode equals mode for a 0..1 triangular: F(b) = b/(c-a)*...
+    assert dist.cdf01(mode) == pytest.approx(mode, abs=1e-9)
+
+
+class TestZipf:
+    """ZipfDist — the beyond-Table-II skewed pattern."""
+
+    def test_head_concentration(self):
+        from repro.workloads import ZipfDist
+
+        pmf = ZipfDist(1.0).line_pmf(16_000, 16)
+        # First 5% of lines hold far more than 5% of the mass.
+        assert pmf[:50].sum() > 0.3
+        # Monotone decreasing head.
+        assert pmf[0] > pmf[10] > pmf[100]
+
+    def test_alpha_zero_is_nearly_uniform(self):
+        from repro.workloads import ZipfDist
+
+        pmf = ZipfDist(0.0).line_pmf(1600, 16)
+        assert pmf.max() / pmf.min() < 1.01
+
+    def test_samples_match_pmf(self):
+        import numpy as np
+        from repro.workloads import ZipfDist
+
+        dist = ZipfDist(0.8)
+        rng = np.random.default_rng(2)
+        idx = dist.sample(rng, 60_000, 1600)
+        counts = np.bincount(idx // 16, minlength=100)
+        empirical = counts / counts.sum()
+        pmf = dist.line_pmf(1600, 16)
+        tv = 0.5 * abs(empirical - pmf).sum()
+        assert tv < 0.03
+
+    def test_validation(self):
+        from repro.errors import ModelError
+        from repro.workloads import ZipfDist
+
+        with pytest.raises(ModelError):
+            ZipfDist(alpha=-1)
+        with pytest.raises(ModelError):
+            ZipfDist(q=0.0)

@@ -1,0 +1,72 @@
+"""Hot/cold ground-truth probe."""
+
+import numpy as np
+import pytest
+
+from repro.engine import SocketSimulator, ThreadContext
+from repro.errors import ConfigError
+from repro.mem import AddressSpace
+from repro.units import MiB
+from repro.workloads import HotColdProbe
+
+
+def ctx_for(socket, seed=0):
+    return ThreadContext(
+        socket=socket,
+        addrspace=AddressSpace(line_bytes=socket.line_bytes),
+        rng=np.random.default_rng(seed),
+        core_id=0,
+    )
+
+
+class TestStructure:
+    def test_buffers_sized_from_paper_units(self, xeon):
+        p = HotColdProbe(hot_bytes=8 * MiB)
+        p.start(ctx_for(xeon))
+        assert p.hot.size_bytes == 8 * MiB // xeon.scale
+        assert p.cold.size_bytes > p.hot.size_bytes
+
+    def test_hot_fraction_respected(self, xeon):
+        p = HotColdProbe(hot_bytes=4 * MiB, hot_fraction=0.8, quantum=256)
+        p.start(ctx_for(xeon))
+        gen = p.chunks()
+        hot_acc = cold_acc = 0
+        hot_range = range(p.hot.base_line, p.hot.base_line + p.hot.n_lines)
+        for _ in range(40):
+            c = next(gen)
+            if c.lines[0] in hot_range:
+                hot_acc += len(c)
+            else:
+                cold_acc += len(c)
+        frac = hot_acc / (hot_acc + cold_acc)
+        assert frac == pytest.approx(0.8, abs=0.05)
+
+    def test_pure_hot_mode(self, xeon):
+        p = HotColdProbe(hot_bytes=4 * MiB, hot_fraction=1.0)
+        p.start(ctx_for(xeon))
+        gen = p.chunks()
+        hot_range = range(p.hot.base_line, p.hot.base_line + p.hot.n_lines)
+        for _ in range(10):
+            assert next(gen).lines[0] in hot_range
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HotColdProbe(hot_bytes=0)
+        with pytest.raises(ConfigError):
+            HotColdProbe(hot_bytes=1024, hot_fraction=0.0)
+        with pytest.raises(ConfigError):
+            HotColdProbe(hot_bytes=1024, hot_fraction=1.5)
+
+
+@pytest.mark.slow
+class TestGroundTruth:
+    def test_hot_set_is_resident_and_defended(self, xeon):
+        """After warmup the hot buffer must be (nearly) fully L3-resident
+        — that is what makes its size the ground-truth capacity use."""
+        probe = HotColdProbe(hot_bytes=6 * MiB)
+        sim = SocketSimulator(xeon, seed=5, track_owner=True)
+        core = sim.add_thread(probe, main=True)
+        sim.warmup(accesses=30_000)
+        sim.measure(accesses=5_000)
+        occ = sim.l3_occupancy_by_owner().get(core, 0)
+        assert occ >= 0.9 * probe.hot.n_lines

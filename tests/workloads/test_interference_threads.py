@@ -1,0 +1,131 @@
+"""BWThr and CSThr behaviour — the paper's Section II/III properties."""
+
+import numpy as np
+import pytest
+
+from repro.config import xeon20mb
+from repro.engine import SocketSimulator, ThreadContext
+from repro.mem import AddressSpace
+from repro.units import KiB, MiB, as_GBps
+from repro.workloads import BWThr, CSThr, LINE_STRIDE
+
+
+def ctx_for(socket, core=0, seed=0):
+    return ThreadContext(
+        socket=socket,
+        addrspace=AddressSpace(line_bytes=socket.line_bytes),
+        rng=np.random.default_rng(seed),
+        core_id=core,
+    )
+
+
+class TestBWThrStructure:
+    def test_allocates_n_buffers_scaled(self, xeon):
+        bw = BWThr(buffer_bytes=520 * 1024, n_buffers=4)
+        bw.start(ctx_for(xeon))
+        assert len(bw.buffers) == 4
+        expected = (520 * 1024 // xeon.scale // 64) * 64
+        assert bw.buffers[0].size_bytes == expected
+
+    def test_footprint_exceeds_l3(self, xeon):
+        """The 44 x 520 KB working set must overflow the 20 MB L3 — the
+        property that makes every access a miss."""
+        bw = BWThr()
+        bw.start(ctx_for(xeon))
+        assert bw.footprint_lines() > xeon.l3.n_lines
+
+    def test_chunks_have_constant_line_stride(self, xeon):
+        bw = BWThr(n_buffers=2, quantum=32)
+        bw.start(ctx_for(xeon))
+        chunk = next(bw.chunks())
+        strides = {b - a for a, b in zip(chunk.lines, chunk.lines[1:])}
+        # constant stride except at most one wrap
+        assert LINE_STRIDE in strides
+        assert len(strides) <= 2
+
+    def test_sweep_covers_every_line(self, xeon):
+        """Stride-7 modular sweep visits all lines of a buffer (the
+        coprimality requirement)."""
+        bw = BWThr(buffer_bytes=64 * KiB, n_buffers=1, quantum=64)
+        bw.start(ctx_for(bw_socket := xeon))
+        buf = bw.buffers[0]
+        gen = bw.chunks()
+        seen = set()
+        while len(seen) < buf.n_lines:
+            chunk = next(gen)
+            before = len(seen)
+            seen.update(chunk.lines)
+            assert len(seen) > before  # progress every chunk
+        assert seen == set(range(buf.base_line, buf.base_line + buf.n_lines))
+
+    def test_chunks_are_rmw_writes(self, xeon):
+        bw = BWThr(n_buffers=1)
+        bw.start(ctx_for(xeon))
+        assert next(bw.chunks()).is_write
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BWThr(buffer_bytes=0)
+        with pytest.raises(ValueError):
+            BWThr(n_buffers=0)
+
+
+class TestCSThrStructure:
+    def test_buffer_scaled_from_paper_units(self, xeon):
+        cs = CSThr()  # 4 MB paper default
+        cs.start(ctx_for(xeon))
+        assert cs.buffer.size_bytes == 4 * MiB // xeon.scale
+
+    def test_accesses_stay_inside_buffer(self, xeon):
+        cs = CSThr()
+        cs.start(ctx_for(xeon))
+        chunk = next(cs.chunks())
+        lo, hi = cs.buffer.base_line, cs.buffer.base_line + cs.buffer.n_lines
+        assert all(lo <= a < hi for a in chunk.lines)
+
+    def test_chunks_not_prefetchable(self, xeon):
+        cs = CSThr()
+        cs.start(ctx_for(xeon))
+        assert not next(cs.chunks()).prefetchable
+
+
+@pytest.mark.slow
+class TestCalibration:
+    """The Section III-A numbers on the simulated machine."""
+
+    def test_bwthr_draws_about_2_8_GBps(self, xeon):
+        sim = SocketSimulator(xeon, seed=1)
+        core = sim.add_thread(BWThr(), main=True)
+        sim.warmup(accesses=25_000)
+        r = sim.measure(accesses=25_000)
+        assert as_GBps(r.bandwidth_Bps(core)) == pytest.approx(2.8, rel=0.2)
+
+    def test_csthr_draws_almost_no_bandwidth(self, xeon):
+        """'A single CSThr without additional interference utilizes very
+        little memory bandwidth' (Section III-D)."""
+        sim = SocketSimulator(xeon, seed=2)
+        core = sim.add_thread(CSThr(), main=True)
+        sim.warmup(accesses=20_000)
+        r = sim.measure(accesses=20_000)
+        assert as_GBps(r.bandwidth_Bps(core)) < 0.2
+
+    def test_csthr_occupies_its_footprint(self, xeon):
+        """CSThr pins ~its whole buffer in the shared L3."""
+        sim = SocketSimulator(xeon, seed=3, track_owner=True)
+        cs = CSThr()
+        core = sim.add_thread(cs, main=True)
+        sim.warmup(accesses=20_000)
+        sim.measure(accesses=5_000)
+        occ = sim.l3_occupancy_by_owner()
+        assert occ.get(core, 0) >= 0.9 * cs.footprint_lines()
+
+    def test_csthr_mostly_hits_l3(self, xeon):
+        """Buffer >> private caches and random order: 'almost every
+        access misses in the L1 and L2 and hits in the L3'."""
+        sim = SocketSimulator(xeon, seed=4)
+        core = sim.add_thread(CSThr(), main=True)
+        sim.warmup(accesses=20_000)
+        r = sim.measure(accesses=20_000)
+        c = r.counters_of(core)
+        assert c.l3_hits / c.accesses > 0.85
+        assert c.l3_miss_rate < 0.02

@@ -1,0 +1,86 @@
+"""STREAM triad and pointer-chase probes."""
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_socket, xeon20mb
+from repro.engine import SocketSimulator, ThreadContext
+from repro.mem import AddressSpace
+from repro.units import KiB
+from repro.workloads import PointerChase, StreamTriad
+
+
+def ctx_for(socket, seed=0):
+    return ThreadContext(
+        socket=socket,
+        addrspace=AddressSpace(line_bytes=socket.line_bytes),
+        rng=np.random.default_rng(seed),
+        core_id=0,
+    )
+
+
+class TestStreamTriad:
+    def test_allocates_three_arrays(self, xeon):
+        s = StreamTriad()
+        s.start(ctx_for(xeon))
+        assert len(s.arrays) == 3
+
+    def test_chunk_cycle_is_b_c_a(self, xeon):
+        s = StreamTriad(quantum=16)
+        s.start(ctx_for(xeon))
+        gen = s.chunks()
+        c1, c2, c3 = next(gen), next(gen), next(gen)
+        a, b, c = s.arrays
+        assert c1.lines[0] == b.base_line and not c1.is_write
+        assert c2.lines[0] == c.base_line and not c2.is_write
+        assert c3.lines[0] == a.base_line and c3.is_write
+
+    def test_distinct_stream_ids(self, xeon):
+        s = StreamTriad(quantum=16)
+        s.start(ctx_for(xeon))
+        gen = s.chunks()
+        ids = {next(gen).stream_id for _ in range(3)}
+        assert len(ids) == 3
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            StreamTriad(array_bytes=0)
+
+
+class TestPointerChase:
+    def test_visits_every_line_once_per_lap(self, tiny):
+        pc = PointerChase(buffer_bytes=4 * KiB, n_accesses=64)
+        pc.start(ctx_for(tiny))
+        lines = []
+        for chunk in pc.chunks():
+            lines.extend(chunk.lines)
+        assert len(lines) == 64
+        assert len(set(lines)) == pc.buffer.n_lines  # 4 KiB / 64 B = 64
+
+    def test_chunks_are_serialized_and_unprefetchable(self, tiny):
+        pc = PointerChase(buffer_bytes=4 * KiB, n_accesses=16)
+        pc.start(ctx_for(tiny))
+        chunk = next(iter(pc.chunks()))
+        assert chunk.serialize and not chunk.prefetchable
+
+    def test_measures_latency_ladder(self):
+        """The probe must observe L1 < L2 < L3 < DRAM latencies from
+        software, like the X-Ray microbenchmarks the paper cites."""
+        socket = xeon20mb()
+        t = socket.timing
+
+        def latency(buf_bytes):
+            sim = SocketSimulator(socket, seed=5)
+            core = sim.add_thread(PointerChase(buffer_bytes=buf_bytes), main=True)
+            sim.warmup(accesses=6_000)
+            r = sim.measure(accesses=6_000)
+            c = r.counters_of(core)
+            return (c.elapsed_ns - c.compute_ns) / c.accesses
+
+        lat_l1 = latency(socket.l1.capacity_bytes // 2)
+        lat_l2 = latency(socket.l2.capacity_bytes // 2)
+        lat_l3 = latency(socket.l3.capacity_bytes // 2)
+        lat_dram = latency(socket.l3.capacity_bytes * 4)
+        assert lat_l1 < lat_l2 < lat_l3 < lat_dram
+        assert lat_l1 == pytest.approx(t.l1_hit_ns, rel=0.3)
+        assert lat_dram == pytest.approx(t.dram_latency_ns, rel=0.35)

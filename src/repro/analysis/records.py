@@ -27,9 +27,14 @@ class ExperimentRecord:
     params: Dict[str, Any] = field(default_factory=dict)
     data: Dict[str, Any] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    telemetry: Dict[str, Any] = field(default_factory=dict)
 
     def add_note(self, note: str) -> None:
         self.notes.append(note)
+
+    def attach_telemetry(self, telemetry: Dict[str, Any]) -> None:
+        """Record runner telemetry (points run, cache hits, utilization)."""
+        self.telemetry = dict(telemetry)
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), indent=2, sort_keys=True, default=_jsonify)
@@ -51,6 +56,7 @@ class ExperimentRecord:
             params=payload.get("params", {}),
             data=payload.get("data", {}),
             notes=payload.get("notes", []),
+            telemetry=payload.get("telemetry", {}),
         )
 
 

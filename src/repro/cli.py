@@ -5,9 +5,13 @@ Commands
 
 ``list``
     Show every reproducible experiment and its paper reference.
-``run <experiment> [--mode smoke|paper|full] [--seed N] [--out DIR]``
+``run <experiment> [--mode smoke|paper|full] [--seed N] [--out DIR]
+[--workers N] [--backend serial|thread|process] [--cache-dir DIR]
+[--no-cache] [--clear-cache]``
     Run one experiment driver, print the rendered table/figure and save
-    the JSON record.
+    the JSON record.  ``--workers``/``--backend`` parallelise the
+    interference-point sweeps; ``--cache-dir`` enables the on-disk
+    point-result cache.
 ``machine [--scale N]``
     Describe the (optionally scaled) Table I machine.
 ``version``
@@ -119,11 +123,58 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="DIR",
         help="directory for the JSON record (default: ./results)",
     )
+    run_p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="parallel point workers (default: REPRO_WORKERS env or 1)",
+    )
+    run_p.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default=None,
+        help="point runner backend (default: REPRO_RUNNER_BACKEND env; "
+        "process when --workers > 1)",
+    )
+    run_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="enable the point-result cache in DIR "
+        "(default: REPRO_CACHE_DIR env; unset disables caching)",
+    )
+    run_p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the point-result cache even if REPRO_CACHE_DIR is set",
+    )
+    run_p.add_argument(
+        "--clear-cache", action="store_true",
+        help="empty the point-result cache before running",
+    )
 
     mach_p = sub.add_parser("machine", help="describe the Table I machine")
     mach_p.add_argument("--scale", type=int, default=None,
                         help="geometric down-scale (default: 16)")
     return parser
+
+
+def _apply_runner_options(args: argparse.Namespace) -> None:
+    """Translate runner CLI flags into the env vars ``default_runner``
+    reads, so every driver picks them up without plumbing."""
+    import os
+
+    if args.workers is not None:
+        if args.workers < 1:
+            raise SystemExit("--workers must be >= 1")
+        os.environ["REPRO_WORKERS"] = str(args.workers)
+    if args.backend is not None:
+        os.environ["REPRO_RUNNER_BACKEND"] = args.backend
+    if args.no_cache:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    elif args.cache_dir is not None:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    if args.clear_cache:
+        from .core.parallel import ResultCache
+
+        cache = ResultCache.from_env()
+        if cache is not None:
+            n = cache.clear()
+            print(f"cleared {n} cached point(s) from {cache.directory}",
+                  file=sys.stderr)
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -157,12 +208,20 @@ def main(argv: Optional[list] = None) -> int:
             )
             return 2
         desc, run_fn, render_fn = registry[args.experiment]
+        _apply_runner_options(args)
         print(f"running {args.experiment} ({desc}) ...", file=sys.stderr)
+        from .core.parallel import reset_session_telemetry, session_telemetry
+
+        reset_session_telemetry()
         try:
             record: ExperimentRecord = run_fn(args.mode, seed=args.seed)
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+        telemetry = session_telemetry()
+        if telemetry.points_total:
+            record.attach_telemetry(telemetry.as_dict())
+            print(f"runner: {telemetry.summary()}", file=sys.stderr)
         if render_fn is not None:
             print(render_fn(record))
         for note in record.notes:

@@ -60,7 +60,7 @@ class JobResult:
     observed_cv: float
     mapping_desc: str
     #: Detailed measurement of the representative socket.
-    socket_result: MeasureResult = field(repr=False, default=None)  # type: ignore[assignment]
+    socket_result: Optional[MeasureResult] = field(repr=False, default=None)
     #: Per-rank finish times on the simulated socket (rank -> ns).
     rank_finish_ns: Dict[int, float] = field(default_factory=dict)
 

@@ -33,6 +33,17 @@ from .orthogonality import (
     OrthogonalityReport,
     validate_orthogonality,
 )
+from .parallel import (
+    PointRunner,
+    PointTask,
+    ResultCache,
+    RunnerTelemetry,
+    cache_key,
+    default_runner,
+    point_seed,
+    reset_session_telemetry,
+    session_telemetry,
+)
 from .prediction import HierarchyPredictor, MachineScenario, PredictionResult
 from .report import (
     render_bandwidth_calibration,
@@ -79,6 +90,15 @@ __all__ = [
     "OrthogonalityReport",
     "CrossInterferenceSeries",
     "validate_orthogonality",
+    "PointRunner",
+    "PointTask",
+    "ResultCache",
+    "RunnerTelemetry",
+    "cache_key",
+    "default_runner",
+    "point_seed",
+    "session_telemetry",
+    "reset_session_telemetry",
     "capacity_curve",
     "bandwidth_curve",
     "guarded_bandwidth_use",

@@ -23,6 +23,7 @@ from ..models import DegradationCurve, ResourceUseEstimate
 from ..units import as_GBps, fmt_bytes
 from .bandwidth import BandwidthCalibration, calibrate_bandwidth
 from .capacity import CapacityCalibration, calibrate_capacity
+from .parallel import PointRunner
 from .prediction import HierarchyPredictor, PredictionResult
 from .report import render_campaign
 from .sensitivity import bandwidth_curve, capacity_curve, resource_use
@@ -41,10 +42,12 @@ class CampaignOutcome:
     bandwidth_curve: DegradationCurve
     capacity_use: ResourceUseEstimate
     bandwidth_use: ResourceUseEstimate
-    predictor: HierarchyPredictor = field(repr=False, default=None)  # type: ignore[assignment]
+    predictor: Optional[HierarchyPredictor] = field(repr=False, default=None)
 
     def predict_socket(self, socket: SocketConfig, name: Optional[str] = None) -> PredictionResult:
         """Slowdown prediction for an alternative machine."""
+        if self.predictor is None:
+            raise MeasurementError("campaign outcome carries no predictor")
         return self.predictor.predict_socket(socket, name=name)
 
     def report(self, header: str = "Active Measurement campaign") -> str:
@@ -74,7 +77,9 @@ class MeasurementCampaign:
     Parameters mirror :class:`~repro.core.sweep.ActiveMeasurement`;
     ``n_processes`` divides the use brackets (the paper's
     ``Available / #processes``) and must match the number of threads the
-    factory returns.
+    factory returns. ``runner`` routes every sweep point through a
+    :class:`~repro.core.parallel.PointRunner` (parallel backends and the
+    result cache); the default is serial and uncached.
     """
 
     def __init__(
@@ -88,6 +93,8 @@ class MeasurementCampaign:
         measure_accesses: Optional[int] = 25_000,
         degradation_threshold: float = 0.04,
         seed: int = 0,
+        runner: Optional[PointRunner] = None,
+        workload_spec: Optional[str] = None,
     ):
         if n_processes <= 0:
             raise MeasurementError("n_processes must be positive")
@@ -103,6 +110,8 @@ class MeasurementCampaign:
             seed=seed,
             warmup_accesses=warmup_accesses,
             measure_accesses=measure_accesses,
+            runner=runner,
+            workload_spec=workload_spec,
         )
 
     def run(self) -> CampaignOutcome:

@@ -30,6 +30,7 @@ from ..models import DegradationCurve
 from ..units import as_GBps, fmt_bytes
 from .bandwidth import BandwidthCalibration
 from .capacity import CapacityCalibration
+from .parallel import PointRunner
 from .sensitivity import (
     bandwidth_curve,
     capacity_curve,
@@ -55,8 +56,8 @@ class ResourceProfile:
     #: from the link, as opposed to what taking bandwidth away costs it).
     #: This is what neighbours lose — the budgeting input.
     bandwidth_draw_Bps: float = 0.0
-    capacity_curve: DegradationCurve = field(repr=False, default=None)  # type: ignore[assignment]
-    bandwidth_curve: DegradationCurve = field(repr=False, default=None)  # type: ignore[assignment]
+    capacity_curve: Optional[DegradationCurve] = field(repr=False, default=None)
+    bandwidth_curve: Optional[DegradationCurve] = field(repr=False, default=None)
 
     @property
     def capacity_mid(self) -> float:
@@ -85,6 +86,8 @@ def profile_workload(
     measure_accesses: Optional[int] = 20_000,
     threshold: float = 0.04,
     seed: int = 0,
+    runner: Optional[PointRunner] = None,
+    workload_spec: Optional[str] = None,
 ) -> ResourceProfile:
     """Run the full measurement pipeline once and distil a profile."""
     am = ActiveMeasurement(
@@ -93,6 +96,8 @@ def profile_workload(
         seed=seed,
         warmup_accesses=warmup_accesses,
         measure_accesses=measure_accesses,
+        runner=runner,
+        workload_spec=workload_spec,
     )
     cs = am.capacity_sweep(ks=cs_ks)
     bw = am.bandwidth_sweep(ks=bw_ks)

@@ -18,13 +18,14 @@ margins:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..config import SocketConfig
 from ..engine import SocketSimulator
 from ..errors import MeasurementError
 from ..units import as_GBps
 from ..workloads import BWThr, CSThr
+from .parallel import PointRunner, PointTask, cache_key
 
 
 @dataclass
@@ -84,6 +85,55 @@ class OrthogonalityReport:
         return "\n".join(lines)
 
 
+def _bwthr_victim():
+    return BWThr()
+
+
+def _csthr_victim():
+    return CSThr()
+
+
+def _csthr_interferer(i: int):
+    return CSThr(name=f"CSThr[{i}]")
+
+
+def _bwthr_interferer(i: int):
+    return BWThr(name=f"BWThr[{i}]")
+
+
+def _cross_point(
+    socket: SocketConfig,
+    victim_factory: Callable[[], object],
+    interferer_factory: Callable[[int], object],
+    k: int,
+    warmup: int,
+    measure: int,
+    seed: int,
+) -> Tuple[str, str, float, float, float]:
+    """Module-level worker: one victim-under-k-interferers point."""
+    sim = SocketSimulator(socket, seed=seed)
+    victim = victim_factory()
+    victim_name = victim.name
+    interferer_name = ""
+    core = sim.add_thread(victim, main=True)
+    for i in range(k):
+        thr = interferer_factory(i)
+        interferer_name = type(thr).__name__
+        sim.add_thread(thr)
+    sim.warmup(accesses=warmup)
+    result = sim.measure(accesses=measure)
+    c = result.counters_of(core)
+    if c.accesses == 0:
+        raise MeasurementError("victim executed no accesses")
+    return (
+        victim_name,
+        interferer_name,
+        c.elapsed_ns / c.accesses,
+        result.bandwidth_Bps(core),
+        c.l3_miss_rate,
+    )
+
+
 def _run_victim(
     socket: SocketConfig,
     victim_factory,
@@ -92,33 +142,48 @@ def _run_victim(
     warmup: int,
     measure: int,
     seed: int,
+    runner: Optional[PointRunner] = None,
 ) -> CrossInterferenceSeries:
-    times, bws, mrs = [], [], []
-    victim_name = interferer_name = ""
-    for k in ks:
-        sim = SocketSimulator(socket, seed=seed)
-        victim = victim_factory()
-        victim_name = victim.name
-        core = sim.add_thread(victim, main=True)
-        for i in range(k):
-            thr = interferer_factory(i)
-            interferer_name = type(thr).__name__
-            sim.add_thread(thr)
-        sim.warmup(accesses=warmup)
-        result = sim.measure(accesses=measure)
-        c = result.counters_of(core)
-        if c.accesses == 0:
-            raise MeasurementError("victim executed no accesses")
-        times.append(c.elapsed_ns / c.accesses)
-        bws.append(result.bandwidth_Bps(core))
-        mrs.append(c.l3_miss_rate)
+    if runner is None:
+        runner = PointRunner()
+
+    def factory_id(f) -> Optional[str]:
+        """Stable identity for cache keys; lambdas and local closures
+        have no stable name, so points built from them are uncacheable."""
+        qual = getattr(f, "__qualname__", None)
+        if not qual or "<lambda>" in qual or "<locals>" in qual:
+            return None
+        return f"{getattr(f, '__module__', '?')}.{qual}"
+
+    vid, iid = factory_id(victim_factory), factory_id(interferer_factory)
+    tasks = [
+        PointTask(
+            fn=_cross_point,
+            args=(socket, victim_factory, interferer_factory, k, warmup, measure, seed),
+            key=None if vid is None or iid is None else cache_key(
+                scope="orthogonality",
+                socket=socket,
+                victim=vid,
+                interferer=iid,
+                k=k,
+                warmup=warmup,
+                measure=measure,
+                seed=seed,
+            ),
+            label=f"cross:k={k}",
+        )
+        for k in ks
+    ]
+    rows = runner.run(tasks)
+    victim_name = rows[0][0] if rows else ""
+    interferer_name = next((r[1] for r in rows if r[1]), "")
     return CrossInterferenceSeries(
         victim=victim_name,
         interferer=interferer_name,
         ks=list(ks),
-        time_per_access_ns=times,
-        bandwidth_Bps=bws,
-        l3_miss_rate=mrs,
+        time_per_access_ns=[r[2] for r in rows],
+        bandwidth_Bps=[r[3] for r in rows],
+        l3_miss_rate=[r[4] for r in rows],
     )
 
 
@@ -129,25 +194,28 @@ def validate_orthogonality(
     measure: int = 25_000,
     seed: int = 0,
     tolerance: float = 0.10,
+    runner: Optional[PointRunner] = None,
 ) -> OrthogonalityReport:
     """Run both Fig. 7 and Fig. 8 and derive the safety margins."""
     fig7 = _run_victim(
         socket,
-        lambda: BWThr(),
-        lambda i: CSThr(name=f"CSThr[{i}]"),
+        _bwthr_victim,
+        _csthr_interferer,
         ks,
         warmup,
         measure,
         seed,
+        runner=runner,
     )
     fig8 = _run_victim(
         socket,
-        lambda: CSThr(),
-        lambda i: BWThr(name=f"BWThr[{i}]"),
+        _csthr_victim,
+        _bwthr_interferer,
         ks,
         warmup,
         measure,
         seed + 1,
+        runner=runner,
     )
     neutral = 0
     for k in fig8.ks:

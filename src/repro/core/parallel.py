@@ -1,0 +1,530 @@
+"""Parallel campaign execution: point runners, result cache, telemetry.
+
+The paper's protocol is embarrassingly parallel — every interference
+point (kind, k) runs in a brand-new simulator with its own
+deterministically-seeded RNG streams, so points are independent trials
+(Section II; MISE/ASM treat per-configuration probe runs the same way).
+This module provides the execution layer every campaign driver routes
+its point runs through:
+
+- :class:`PointRunner` — run a batch of independent point tasks on a
+  ``serial``, ``thread`` or ``process`` backend, with worker-failure
+  retry (bounded exponential backoff), an optional per-attempt timeout,
+  and per-batch :class:`RunnerTelemetry`.
+- :class:`ResultCache` — a content-addressed on-disk cache: each point
+  is keyed by a hash of everything that determines its outcome
+  (socket config, workload spec, kind, k, seed, window parameters), so
+  re-running a campaign or example script skips already-measured points.
+- :func:`point_seed` — stable per-point seed derivation, a pure function
+  of the point's identity, never of execution order. This is what makes
+  parallel runs bit-identical to serial ones (DESIGN.md, "deterministic
+  seeding").
+
+Configuration via environment (read by :func:`default_runner`):
+
+``REPRO_WORKERS``
+    Worker count; 0/1 (default) selects the serial backend.
+``REPRO_RUNNER_BACKEND``
+    ``serial`` | ``thread`` | ``process`` (default ``process`` when
+    ``REPRO_WORKERS`` > 1).
+``REPRO_CACHE_DIR``
+    Enables the on-disk result cache rooted at this directory.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import dataclasses
+from concurrent.futures.process import BrokenProcessPool
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import MeasurementError
+
+#: Bump when the cached payload layout changes; part of every cache key.
+CACHE_FORMAT = 1
+
+BACKENDS = ("serial", "thread", "process")
+
+
+# -- deterministic per-point seeding ------------------------------------------------
+
+
+def point_seed(base_seed: int, kind: str, k: int) -> int:
+    """Derive a per-point simulator seed from the point's *identity*.
+
+    The derivation is a pure function of ``(base_seed, kind, k)`` — never
+    of scheduling order or worker id — so serial and parallel executions
+    of the same campaign observe identical RNG streams and produce
+    bit-identical results.
+    """
+    tag = f"repro.point/{base_seed}/{kind}/{k}".encode()
+    return int.from_bytes(hashlib.sha256(tag).digest()[:8], "big")
+
+
+# -- content-addressed cache keys ---------------------------------------------------
+
+
+def _jsonable(value: Any) -> Any:
+    """Canonicalise a value for stable hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": f"{type(value).__module__}.{type(value).__qualname__}",
+            **{f.name: _jsonable(getattr(value, f.name))
+               for f in dataclasses.fields(value)},
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, Path):
+        return str(value)
+    raise TypeError(f"cannot canonicalise {type(value)!r} for cache hashing")
+
+
+def cache_key(**parts: Any) -> str:
+    """Content hash of everything that determines a point's outcome."""
+    payload = json.dumps(
+        _jsonable({"format": CACHE_FORMAT, **parts}),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk pickle store addressed by :func:`cache_key` hashes.
+
+    Writes are atomic (temp file + ``os.replace``) so concurrent workers
+    racing on the same point cannot corrupt an entry; last writer wins
+    with an identical payload (points are deterministic).
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        n = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                path.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n
+
+    @classmethod
+    def from_env(cls) -> Optional["ResultCache"]:
+        root = os.environ.get("REPRO_CACHE_DIR")
+        return cls(root) if root else None
+
+
+# -- telemetry ----------------------------------------------------------------------
+
+
+@dataclass
+class RunnerTelemetry:
+    """Counters for one runner batch (or a whole session when merged)."""
+
+    backend: str = "serial"
+    workers: int = 1
+    points_total: int = 0
+    points_done: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    #: Tasks that could not be shipped to a worker process (unpicklable
+    #: workload factory) and ran inline in the parent instead.
+    inline_fallbacks: int = 0
+    #: Sum of per-attempt execution time (worker-side, seconds).
+    busy_s: float = 0.0
+    #: Wall-clock span of the batch (seconds).
+    wall_s: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of worker capacity kept busy over the batch."""
+        if self.wall_s <= 0 or self.workers <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / (self.wall_s * self.workers))
+
+    def merge(self, other: "RunnerTelemetry") -> None:
+        self.points_total += other.points_total
+        self.points_done += other.points_done
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.failures += other.failures
+        self.inline_fallbacks += other.inline_fallbacks
+        self.busy_s += other.busy_s
+        self.wall_s += other.wall_s
+        self.workers = max(self.workers, other.workers)
+        if other.backend != "serial":
+            self.backend = other.backend
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["utilization"] = round(self.utilization, 4)
+        out["busy_s"] = round(self.busy_s, 4)
+        out["wall_s"] = round(self.wall_s, 4)
+        return out
+
+    def summary(self) -> str:
+        bits = [
+            f"{self.points_done}/{self.points_total} points",
+            f"{self.cache_hits} cache hits",
+            f"backend={self.backend} x{self.workers}",
+            f"utilization {self.utilization * 100:.0f}%",
+        ]
+        if self.retries:
+            bits.append(f"{self.retries} retries")
+        if self.failures:
+            bits.append(f"{self.failures} failures")
+        return ", ".join(bits)
+
+
+#: Process-wide aggregate every PointRunner batch reports into; the CLI
+#: reads it after a driver finishes to attach runner telemetry to the
+#: experiment record.
+_SESSION = RunnerTelemetry()
+
+
+def session_telemetry() -> RunnerTelemetry:
+    return _SESSION
+
+
+def reset_session_telemetry() -> None:
+    global _SESSION
+    _SESSION = RunnerTelemetry()
+
+
+# -- tasks & runner -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One independent unit of campaign work.
+
+    ``fn`` must be a module-level callable (picklable) for the process
+    backend; ``key`` (a :func:`cache_key` hash) enables caching, ``None``
+    marks the task uncacheable.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    key: Optional[str] = None
+    label: str = "point"
+
+
+def _timed_call(fn: Callable[..., Any], args: Tuple[Any, ...]) -> Tuple[Any, float]:
+    """Worker-side wrapper: run the task and report its execution time."""
+    t0 = time.perf_counter()
+    out = fn(*args)
+    return out, time.perf_counter() - t0
+
+
+#: Progress hook signature: (completed, total, telemetry-so-far).
+ProgressHook = Callable[[int, int, RunnerTelemetry], None]
+
+
+class PointRunner:
+    """Executes batches of :class:`PointTask` with caching and retries.
+
+    Parameters
+    ----------
+    backend:
+        ``serial`` (in-process loop, the default), ``thread``
+        (ThreadPoolExecutor; parallel I/O, GIL-bound compute) or
+        ``process`` (ProcessPoolExecutor; true parallelism — tasks and
+        their results must pickle).
+    max_workers:
+        Pool width for the pooled backends; ignored by ``serial``.
+    cache:
+        A :class:`ResultCache`; ``None`` disables caching even for tasks
+        that carry keys.
+    retries:
+        Extra attempts per task after the first failure.
+    backoff_s / max_backoff_s:
+        Exponential backoff between attempt rounds, bounded above.
+    timeout_s:
+        Per-attempt limit on the pooled backends; a task that exceeds it
+        counts as a failure (and is retried). The serial backend cannot
+        preempt a running point, so the limit is not enforced there.
+    progress:
+        Optional hook called after every completed point.
+    """
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+        timeout_s: Optional[float] = None,
+        progress: Optional[ProgressHook] = None,
+    ):
+        if backend not in BACKENDS:
+            raise MeasurementError(
+                f"unknown runner backend {backend!r}; pick one of {BACKENDS}"
+            )
+        if retries < 0:
+            raise MeasurementError("retries must be non-negative")
+        self.backend = backend
+        self.max_workers = max(1, int(max_workers or (os.cpu_count() or 1)))
+        self.cache = cache
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.timeout_s = timeout_s
+        self.progress = progress
+        #: Telemetry of the most recent :meth:`run` batch.
+        self.last_telemetry: Optional[RunnerTelemetry] = None
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, tasks: Sequence[PointTask]) -> List[Any]:
+        """Run every task, returning results in input order.
+
+        Cached results are served without executing; fresh results are
+        written back to the cache. Any task still failing after all
+        retry rounds aborts the batch with :class:`MeasurementError`.
+        """
+        tele = RunnerTelemetry(
+            backend=self.backend,
+            workers=1 if self.backend == "serial" else self.max_workers,
+            points_total=len(tasks),
+        )
+        t0 = time.perf_counter()
+        results: List[Any] = [None] * len(tasks)
+        pending: List[int] = []
+        for i, task in enumerate(tasks):
+            hit = self._cache_get(task)
+            if hit is not None:
+                results[i] = hit
+                tele.cache_hits += 1
+                tele.points_done += 1
+                self._report_progress(tele)
+            else:
+                if task.key is not None and self.cache is not None:
+                    tele.cache_misses += 1
+                pending.append(i)
+
+        try:
+            if pending:
+                if self.backend == "serial":
+                    self._run_serial(tasks, pending, results, tele)
+                else:
+                    self._run_pooled(tasks, pending, results, tele)
+        finally:
+            # Record telemetry even when the batch aborts, so failures
+            # and timeouts stay observable.
+            tele.wall_s = time.perf_counter() - t0
+            self.last_telemetry = tele
+            _SESSION.merge(tele)
+        return results
+
+    def run_labeled(self, tasks: Sequence[PointTask]) -> Dict[str, Any]:
+        """Convenience: results keyed by task label."""
+        return {t.label: r for t, r in zip(tasks, self.run(tasks))}
+
+    # -- internals ------------------------------------------------------------
+
+    def _cache_get(self, task: PointTask) -> Optional[Any]:
+        if self.cache is None or task.key is None:
+            return None
+        return self.cache.get(task.key)
+
+    def _cache_put(self, task: PointTask, value: Any) -> None:
+        if self.cache is not None and task.key is not None:
+            self.cache.put(task.key, value)
+
+    def _report_progress(self, tele: RunnerTelemetry) -> None:
+        if self.progress is not None:
+            self.progress(tele.points_done, tele.points_total, tele)
+
+    def _backoff(self, attempt: int) -> float:
+        return min(self.backoff_s * (2 ** attempt), self.max_backoff_s)
+
+    def _finish(self, i: int, task: PointTask, value: Any, dt: float,
+                results: List[Any], tele: RunnerTelemetry) -> None:
+        results[i] = value
+        tele.busy_s += dt
+        tele.points_done += 1
+        self._cache_put(task, value)
+        self._report_progress(tele)
+
+    def _run_serial(self, tasks: Sequence[PointTask], pending: List[int],
+                    results: List[Any], tele: RunnerTelemetry) -> None:
+        for i in pending:
+            task = tasks[i]
+            last_exc: Optional[BaseException] = None
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    tele.retries += 1
+                    time.sleep(self._backoff(attempt - 1))
+                try:
+                    value, dt = _timed_call(task.fn, task.args)
+                except MeasurementError:
+                    # Configuration errors are deterministic: retrying
+                    # cannot help, and callers rely on them propagating.
+                    raise
+                except Exception as exc:  # noqa: BLE001 - retry any worker fault
+                    last_exc = exc
+                    continue
+                self._finish(i, task, value, dt, results, tele)
+                last_exc = None
+                break
+            if last_exc is not None:
+                tele.failures += 1
+                raise MeasurementError(
+                    f"point {task.label!r} failed after {self.retries + 1} "
+                    f"attempts: {last_exc!r}"
+                ) from last_exc
+
+    def _picklable(self, task: PointTask) -> bool:
+        try:
+            pickle.dumps((task.fn, task.args))
+            return True
+        except Exception:  # noqa: BLE001 - any pickling fault
+            return False
+
+    def _run_pooled(self, tasks: Sequence[PointTask], pending: List[int],
+                    results: List[Any], tele: RunnerTelemetry) -> None:
+        if self.backend == "process":
+            shippable = [i for i in pending if self._picklable(tasks[i])]
+            inline = [i for i in pending if i not in set(shippable)]
+            executor: cf.Executor = cf.ProcessPoolExecutor(
+                max_workers=min(self.max_workers, max(1, len(shippable)) )
+            )
+        else:
+            shippable, inline = list(pending), []
+            executor = cf.ThreadPoolExecutor(max_workers=self.max_workers)
+
+        # Unpicklable tasks cannot leave the parent process; run them
+        # inline so a lambda workload factory degrades gracefully.
+        if inline:
+            tele.inline_fallbacks += len(inline)
+            self._run_serial(tasks, inline, results, tele)
+
+        try:
+            remaining = list(shippable)
+            for attempt in range(self.retries + 1):
+                if not remaining:
+                    break
+                if attempt:
+                    tele.retries += len(remaining)
+                    time.sleep(self._backoff(attempt - 1))
+                futures = {
+                    executor.submit(_timed_call, tasks[i].fn, tasks[i].args): i
+                    for i in remaining
+                }
+                failed: List[int] = []
+                errors: Dict[int, BaseException] = {}
+                for fut, i in futures.items():
+                    try:
+                        value, dt = fut.result(timeout=self.timeout_s)
+                    except MeasurementError:
+                        raise
+                    except cf.TimeoutError as exc:
+                        fut.cancel()
+                        tele.timeouts += 1
+                        failed.append(i)
+                        errors[i] = exc
+                    except BrokenProcessPool as exc:
+                        # The pool is dead; replace it before retrying.
+                        failed.append(i)
+                        errors[i] = exc
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        executor = cf.ProcessPoolExecutor(
+                            max_workers=self.max_workers
+                        )
+                    except Exception as exc:  # noqa: BLE001
+                        failed.append(i)
+                        errors[i] = exc
+                    else:
+                        self._finish(i, tasks[i], value, dt, results, tele)
+                remaining = failed
+            if remaining:
+                tele.failures += len(remaining)
+                i = remaining[0]
+                raise MeasurementError(
+                    f"point {tasks[i].label!r} failed after "
+                    f"{self.retries + 1} attempts: {errors[i]!r}"
+                ) from errors[i]
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+# -- environment-driven default -----------------------------------------------------
+
+
+def default_runner(progress: Optional[ProgressHook] = None) -> PointRunner:
+    """Build a runner from ``REPRO_WORKERS`` / ``REPRO_RUNNER_BACKEND`` /
+    ``REPRO_CACHE_DIR``; serial and uncached unless configured."""
+    try:
+        workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    except ValueError:
+        workers = 1
+    backend = os.environ.get("REPRO_RUNNER_BACKEND")
+    if backend is None:
+        backend = "process" if workers > 1 else "serial"
+    if backend not in BACKENDS:
+        backend = "serial"
+    if backend == "serial":
+        workers = 1
+    timeout = os.environ.get("REPRO_POINT_TIMEOUT_S")
+    return PointRunner(
+        backend=backend,
+        max_workers=max(1, workers),
+        cache=ResultCache.from_env(),
+        timeout_s=float(timeout) if timeout else None,
+        progress=progress,
+    )

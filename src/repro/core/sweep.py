@@ -14,6 +14,8 @@ brand-new simulator so points are independent and reproducible.
 
 from __future__ import annotations
 
+import dataclasses
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -21,11 +23,14 @@ from ..config import SocketConfig
 from ..engine import MeasureResult, SimThread, SocketSimulator
 from ..errors import MeasurementError
 from ..workloads import BWThr, CSThr
+from .parallel import PointRunner, PointTask, cache_key, default_runner, point_seed
 
 WorkloadFactory = Callable[[], Union[SimThread, Sequence[SimThread]]]
 
 #: Interference kinds.
 CS, BW = "cs", "bw"
+
+_UNSET = object()
 
 
 @dataclass
@@ -44,8 +49,19 @@ class InterferencePoint:
     bandwidths_Bps: Dict[int, float]
     #: Mean time per access of the main threads (ns).
     time_per_access_ns: float
-    #: Full measurement payload for ad-hoc analysis.
-    result: MeasureResult = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Full measurement payload for ad-hoc analysis; ``None`` for points
+    #: built from summaries (tests, deserialised records).
+    result: Optional[MeasureResult] = field(repr=False, default=None)
+
+    def require_result(self) -> MeasureResult:
+        """The full :class:`MeasureResult`, or a clear error when the
+        point was built without one."""
+        if self.result is None:
+            raise MeasurementError(
+                f"point (kind={self.kind!r}, k={self.k}) carries no "
+                "MeasureResult payload"
+            )
+        return self.result
 
     @property
     def mean_miss_rate(self) -> float:
@@ -67,6 +83,12 @@ class InterferenceSweep:
     def __post_init__(self) -> None:
         if not self.points:
             raise MeasurementError("sweep produced no points")
+        dupes = [k for k, n in Counter(p.k for p in self.points).items() if n > 1]
+        if dupes:
+            raise MeasurementError(
+                f"sweep has duplicate interference levels k={sorted(dupes)}; "
+                "each k must be measured exactly once"
+            )
         self.points = sorted(self.points, key=lambda p: p.k)
 
     @property
@@ -123,6 +145,23 @@ class ActiveMeasurement:
     csthr_bytes / bwthr_buffer_bytes / bwthr_n_buffers:
         Interference-thread parameters, in paper units (defaults are the
         paper's: 4 MB CSThr buffers, 44 x 520 KB BWThr buffers).
+    runner:
+        A :class:`~repro.core.parallel.PointRunner`; every point of every
+        sweep is executed through it. ``None`` means a plain serial
+        runner (no cache). Because each point runs in a brand-new
+        simulator whose seed is a pure function of the point's identity,
+        parallel backends produce bit-identical sweeps to serial ones.
+    workload_spec:
+        Stable string identifying the measured workload for the result
+        cache. When omitted, a fingerprint is derived from the factory's
+        threads (class names + constructor attributes); pass an explicit
+        spec for factories whose behaviour the fingerprint cannot see
+        (closures over mutable state).
+    per_point_seeds:
+        When true, each point's simulator seed is decorrelated via
+        :func:`~repro.core.parallel.point_seed` instead of reusing the
+        base seed at every point. Either way the seed depends only on
+        the point identity, never on execution order.
     """
 
     def __init__(
@@ -136,6 +175,9 @@ class ActiveMeasurement:
         bwthr_buffer_bytes: int = 520 * 1024,
         bwthr_n_buffers: int = 44,
         track_owner: bool = False,
+        runner: Optional[PointRunner] = None,
+        workload_spec: Optional[str] = None,
+        per_point_seeds: bool = False,
     ):
         self.socket = socket
         self.workload_factory = workload_factory
@@ -146,6 +188,77 @@ class ActiveMeasurement:
         self.bwthr_buffer_bytes = bwthr_buffer_bytes
         self.bwthr_n_buffers = bwthr_n_buffers
         self.track_owner = track_owner
+        # Fall back to the environment-configured default so campaigns
+        # and example scripts pick up REPRO_WORKERS / REPRO_CACHE_DIR
+        # without code changes.
+        self.runner = runner if runner is not None else default_runner()
+        self.workload_spec = workload_spec
+        self.per_point_seeds = per_point_seeds
+        self._fingerprint: object = _UNSET
+
+    # -- seeding / caching ------------------------------------------------------
+
+    def _seed_for(self, kind: str, k: int) -> int:
+        """Per-point simulator seed: a pure function of the point's
+        identity (see DESIGN.md, deterministic seeding)."""
+        if self.per_point_seeds:
+            return point_seed(self.seed, kind, k)
+        return self.seed
+
+    def _workload_fingerprint(self) -> Optional[str]:
+        """Best-effort stable identity of the measured workload.
+
+        Builds one throw-away workload (without starting it) and hashes
+        each thread's class plus its scalar/dataclass constructor
+        attributes. Returns ``None`` — disabling caching — when the
+        factory fails or a thread carries state the fingerprint cannot
+        represent faithfully.
+        """
+        if self._fingerprint is _UNSET:
+            self._fingerprint = self._derive_fingerprint()
+        return self._fingerprint  # type: ignore[return-value]
+
+    def _derive_fingerprint(self) -> Optional[str]:
+        try:
+            workload = self.workload_factory()
+            threads = (
+                list(workload)
+                if isinstance(workload, (list, tuple))
+                else [workload]
+            )
+            parts: List[str] = []
+            for t in threads:
+                attrs = {}
+                for name, value in sorted(vars(t).items()):
+                    if isinstance(value, (int, float, str, bool)) or value is None:
+                        attrs[name] = value
+                    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+                        attrs[name] = repr(value)
+                    else:
+                        return None  # opaque state: refuse to fingerprint
+                cls = type(t)
+                parts.append(f"{cls.__module__}.{cls.__qualname__}{attrs!r}")
+            return "|".join(parts)
+        except Exception:  # noqa: BLE001 - factory may require a live sim
+            return None
+
+    def _cache_key(self, kind: str, k: int) -> Optional[str]:
+        spec = self.workload_spec or self._workload_fingerprint()
+        if spec is None:
+            return None
+        return cache_key(
+            socket=self.socket,
+            workload=spec,
+            kind=kind,
+            k=k,
+            seed=self._seed_for(kind, k),
+            warmup_accesses=self.warmup_accesses,
+            measure_accesses=self.measure_accesses,
+            csthr_bytes=self.csthr_bytes,
+            bwthr_buffer_bytes=self.bwthr_buffer_bytes,
+            bwthr_n_buffers=self.bwthr_n_buffers,
+            track_owner=self.track_owner,
+        )
 
     # -- single point -----------------------------------------------------------
 
@@ -174,7 +287,9 @@ class ActiveMeasurement:
                 f"cannot run {k} interference threads: only {free} cores free "
                 f"({len(mains)} used by the workload)"
             )
-        sim = SocketSimulator(self.socket, seed=self.seed, track_owner=self.track_owner)
+        sim = SocketSimulator(
+            self.socket, seed=self._seed_for(kind, k), track_owner=self.track_owner
+        )
         main_cores = [sim.add_thread(m, main=True) for m in mains]
         for i in range(k):
             sim.add_thread(self._interference_thread(kind, i))
@@ -200,11 +315,76 @@ class ActiveMeasurement:
 
     # -- sweeps -------------------------------------------------------------------
 
+    def _point_tasks(self, kind: str, ks: Sequence[int]) -> List[PointTask]:
+        return [
+            PointTask(
+                fn=_run_point_payload,
+                args=(self._payload(), kind, k),
+                key=self._cache_key(kind, k),
+                label=f"{kind}:k={k}",
+            )
+            for k in ks
+        ]
+
+    def _payload(self) -> "_PointPayload":
+        return _PointPayload(
+            socket=self.socket,
+            workload_factory=self.workload_factory,
+            seed=self.seed,
+            warmup_accesses=self.warmup_accesses,
+            measure_accesses=self.measure_accesses,
+            csthr_bytes=self.csthr_bytes,
+            bwthr_buffer_bytes=self.bwthr_buffer_bytes,
+            bwthr_n_buffers=self.bwthr_n_buffers,
+            track_owner=self.track_owner,
+            per_point_seeds=self.per_point_seeds,
+        )
+
+    def sweep(self, kind: str, ks: Sequence[int]) -> InterferenceSweep:
+        """Run one interference ladder through the configured runner."""
+        points = self.runner.run(self._point_tasks(kind, list(ks)))
+        return InterferenceSweep(kind, list(points))
+
     def capacity_sweep(self, ks: Sequence[int] = range(6)) -> InterferenceSweep:
         """Sweep CSThr counts (paper: 0-5 threads x 4 MB)."""
-        return InterferenceSweep(CS, [self.run_point(CS, k) for k in ks])
+        return self.sweep(CS, ks)
 
     def bandwidth_sweep(self, ks: Sequence[int] = range(3)) -> InterferenceSweep:
         """Sweep BWThr counts (paper: 0-2 threads, beyond which BWThr
         stops being capacity-neutral, Section III-D)."""
-        return InterferenceSweep(BW, [self.run_point(BW, k) for k in ks])
+        return self.sweep(BW, ks)
+
+
+@dataclass(frozen=True)
+class _PointPayload:
+    """Everything a worker needs to rebuild the measurement and run one
+    point — deliberately excludes the runner itself (not picklable and
+    not needed in the child)."""
+
+    socket: SocketConfig
+    workload_factory: WorkloadFactory
+    seed: int
+    warmup_accesses: Optional[int]
+    measure_accesses: Optional[int]
+    csthr_bytes: int
+    bwthr_buffer_bytes: int
+    bwthr_n_buffers: int
+    track_owner: bool
+    per_point_seeds: bool
+
+
+def _run_point_payload(payload: _PointPayload, kind: str, k: int) -> InterferencePoint:
+    """Module-level worker entry point (picklable for process pools)."""
+    am = ActiveMeasurement(
+        payload.socket,
+        payload.workload_factory,
+        seed=payload.seed,
+        warmup_accesses=payload.warmup_accesses,
+        measure_accesses=payload.measure_accesses,
+        csthr_bytes=payload.csthr_bytes,
+        bwthr_buffer_bytes=payload.bwthr_buffer_bytes,
+        bwthr_n_buffers=payload.bwthr_n_buffers,
+        track_owner=payload.track_owner,
+        per_point_seeds=payload.per_point_seeds,
+    )
+    return am.run_point(kind, k)

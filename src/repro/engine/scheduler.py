@@ -129,14 +129,20 @@ class Scheduler:
                     active_mains -= 1
                 runnable = [c for c in runnable if not c.done]
                 continue
+            # Enforce the safety limit *before* dispatching the chunk, so
+            # a runaway configuration can never overshoot the budget and
+            # the error names the core that would have crossed it.
+            if total + len(chunk) > max_total_accesses:
+                raise SimulationError(
+                    f"simulation would have exceeded {max_total_accesses} "
+                    f"accesses dispatching a {len(chunk)}-access chunk on "
+                    f"core {best.core_id} ({best.thread.name!r}) at "
+                    f"{total} total; likely a runaway interference-only "
+                    "configuration"
+                )
             best.clock_ns = run_chunk(best.core_id, chunk, best.clock_ns)
             best.accesses += len(chunk)
             total += len(chunk)
-            if total > max_total_accesses:
-                raise SimulationError(
-                    f"simulation exceeded {max_total_accesses} accesses; "
-                    "likely a runaway interference-only configuration"
-                )
             if (
                 best.is_main
                 and main_access_budget is not None

@@ -8,15 +8,23 @@ Every Section IV figure is one of two sweep shapes:
   per-process resource use from them);
 - **input sweep**: fix ``p = 1``, vary the input size and the
   interference level (Figs. 9-bottom, 11-bottom).
+
+Every (kind, k) job run is an independent trial in a brand-new
+simulator, so the whole ladder is routed through a
+:class:`~repro.core.parallel.PointRunner` — parallel backends and the
+point-level result cache apply to the application studies exactly as
+they do to the probe sweeps.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..apps.base import CommEnv, RankApp
 from ..cluster import NoiseModel, ProcessMapping, run_job
 from ..config import ClusterConfig
+from ..core.parallel import PointRunner, PointTask, cache_key, default_runner
 from ..errors import MeasurementError
 
 #: app factory: (input_value, rank, mapping, comm_env) -> RankApp
@@ -24,6 +32,51 @@ AppBuilder = Callable[[object, int, ProcessMapping, CommEnv], RankApp]
 
 #: times[kind][k] = job time ns
 KindSweep = Dict[str, Dict[int, float]]
+
+
+@dataclass(frozen=True)
+class BoundBuilder:
+    """Picklable rank factory: an :data:`AppBuilder` bound to one input
+    value and mapping (module-level builders stay shippable to process
+    workers, unlike the local closures they replace)."""
+
+    builder: AppBuilder
+    input_value: object
+    mapping: ProcessMapping
+
+    def __call__(self, rank: int, env: CommEnv) -> RankApp:
+        return self.builder(self.input_value, rank, self.mapping, env)
+
+    def spec(self) -> str:
+        b = self.builder
+        return (
+            f"{getattr(b, '__module__', type(b).__module__)}."
+            f"{getattr(b, '__qualname__', type(b).__qualname__)}"
+            f"(input={self.input_value!r}, p={self.mapping.procs_per_socket}, "
+            f"n_ranks={self.mapping.n_ranks})"
+        )
+
+
+def _run_job_time(
+    cluster: ClusterConfig,
+    mapping: ProcessMapping,
+    build: Callable[[int, CommEnv], RankApp],
+    kind: str,
+    k: int,
+    noise: Optional[NoiseModel],
+    seed: int,
+) -> float:
+    """Module-level worker: one (kind, k) job run -> job time ns."""
+    res = run_job(
+        cluster,
+        mapping,
+        build,
+        interference_kind=kind if k else None,
+        n_interference=k,
+        noise=noise,
+        seed=seed,
+    )
+    return res.time_ns
 
 
 def interference_sweep(
@@ -34,29 +87,57 @@ def interference_sweep(
     bw_ks: Sequence[int],
     noise: Optional[NoiseModel] = None,
     seed: int = 0,
+    runner: Optional[PointRunner] = None,
+    cache_spec: Optional[str] = None,
 ) -> KindSweep:
     """Run one app configuration against CSThr and BWThr ladders.
 
     Interference counts that do not fit the mapping's free cores are
     skipped (the paper's "not all combinations of mapping and
-    interference can be executed").
+    interference can be executed"). Both ladders are submitted as one
+    batch so a parallel runner overlaps every point. ``cache_spec`` is
+    the stable workload identity for the result cache; when ``build`` is
+    a :class:`BoundBuilder` it is derived automatically.
     """
+    if runner is None:
+        runner = default_runner()
+    if cache_spec is None and isinstance(build, BoundBuilder):
+        cache_spec = build.spec()
     free = mapping.free_cores_per_socket
-    out: KindSweep = {"cs": {}, "bw": {}}
+    wanted: List[Tuple[str, int]] = []
     for kind, ks in (("cs", cs_ks), ("bw", bw_ks)):
         for k in ks:
-            if k > free:
-                continue
-            res = run_job(
-                cluster,
-                mapping,
-                build,
-                interference_kind=kind if k else None,
-                n_interference=k,
-                noise=noise,
-                seed=seed,
-            )
-            out[kind][k] = res.time_ns
+            if k <= free:
+                wanted.append((kind, k))
+
+    def key_for(kind: str, k: int) -> Optional[str]:
+        if cache_spec is None:
+            return None
+        return cache_key(
+            scope="cluster-job",
+            cluster=cluster,
+            procs_per_socket=mapping.procs_per_socket,
+            n_ranks=mapping.n_ranks,
+            app=cache_spec,
+            kind=kind,
+            k=k,
+            noise=noise,
+            seed=seed,
+        )
+
+    tasks = [
+        PointTask(
+            fn=_run_job_time,
+            args=(cluster, mapping, build, kind, k, noise, seed),
+            key=key_for(kind, k),
+            label=f"job/{kind}:k={k}",
+        )
+        for kind, k in wanted
+    ]
+    times = runner.run(tasks)
+    out: KindSweep = {"cs": {}, "bw": {}}
+    for (kind, k), t in zip(wanted, times):
+        out[kind][k] = t
     if 0 not in out["cs"]:
         raise MeasurementError("sweep produced no baseline point")
     return out
@@ -72,6 +153,7 @@ def mapping_sweeps(
     bw_ks: Sequence[int],
     noise: Optional[NoiseModel] = None,
     seed: int = 0,
+    runner: Optional[PointRunner] = None,
 ) -> Dict[int, KindSweep]:
     """Fig. 9/11-top: one interference sweep per processes-per-socket."""
     out: Dict[int, KindSweep] = {}
@@ -79,12 +161,10 @@ def mapping_sweeps(
         if n_ranks % p:
             continue
         mapping = ProcessMapping(cluster, n_ranks=n_ranks, procs_per_socket=p)
-
-        def build(rank: int, env: CommEnv, _m=mapping):
-            return builder(input_value, rank, _m, env)
-
+        build = BoundBuilder(builder, input_value, mapping)
         out[p] = interference_sweep(
-            cluster, mapping, build, cs_ks, bw_ks, noise=noise, seed=seed
+            cluster, mapping, build, cs_ks, bw_ks,
+            noise=noise, seed=seed, runner=runner,
         )
     return out
 
@@ -99,6 +179,7 @@ def input_sweeps(
     procs_per_socket: int = 1,
     noise: Optional[NoiseModel] = None,
     seed: int = 0,
+    runner: Optional[PointRunner] = None,
 ) -> Dict[object, KindSweep]:
     """Fig. 9/11-bottom: one interference sweep per input size at p=1."""
     mapping = ProcessMapping(
@@ -106,12 +187,10 @@ def input_sweeps(
     )
     out: Dict[object, KindSweep] = {}
     for value in inputs:
-
-        def build(rank: int, env: CommEnv, _v=value):
-            return builder(_v, rank, mapping, env)
-
+        build = BoundBuilder(builder, value, mapping)
         out[value] = interference_sweep(
-            cluster, mapping, build, cs_ks, bw_ks, noise=noise, seed=seed
+            cluster, mapping, build, cs_ks, bw_ks,
+            noise=noise, seed=seed, runner=runner,
         )
     return out
 

@@ -17,6 +17,7 @@ from typing import Callable, Dict
 from ..analysis import ExperimentRecord
 from ..core import calibrate_bandwidth, calibrate_capacity
 from ..core.colocation import CoLocationAdvisor, profile_workload
+from ..core.parallel import default_runner
 from ..engine import SocketSimulator
 from ..units import MiB
 from ..workloads import CSThr, ProbabilisticBenchmark, UniformDist
@@ -76,6 +77,7 @@ def run_colocation(mode: str | None = None, seed: int = 0) -> ExperimentRecord:
     )
     bw_calib = calibrate_bandwidth(env.socket, saturation_ks=(), seed=seed)
 
+    runner = default_runner()
     profiles = {}
     for name, factory in zoo.items():
         profiles[name] = profile_workload(
@@ -84,6 +86,7 @@ def run_colocation(mode: str | None = None, seed: int = 0) -> ExperimentRecord:
             warmup_accesses=env.warmup_accesses,
             measure_accesses=env.measure_accesses,
             seed=seed,
+            runner=runner,
         )
 
     advisor = CoLocationAdvisor(env.socket, qos_slowdown=1.10)

@@ -23,6 +23,7 @@ from ..core import (
     calibrate_bandwidth,
     calibrate_capacity,
 )
+from ..core.parallel import default_runner
 from ..models import curve_from_measurements
 from ..units import MiB, as_GBps
 from . import appsweeps, common
@@ -85,10 +86,12 @@ def _run(app_id: str, mode: str | None, seed: int) -> ExperimentRecord:
     )
     bw_calib = calibrate_bandwidth(env.socket, saturation_ks=(), seed=seed)
 
+    runner = default_runner()
     if app_id == "fig10":
         sweeps = appsweeps.mapping_sweeps(
             cluster, MCB_RANKS, common.mcb_mappings(m), mcb_builder,
             input_value=20_000, cs_ks=cs_ks, bw_ks=bw_ks, seed=seed,
+            runner=runner,
         )
         title = "Fig. 10: MCB per-process resource use by mapping (20k particles)"
         edges = {"20000": sweeps}
@@ -96,10 +99,12 @@ def _run(app_id: str, mode: str | None, seed: int) -> ExperimentRecord:
         sweeps22 = appsweeps.mapping_sweeps(
             cluster, LULESH_RANKS, common.lulesh_mappings(m), lulesh_builder,
             input_value=22, cs_ks=cs_ks, bw_ks=bw_ks, seed=seed,
+            runner=runner,
         )
         sweeps36 = appsweeps.mapping_sweeps(
             cluster, LULESH_RANKS, common.lulesh_mappings(m), lulesh_builder,
             input_value=36, cs_ks=cs_ks, bw_ks=bw_ks, seed=seed,
+            runner=runner,
         )
         title = "Fig. 12: Lulesh per-process resource use by mapping (22^3, 36^3)"
         edges = {"22": sweeps22, "36": sweeps36}

@@ -14,6 +14,7 @@ from __future__ import annotations
 from ..analysis import ExperimentRecord
 from ..apps import LuleshProxy
 from ..cluster import NoiseModel
+from ..core.parallel import default_runner
 from . import appsweeps, common
 
 N_RANKS = 64
@@ -36,6 +37,7 @@ def run_fig11(mode: str | None = None, seed: int = 0) -> ExperimentRecord:
     noise = NoiseModel()
     cs_ks = list(common.csthr_counts(m))
     bw_ks = list(common.bwthr_counts(m))
+    runner = default_runner()
 
     top = appsweeps.mapping_sweeps(
         cluster,
@@ -47,6 +49,7 @@ def run_fig11(mode: str | None = None, seed: int = 0) -> ExperimentRecord:
         bw_ks=bw_ks,
         noise=noise,
         seed=seed,
+        runner=runner,
     )
     bottom = appsweeps.input_sweeps(
         cluster,
@@ -57,6 +60,7 @@ def run_fig11(mode: str | None = None, seed: int = 0) -> ExperimentRecord:
         bw_ks=bw_ks,
         noise=noise,
         seed=seed,
+        runner=runner,
     )
 
     record = ExperimentRecord(

@@ -16,11 +16,33 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..analysis import ExperimentRecord, band
+from ..core.parallel import PointTask, cache_key, default_runner
 from ..engine import SocketSimulator
 from ..models import EHRModel
 from ..units import MiB
 from ..workloads import CSThr, ProbabilisticBenchmark, table_ii_distributions
 from . import common
+
+
+def _panel_point(socket, dist_name, buffer_bytes, ops, k, seed,
+                 warmup, measure) -> float:
+    """One Fig. 6 panel point: effective capacity (unscaled MB) of a
+    probe with ``dist_name``/``buffer_bytes``/``ops`` under k CSThrs.
+
+    Module-level so the process backend can pickle it.
+    """
+    probe = ProbabilisticBenchmark(
+        table_ii_distributions()[dist_name], buffer_bytes, ops_per_access=ops,
+    )
+    sim = SocketSimulator(socket, seed=seed)
+    core = sim.add_thread(probe, main=True)
+    for i in range(k):
+        sim.add_thread(CSThr(name=f"CSThr[{i}]"))
+    sim.warmup(accesses=warmup)
+    result = sim.measure(accesses=measure)
+    model = EHRModel(probe.line_pmf(), line_bytes=socket.line_bytes)
+    cap_sim = model.effective_capacity_bytes(result.l3_miss_rate(core))
+    return socket.unscaled_bytes(int(cap_sim)) / MiB
 
 
 def run_fig6(mode: str | None = None, seed: int = 0) -> ExperimentRecord:
@@ -29,7 +51,33 @@ def run_fig6(mode: str | None = None, seed: int = 0) -> ExperimentRecord:
     ops_levels = common.ops_per_load(env.mode)
     dist_names = common.distribution_names(env.mode)
     ks = list(common.csthr_counts(env.mode))
-    dists = table_ii_distributions()
+
+    # Every grid point is an independent simulator run; batch them all
+    # through the point runner (parallelism + result cache).
+    grid = [
+        (ops, k, size_mb, name)
+        for ops in ops_levels
+        for k in ks
+        for size_mb in sizes_mb
+        for name in dist_names
+    ]
+    tasks = [
+        PointTask(
+            fn=_panel_point,
+            args=(env.socket, name, common.probe_buffer_bytes(size_mb),
+                  ops, k, env.seed, env.warmup_accesses,
+                  env.measure_accesses),
+            key=cache_key(
+                scope="fig6-panel", socket=env.socket, dist=name,
+                buffer_bytes=common.probe_buffer_bytes(size_mb), ops=ops,
+                k=k, seed=env.seed, warmup=env.warmup_accesses,
+                measure=env.measure_accesses,
+            ),
+            label=f"fig6[ops={ops},k={k},{size_mb}MB,{name}]",
+        )
+        for ops, k, size_mb, name in grid
+    ]
+    caps = dict(zip(grid, default_runner().run(tasks)))
 
     # data[ops][k] -> {"mean": [per size], "std": [per size]}
     panels: Dict[str, Dict[str, Dict[str, List[float]]]] = {}
@@ -40,28 +88,7 @@ def run_fig6(mode: str | None = None, seed: int = 0) -> ExperimentRecord:
         for k in ks:
             means, stds = [], []
             for size_mb in sizes_mb:
-                caps_mb = []
-                for name in dist_names:
-                    probe = ProbabilisticBenchmark(
-                        dists[name],
-                        common.probe_buffer_bytes(size_mb),
-                        ops_per_access=ops,
-                    )
-                    sim = SocketSimulator(env.socket, seed=env.seed)
-                    core = sim.add_thread(probe, main=True)
-                    for i in range(k):
-                        sim.add_thread(CSThr(name=f"CSThr[{i}]"))
-                    sim.warmup(accesses=env.warmup_accesses)
-                    result = sim.measure(accesses=env.measure_accesses)
-                    model = EHRModel(
-                        probe.line_pmf(), line_bytes=env.socket.line_bytes
-                    )
-                    cap_sim = model.effective_capacity_bytes(
-                        result.l3_miss_rate(core)
-                    )
-                    caps_mb.append(
-                        env.socket.unscaled_bytes(int(cap_sim)) / MiB
-                    )
+                caps_mb = [caps[(ops, k, size_mb, name)] for name in dist_names]
                 b = band(caps_mb)
                 means.append(b.mean)
                 stds.append(b.std)

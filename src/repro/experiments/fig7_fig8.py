@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from ..analysis import ExperimentRecord, line_chart
 from ..core import validate_orthogonality
+from ..core.parallel import default_runner
 from ..units import as_GBps
 from . import common
 
@@ -26,6 +27,7 @@ def run_fig7_fig8(mode: str | None = None, seed: int = 0) -> ExperimentRecord:
         warmup=env.warmup_accesses,
         measure=env.measure_accesses,
         seed=env.seed,
+        runner=default_runner(),
     )
     f7, f8 = report.bwthr_under_cs, report.csthr_under_bw
     record = ExperimentRecord(

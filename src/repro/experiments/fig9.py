@@ -15,6 +15,7 @@ from __future__ import annotations
 from ..analysis import ExperimentRecord
 from ..apps import MCBProxy
 from ..cluster import NoiseModel
+from ..core.parallel import default_runner
 from . import appsweeps, common
 
 N_RANKS = 24
@@ -37,6 +38,7 @@ def run_fig9(mode: str | None = None, seed: int = 0) -> ExperimentRecord:
     noise = NoiseModel()
     cs_ks = list(common.csthr_counts(m))
     bw_ks = list(common.bwthr_counts(m))
+    runner = default_runner()
 
     top = appsweeps.mapping_sweeps(
         cluster,
@@ -48,6 +50,7 @@ def run_fig9(mode: str | None = None, seed: int = 0) -> ExperimentRecord:
         bw_ks=bw_ks,
         noise=noise,
         seed=seed,
+        runner=runner,
     )
     bottom = appsweeps.input_sweeps(
         cluster,
@@ -58,6 +61,7 @@ def run_fig9(mode: str | None = None, seed: int = 0) -> ExperimentRecord:
         bw_ks=bw_ks,
         noise=noise,
         seed=seed,
+        runner=runner,
     )
 
     record = ExperimentRecord(

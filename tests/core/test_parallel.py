@@ -1,0 +1,344 @@
+"""Point runner, result cache, and deterministic-seeding guarantees."""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.core import (
+    CS,
+    ActiveMeasurement,
+    InterferencePoint,
+    InterferenceSweep,
+    PointRunner,
+    PointTask,
+    ResultCache,
+    cache_key,
+    point_seed,
+)
+from repro.errors import MeasurementError
+from repro.units import MiB
+from repro.workloads import ProbabilisticBenchmark, UniformDist
+
+
+def make_probe():
+    """Module-level (hence picklable) workload factory."""
+    return ProbabilisticBenchmark(UniformDist(), 50 * MiB)
+
+
+def make_am(xeon, **kw):
+    defaults = dict(warmup_accesses=8_000, measure_accesses=6_000, seed=1)
+    defaults.update(kw)
+    return ActiveMeasurement(xeon, make_probe, **defaults)
+
+
+def point_fields(p: InterferencePoint):
+    """Every observable field of a point (everything but the raw
+    MeasureResult payload)."""
+    return (
+        p.kind,
+        p.k,
+        p.makespan_ns,
+        p.main_cores,
+        p.l3_miss_rates,
+        p.bandwidths_Bps,
+        p.time_per_access_ns,
+    )
+
+
+def _double(x):
+    """Module-level task fn (picklable for the process backend)."""
+    return 2 * x
+
+
+class TestPointSeed:
+    def test_pure_function_of_identity(self):
+        assert point_seed(7, CS, 3) == point_seed(7, CS, 3)
+
+    def test_varies_with_every_component(self):
+        base = point_seed(7, CS, 3)
+        assert point_seed(8, CS, 3) != base
+        assert point_seed(7, "bw", 3) != base
+        assert point_seed(7, CS, 4) != base
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= point_seed(0, CS, 0) < 2**64
+
+
+class TestCacheKey:
+    def test_stable_and_order_insensitive(self):
+        assert cache_key(a=1, b=2.5) == cache_key(b=2.5, a=1)
+
+    def test_sensitive_to_every_part(self):
+        base = cache_key(kind=CS, k=1, seed=0)
+        assert cache_key(kind=CS, k=2, seed=0) != base
+        assert cache_key(kind=CS, k=1, seed=1) != base
+        assert cache_key(kind="bw", k=1, seed=0) != base
+
+    def test_hashes_nested_dataclasses(self, xeon):
+        k1 = cache_key(socket=xeon)
+        bigger = dataclasses.replace(
+            xeon, dram_bandwidth_Bps=xeon.dram_bandwidth_Bps * 2
+        )
+        assert cache_key(socket=bigger) != k1
+
+    def test_rejects_opaque_values(self):
+        with pytest.raises(TypeError, match="canonicalise"):
+            cache_key(fn=object())
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache_key(x=1)
+        assert cache.get(key) is None
+        assert key not in cache
+        cache.put(key, {"v": [1, 2, 3]})
+        assert key in cache
+        assert cache.get(key) == {"v": [1, 2, 3]}
+        assert len(cache) == 1
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        for i in range(3):
+            cache.put(cache_key(i=i), i)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache_key(x=1)
+        (cache.directory / f"{key}.pkl").write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+
+
+class TestPointRunner:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(MeasurementError, match="backend"):
+            PointRunner(backend="gpu")
+
+    def test_results_keep_input_order(self):
+        runner = PointRunner()
+        tasks = [PointTask(fn=_double, args=(i,)) for i in (3, 1, 2)]
+        assert runner.run(tasks) == [6, 2, 4]
+
+    def test_transient_failure_is_retried(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("worker lost")
+            return "ok"
+
+        runner = PointRunner(retries=2, backoff_s=0.0)
+        assert runner.run([PointTask(fn=flaky)]) == ["ok"]
+        assert len(calls) == 3
+        assert runner.last_telemetry.retries == 2
+
+    def test_measurement_error_is_not_retried(self):
+        calls = []
+
+        def bad_config():
+            calls.append(1)
+            raise MeasurementError("too many threads")
+
+        runner = PointRunner(retries=5, backoff_s=0.0)
+        with pytest.raises(MeasurementError, match="too many"):
+            runner.run([PointTask(fn=bad_config)])
+        assert len(calls) == 1
+
+    def test_exhausted_retries_raise_with_label(self):
+        def always_broken():
+            raise OSError("boom")
+
+        runner = PointRunner(retries=1, backoff_s=0.0)
+        with pytest.raises(MeasurementError, match="cs:k=9"):
+            runner.run([PointTask(fn=always_broken, label="cs:k=9")])
+        assert runner.last_telemetry.failures == 1
+
+    def test_pooled_timeout_counts_and_fails(self):
+        runner = PointRunner(
+            backend="thread", max_workers=1, retries=0, timeout_s=0.05,
+        )
+        with pytest.raises(MeasurementError, match="slow"):
+            runner.run([PointTask(fn=time.sleep, args=(0.5,), label="slow")])
+        assert runner.last_telemetry.timeouts == 1
+
+    def test_unpicklable_task_falls_back_inline(self):
+        runner = PointRunner(backend="process", max_workers=2)
+        tasks = [
+            PointTask(fn=_double, args=(4,)),
+            PointTask(fn=lambda: "local"),  # cannot ship to a worker
+        ]
+        assert runner.run(tasks) == [8, "local"]
+        assert runner.last_telemetry.inline_fallbacks == 1
+
+    def test_cache_short_circuits_execution(self, tmp_path):
+        calls = []
+
+        def expensive():
+            calls.append(1)
+            return 42
+
+        cache = ResultCache(tmp_path / "c")
+        key = cache_key(point="p0")
+        runner = PointRunner(cache=cache)
+        assert runner.run([PointTask(fn=expensive, key=key)]) == [42]
+        assert runner.last_telemetry.cache_misses == 1
+        assert runner.run([PointTask(fn=expensive, key=key)]) == [42]
+        assert runner.last_telemetry.cache_hits == 1
+        assert len(calls) == 1
+
+    def test_keyless_task_is_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        runner = PointRunner(cache=cache)
+        runner.run([PointTask(fn=_double, args=(1,))])
+        assert len(cache) == 0
+
+
+class TestSweepParity:
+    def test_process_sweep_bit_identical_to_serial(self, xeon):
+        serial = make_am(xeon)
+        parallel = make_am(
+            xeon, runner=PointRunner(backend="process", max_workers=2)
+        )
+        ks = [0, 2, 4]
+        want = [point_fields(p) for p in serial.capacity_sweep(ks).points]
+        got = [point_fields(p) for p in parallel.capacity_sweep(ks).points]
+        assert got == want
+
+    def test_thread_sweep_bit_identical_to_serial(self, xeon):
+        serial = make_am(xeon)
+        parallel = make_am(
+            xeon, runner=PointRunner(backend="thread", max_workers=2)
+        )
+        ks = [0, 1]
+        want = [point_fields(p) for p in serial.bandwidth_sweep(ks).points]
+        got = [point_fields(p) for p in parallel.bandwidth_sweep(ks).points]
+        assert got == want
+
+    def test_per_point_seeds_stay_deterministic(self, xeon):
+        a = make_am(xeon, per_point_seeds=True)
+        b = make_am(
+            xeon, per_point_seeds=True,
+            runner=PointRunner(backend="process", max_workers=2),
+        )
+        ks = [0, 3]
+        assert [point_fields(p) for p in a.capacity_sweep(ks).points] == [
+            point_fields(p) for p in b.capacity_sweep(ks).points
+        ]
+
+
+class TestSweepCache:
+    def test_warm_sweep_hits_for_every_point(self, xeon, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        am = make_am(xeon, runner=PointRunner(cache=cache))
+        cold = am.capacity_sweep(ks=[0, 2])
+        assert am.runner.last_telemetry.cache_misses == 2
+        warm = am.capacity_sweep(ks=[0, 2])
+        assert am.runner.last_telemetry.cache_hits == 2
+        assert [point_fields(p) for p in warm.points] == [
+            point_fields(p) for p in cold.points
+        ]
+
+    def test_changed_seed_misses(self, xeon, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        make_am(xeon, seed=1, runner=PointRunner(cache=cache)).capacity_sweep(
+            ks=[0]
+        )
+        am2 = make_am(xeon, seed=2, runner=PointRunner(cache=cache))
+        am2.capacity_sweep(ks=[0])
+        assert am2.runner.last_telemetry.cache_hits == 0
+        assert am2.runner.last_telemetry.cache_misses == 1
+
+    def test_changed_socket_config_misses(self, xeon, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        make_am(xeon, runner=PointRunner(cache=cache)).capacity_sweep(ks=[0])
+        other = dataclasses.replace(
+            xeon, dram_bandwidth_Bps=xeon.dram_bandwidth_Bps * 2
+        )
+        am2 = make_am(other, runner=PointRunner(cache=cache))
+        am2.capacity_sweep(ks=[0])
+        assert am2.runner.last_telemetry.cache_hits == 0
+
+    def test_explicit_workload_spec_drives_the_key(self, xeon, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        a = make_am(
+            xeon, workload_spec="probe-v1", runner=PointRunner(cache=cache)
+        )
+        a.capacity_sweep(ks=[0])
+        b = make_am(
+            xeon, workload_spec="probe-v2", runner=PointRunner(cache=cache)
+        )
+        b.capacity_sweep(ks=[0])
+        assert b.runner.last_telemetry.cache_hits == 0
+
+
+class TestSweepRegressions:
+    def test_duplicate_ks_rejected(self, xeon):
+        am = make_am(xeon)
+        with pytest.raises(MeasurementError, match="duplicate"):
+            am.capacity_sweep(ks=[0, 1, 1])
+
+    def test_duplicate_points_rejected_on_construction(self):
+        def pt(k):
+            return InterferencePoint(
+                kind=CS, k=k, makespan_ns=1.0, main_cores=[0],
+                l3_miss_rates={}, bandwidths_Bps={}, time_per_access_ns=1.0,
+            )
+
+        with pytest.raises(MeasurementError, match="duplicate"):
+            InterferenceSweep(CS, [pt(1), pt(1)])
+
+    def test_run_point_carries_result_payload(self, xeon):
+        p = make_am(xeon).run_point(CS, 1)
+        assert p.require_result() is p.result
+
+    def test_summary_point_has_no_payload(self):
+        p = InterferencePoint(
+            kind=CS, k=0, makespan_ns=1.0, main_cores=[0],
+            l3_miss_rates={}, bandwidths_Bps={}, time_per_access_ns=1.0,
+        )
+        assert p.result is None
+        with pytest.raises(MeasurementError, match="no"):
+            p.require_result()
+
+
+@pytest.mark.slow
+class TestAcceptance:
+    def test_four_worker_csthr_sweep_matches_serial_and_replays_fast(
+        self, xeon, tmp_path
+    ):
+        """ISSUE acceptance: a 6-point CSThr sweep with 4 workers is
+        bit-identical to the serial path, and a warm-cache replay costs
+        under 10% of the cold serial wall-clock."""
+        ks = [0, 1, 2, 3, 4, 5]
+
+        serial = make_am(xeon)
+        t0 = time.perf_counter()
+        base = serial.capacity_sweep(ks)
+        cold_serial_s = time.perf_counter() - t0
+
+        cache = ResultCache(tmp_path / "cache")
+        hot = make_am(
+            xeon,
+            runner=PointRunner(backend="process", max_workers=4, cache=cache),
+        )
+        sweep = hot.capacity_sweep(ks)
+        assert [point_fields(p) for p in sweep.points] == [
+            point_fields(p) for p in base.points
+        ]
+
+        warm = make_am(
+            xeon,
+            runner=PointRunner(backend="process", max_workers=4, cache=cache),
+        )
+        t0 = time.perf_counter()
+        replay = warm.capacity_sweep(ks)
+        warm_s = time.perf_counter() - t0
+        assert warm.runner.last_telemetry.cache_hits == len(ks)
+        assert [point_fields(p) for p in replay.points] == [
+            point_fields(p) for p in base.points
+        ]
+        assert warm_s < 0.10 * cold_serial_s

@@ -141,3 +141,12 @@ class TestValidation:
         sched = make_sched([(FixedThread(n_chunks=None, size=10), True)])
         with pytest.raises(SimulationError, match="exceeded"):
             sched.run(main_access_budget=10_000, max_total_accesses=100)
+
+    def test_runaway_guard_fires_before_dispatch(self):
+        """The safety limit is enforced *before* a chunk executes: the
+        simulation never overshoots the budget, and the error names the
+        core that would have crossed it."""
+        sched = make_sched([(FixedThread(n_chunks=None, size=10), True)])
+        with pytest.raises(SimulationError, match=r"core 0 \('fixed'\)"):
+            sched.run(main_access_budget=10_000, max_total_accesses=95)
+        assert sched.cores[0].accesses <= 95

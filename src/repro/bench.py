@@ -1,0 +1,181 @@
+"""Engine-throughput baseline: ``repro bench engine``.
+
+Measures the fused simulation kernels (accesses/second) on the traffic
+shapes that dominate the paper's campaigns and writes a machine-readable
+baseline (``BENCH_engine.json`` at the repo root, by convention). The
+committed baseline documents the list→array kernel speedup and gives CI
+an informational reference point; ``compare_engine_bench`` reports
+relative changes against it without ever failing the build (absolute
+throughput is machine-dependent — only the within-machine kernel ratio
+is meaningful across hosts).
+
+Shapes
+------
+
+``random``
+    CSThr-shaped uniform-random writes over a >L3 footprint with the
+    prefetcher off — the capacity-probe regime of Section III-C.
+``stream``
+    BWThr-shaped constant-stride reads with the prefetcher on — the
+    bandwidth-probe regime of Section III-A.
+``stream_writes``
+    The same stride stream but writing, so the dirty-writeback and
+    arbiter writeback paths are hot as well.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .config import SocketConfig, xeon20mb
+from .engine import ArraySocket, FastSocket, _ckernel
+from .engine.chunk import AccessChunk
+
+DEFAULT_N_ACCESSES = 200_000
+DEFAULT_ROUNDS = 3
+
+SCHEMA_VERSION = 1
+
+
+def _random_chunks(n: int, quantum: int = 256) -> list:
+    rng = np.random.default_rng(1)
+    lines = rng.integers(1024, 1024 + 4096, size=n, dtype=np.int64)
+    return [
+        AccessChunk(lines=lines[i:i + quantum], is_write=True,
+                    ops_per_access=6, prefetchable=False)
+        for i in range(0, n, quantum)
+    ]
+
+
+def _stream_chunks(n: int, quantum: int = 128, is_write: bool = False) -> list:
+    chunks, pos = [], 1_000_000
+    for _ in range(0, n, quantum):
+        chunks.append(AccessChunk(
+            lines=np.arange(pos, pos + 7 * quantum, 7, dtype=np.int64),
+            is_write=is_write, ops_per_access=39, stream_id=1,
+        ))
+        pos += 7 * quantum
+    return chunks
+
+
+SHAPES: Dict[str, Callable[[int], list]] = {
+    "random": _random_chunks,
+    "stream": _stream_chunks,
+    "stream_writes": lambda n: _stream_chunks(n, is_write=True),
+}
+
+
+def _kernels() -> Dict[str, Callable[[SocketConfig], object]]:
+    kernels: Dict[str, Callable[[SocketConfig], object]] = {
+        "lists": lambda s: FastSocket(s),
+    }
+    if _ckernel.available():
+        kernels["arrays"] = lambda s: ArraySocket(s, backend="c")
+        kernels["arrays-py"] = lambda s: ArraySocket(s, backend="py")
+    else:
+        kernels["arrays"] = lambda s: ArraySocket(s, backend="py")
+    return kernels
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "ckernel_available": _ckernel.available(),
+    }
+
+
+def run_engine_bench(
+    n_accesses: int = DEFAULT_N_ACCESSES,
+    rounds: int = DEFAULT_ROUNDS,
+    socket: Optional[SocketConfig] = None,
+) -> Dict[str, object]:
+    """Benchmark every kernel on every shape; returns the baseline dict.
+
+    Each (shape, kernel) measurement builds a fresh kernel per round
+    (cold caches, cold arbiter) and keeps the best round, the standard
+    throughput-microbenchmark convention (minimum = least interference).
+    """
+    if socket is None:
+        socket = xeon20mb()
+    results: Dict[str, Dict[str, float]] = {}
+    for shape, make_chunks in SHAPES.items():
+        chunks = make_chunks(n_accesses)
+        n = sum(len(c) for c in chunks)
+        results[shape] = {}
+        for kname, make_kernel in _kernels().items():
+            best = float("inf")
+            for _ in range(rounds):
+                kernel = make_kernel(socket)
+                t0 = time.perf_counter()
+                t = 0.0
+                for c in chunks:
+                    t = kernel.run_chunk(0, c, t)
+                best = min(best, time.perf_counter() - t0)
+            results[shape][kname] = n / best
+    out: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "engine",
+        "socket": socket.name,
+        "n_accesses": n_accesses,
+        "rounds": rounds,
+        "machine": machine_fingerprint(),
+        "accesses_per_sec": results,
+        "speedup_arrays_vs_lists": {
+            shape: results[shape]["arrays"] / results[shape]["lists"]
+            for shape in results
+        },
+    }
+    return out
+
+
+def write_engine_bench(path: str, baseline: Dict[str, object]) -> None:
+    with open(path, "w") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def format_engine_bench(baseline: Dict[str, object]) -> str:
+    rates = baseline["accesses_per_sec"]
+    kernels = sorted(next(iter(rates.values())))
+    width = max(len(s) for s in rates)
+    lines = ["engine throughput (accesses/sec):",
+             "  " + "shape".ljust(width) + "".join(k.rjust(14) for k in kernels)
+             + "  arrays/lists"]
+    for shape, by_kernel in rates.items():
+        row = "  " + shape.ljust(width)
+        row += "".join(f"{by_kernel[k]:14,.0f}" for k in kernels)
+        row += f"  {baseline['speedup_arrays_vs_lists'][shape]:10.2f}x"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def compare_engine_bench(
+    baseline: Dict[str, object], reference: Dict[str, object]
+) -> str:
+    """Informational comparison of a fresh run against a stored baseline.
+
+    Never raises on regressions — machines differ; this exists so CI logs
+    show the delta."""
+    lines = ["change vs stored baseline (informational):"]
+    ref_rates = reference.get("accesses_per_sec", {})
+    for shape, by_kernel in baseline["accesses_per_sec"].items():
+        for kname, rate in by_kernel.items():
+            ref = ref_rates.get(shape, {}).get(kname)
+            if not ref:
+                lines.append(f"  {shape}/{kname}: no reference")
+                continue
+            delta = 100.0 * (rate / ref - 1.0)
+            lines.append(
+                f"  {shape}/{kname}: {rate:,.0f} vs {ref:,.0f} acc/s "
+                f"({delta:+.1f}%)"
+            )
+    return "\n".join(lines)

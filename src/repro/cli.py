@@ -14,6 +14,10 @@ Commands
     point-result cache.
 ``machine [--scale N]``
     Describe the (optionally scaled) Table I machine.
+``bench engine [--out FILE] [--accesses N] [--rounds N] [--compare FILE]``
+    Measure simulation-kernel throughput (accesses/sec per shape and
+    kernel) and write the machine-readable baseline; ``--compare``
+    prints an informational delta against a stored baseline.
 ``version``
     Print the package version.
 """
@@ -149,6 +153,28 @@ def _build_parser() -> argparse.ArgumentParser:
     mach_p = sub.add_parser("machine", help="describe the Table I machine")
     mach_p.add_argument("--scale", type=int, default=None,
                         help="geometric down-scale (default: 16)")
+
+    bench_p = sub.add_parser("bench", help="engine microbenchmarks")
+    bench_p.add_argument(
+        "target", choices=("engine",),
+        help="what to benchmark (currently only 'engine')",
+    )
+    bench_p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON baseline here (default: BENCH_engine.json)",
+    )
+    bench_p.add_argument(
+        "--accesses", type=int, default=None, metavar="N",
+        help="accesses per (shape, kernel) measurement (default: 200000)",
+    )
+    bench_p.add_argument(
+        "--rounds", type=int, default=None, metavar="N",
+        help="rounds per measurement, best kept (default: 3)",
+    )
+    bench_p.add_argument(
+        "--compare", default=None, metavar="FILE",
+        help="print an informational delta against this stored baseline",
+    )
     return parser
 
 
@@ -191,6 +217,28 @@ def main(argv: Optional[list] = None) -> int:
     if args.command == "machine":
         socket = xeon20mb() if args.scale is None else xeon20mb(scale=args.scale)
         print(socket.describe())
+        return 0
+
+    if args.command == "bench":
+        import json
+
+        from . import bench as bench_mod
+
+        kwargs = {}
+        if args.accesses is not None:
+            kwargs["n_accesses"] = args.accesses
+        if args.rounds is not None:
+            kwargs["rounds"] = args.rounds
+        print("measuring engine throughput ...", file=sys.stderr)
+        baseline = bench_mod.run_engine_bench(**kwargs)
+        print(bench_mod.format_engine_bench(baseline))
+        if args.compare is not None:
+            with open(args.compare) as fh:
+                reference = json.load(fh)
+            print(bench_mod.compare_engine_bench(baseline, reference))
+        out = args.out if args.out is not None else "BENCH_engine.json"
+        bench_mod.write_engine_bench(out, baseline)
+        print(f"baseline written to {out}", file=sys.stderr)
         return 0
 
     registry = _registry()

@@ -4,12 +4,16 @@ Public surface:
 
 - :class:`AccessChunk` — the unit of simulated work
 - :class:`SimThread`, :class:`ThreadContext` — workload protocol
-- :class:`FastSocket` — fused simulation kernel
+- :class:`ArraySocket` — array-native simulation kernel (default)
+- :class:`FastSocket` — reference list-based simulation kernel
+- :func:`make_socket_kernel` — kernel selection (``REPRO_KERNEL`` /
+  :attr:`~repro.config.SocketConfig.kernel`)
 - :class:`Scheduler`, :class:`CoreState`, :class:`ScheduleOutcome`
 - :class:`SocketSimulator` — the facade experiments use
 - :class:`MeasureResult`
 """
 
+from .arraypath import ArraySocket, make_socket_kernel, resolve_kernel_name
 from .chunk import AccessChunk
 from .fastpath import FastSocket
 from .results import MeasureResult
@@ -21,7 +25,10 @@ __all__ = [
     "AccessChunk",
     "SimThread",
     "ThreadContext",
+    "ArraySocket",
     "FastSocket",
+    "make_socket_kernel",
+    "resolve_kernel_name",
     "Scheduler",
     "CoreState",
     "ScheduleOutcome",

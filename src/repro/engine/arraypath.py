@@ -1,0 +1,753 @@
+"""Array-native single-socket simulation kernel.
+
+:class:`ArraySocket` is a drop-in replacement for
+:class:`~repro.engine.fastpath.FastSocket` (the reference list kernel)
+that keeps every piece of mutable simulation state in flat, preallocated,
+C-contiguous buffers:
+
+- per-level **tag arrays** (``int64``, one slot per cache way, sets laid
+  out consecutively) plus **monotonic age counters**: LRU victim = the
+  min-age slot of the set, scanned left to right. Empty slots carry age 0
+  and are therefore filled first, in slot order, which reproduces the
+  list kernel's append-then-evict recency order exactly (cross-validated
+  bit-for-bit by ``tests/engine/test_kernel_equivalence.py``);
+- a **dirty bitmap** (``uint8``) indexed by line address, grown on demand;
+- **arrival slots** (``float64``, one per L3 way) replacing the staged-
+  line dict: a line with a pending link transfer is always still
+  L3-resident (staging inserts it; consumption or eviction pops it), so
+  the arrival time can live with the L3 slot itself;
+- small **register blocks** holding the bandwidth arbiter's controller
+  state and the per-core stride-prefetcher stream tables, so the Python
+  views (:class:`_ArbiterView`) and the compiled loop share one source of
+  truth.
+
+The hot loop over this state has two interchangeable backends:
+
+- ``"c"`` — a small C function compiled on first use from
+  :mod:`repro.engine._ckernel` (stdlib ``ctypes``, no build dependency),
+  ~20x the list kernel's throughput;
+- ``"py"`` — a pure-Python transliteration of the same loop, used where
+  no C compiler exists and for differential testing of the C port.
+
+Both mirror the list kernel's floating-point operation order exactly
+(the C build disables FP contraction), so per-chunk finish times and all
+event counters are bit-identical across kernels, not merely within
+tolerance. Runs of repeated accesses to one line take a *hit-streak fast
+path*: after the first L1 MRU hit the loop charges the remaining
+repeats' time directly, skipping tag probes and LRU updates they cannot
+change.
+
+Kernel selection for simulators goes through :func:`make_socket_kernel`,
+driven by the ``REPRO_KERNEL`` env var (``arrays`` | ``lists``) which
+overrides :attr:`repro.config.SocketConfig.kernel` (default ``arrays``).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import warnings
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..config import SocketConfig
+from ..errors import ConfigError
+from ..mem.counters import CoreCounters, SocketCounters
+from . import _ckernel
+from .chunk import AccessChunk
+from .fastpath import FastSocket
+
+EMPTY_TAG = _ckernel.EMPTY_TAG
+
+#: Initial dirty-bitmap capacity (line addresses); doubled on demand.
+_DIRTY_CAP0 = 1 << 16
+
+# aregs slots (float64)
+_A_HWM, _A_WSTART, _A_RHO, _A_RHO_S, _A_DELAY, _A_KNEE, _A_BUSY = range(7)
+# airegs slots (int64)
+_AI_WCOUNT, _AI_WDEMAND, _AI_FILL_B, _AI_WB_B = range(4)
+
+
+class _ArbiterView:
+    """:class:`~repro.mem.bandwidth.BandwidthArbiter` API over the array
+    kernel's shared register blocks.
+
+    The controller state lives in ``aregs``/``airegs`` so the compiled
+    loop and this view always agree; the arithmetic below is an exact
+    transliteration of ``BandwidthArbiter`` (used by the pure-Python
+    backend; the C backend runs the same expressions natively).
+    """
+
+    WINDOW_FILLS = 512
+    MIN_WINDOW_SPAN_NS = 16384.0
+    DELAY_DAMPING = 0.7
+    MAX_DELAY_SERVICES = 512.0
+
+    def __init__(self, socket: SocketConfig, aregs: np.ndarray, airegs: np.ndarray):
+        self.line_bytes = socket.line_bytes
+        self.capacity_Bps = socket.dram_bandwidth_Bps
+        self._throttle_writebacks = socket.throttle_writebacks
+        self.service_ns = socket.line_bytes / socket.dram_bandwidth_Bps * 1e9
+        self._a = aregs
+        self._ai = airegs
+
+    # -- counters (read via properties so the C loop's updates show) --------
+
+    @property
+    def busy_ns(self) -> float:
+        return float(self._a[_A_BUSY])
+
+    @property
+    def fill_bytes(self) -> int:
+        return int(self._ai[_AI_FILL_B])
+
+    @property
+    def writeback_bytes(self) -> int:
+        return int(self._ai[_AI_WB_B])
+
+    # -- core ---------------------------------------------------------------
+
+    def request_fill(self, now_ns: float, demand: bool = True) -> float:
+        a, ai = self._a, self._ai
+        if now_ns > a[_A_HWM]:
+            a[_A_HWM] = now_ns
+        ai[_AI_WCOUNT] += 1
+        if demand:
+            ai[_AI_WDEMAND] += 1
+        span = float(a[_A_HWM]) - float(a[_A_WSTART])
+        if ai[_AI_WCOUNT] >= self.WINDOW_FILLS and span >= self.MIN_WINDOW_SPAN_NS:
+            n = int(ai[_AI_WCOUNT])
+            a[_A_RHO] = n * self.service_ns / span
+            deficit_ns = n * self.service_ns - span
+            correction = deficit_ns / max(int(ai[_AI_WDEMAND]), 1)
+            delay = float(a[_A_DELAY]) + self.DELAY_DAMPING * correction
+            max_delay = self.MAX_DELAY_SERVICES * self.service_ns
+            a[_A_DELAY] = min(max(delay, 0.0), max_delay)
+            rho_smooth = float(a[_A_RHO_S]) + 0.3 * (float(a[_A_RHO]) - float(a[_A_RHO_S]))
+            a[_A_RHO_S] = rho_smooth
+            rho_k = min(rho_smooth, 0.97)
+            target = self.service_ns * rho_k * rho_k / (1.0 - rho_k)
+            a[_A_KNEE] = float(a[_A_KNEE]) + 0.25 * (target - float(a[_A_KNEE]))
+            a[_A_WSTART] = a[_A_HWM]
+            ai[_AI_WCOUNT] = 0
+            ai[_AI_WDEMAND] = 0
+        a[_A_BUSY] += self.service_ns
+        ai[_AI_FILL_B] += self.line_bytes
+        return float(a[_A_DELAY]) + float(a[_A_KNEE])
+
+    def note_writeback(self, now_ns: float = 0.0) -> None:
+        a, ai = self._a, self._ai
+        ai[_AI_WB_B] += self.line_bytes
+        if self._throttle_writebacks:
+            if now_ns > a[_A_HWM]:
+                a[_A_HWM] = now_ns
+            ai[_AI_WCOUNT] += 1
+            a[_A_BUSY] += self.service_ns
+
+    # -- inspection ---------------------------------------------------------
+
+    def offered_rho(self) -> float:
+        return float(self._a[_A_RHO])
+
+    def current_delay_ns(self) -> float:
+        return float(self._a[_A_DELAY]) + float(self._a[_A_KNEE])
+
+    def utilization(self, window_ns: float) -> float:
+        return min(1.0, self.busy_ns / window_ns) if window_ns > 0 else 0.0
+
+    def reset_counters(self) -> None:
+        self._a[_A_BUSY] = 0.0
+        self._ai[_AI_FILL_B] = 0
+        self._ai[_AI_WB_B] = 0
+
+
+class _PrefetcherView:
+    """Per-core view of the shared stream-table arrays (introspection
+    parity with :class:`~repro.mem.prefetch.StridePrefetcher`)."""
+
+    def __init__(self, owner: "ArraySocket", core: int):
+        self._owner = owner
+        self._core = core
+        self.config = owner.socket.prefetch
+
+    @property
+    def issued_batches(self) -> int:
+        return int(self._owner._pf_issued[self._core])
+
+    def reset(self) -> None:
+        self._owner._pf_count[self._core] = 0
+        self._owner._pf_issued[self._core] = 0
+
+
+class ArraySocket:
+    """Array-native socket kernel; public API matches ``FastSocket``.
+
+    Parameters
+    ----------
+    socket:
+        Machine description (geometry, timing, prefetch, bandwidth).
+    track_owner:
+        Maintain a last-toucher owner tag per resident L3 slot for
+        :meth:`l3_occupancy_by_owner`.
+    backend:
+        ``"c"`` (compiled hot loop), ``"py"`` (pure-Python loop over the
+        same arrays), or ``None`` to pick ``"c"`` when a compiler is
+        available and ``"py"`` otherwise.
+    """
+
+    def __init__(
+        self,
+        socket: SocketConfig,
+        track_owner: bool = False,
+        backend: Optional[str] = None,
+    ):
+        self.socket = socket
+        n = socket.n_cores
+
+        if backend is None:
+            backend = "c" if _ckernel.load() is not None else "py"
+        if backend not in ("c", "py"):
+            raise ConfigError(f"unknown array-kernel backend {backend!r}")
+        if backend == "c" and _ckernel.load() is None:
+            raise ConfigError("C kernel requested but unavailable "
+                              "(no compiler, or REPRO_NO_CKERNEL set)")
+        self.backend = backend
+
+        s1, w1 = socket.l1.n_sets, socket.l1.ways
+        s2, w2 = socket.l2.n_sets, socket.l2.ways
+        s3, w3 = socket.l3.n_sets, socket.l3.ways
+        self._l1_mask, self._l2_mask, self._l3_mask = s1 - 1, s2 - 1, s3 - 1
+        self._w1, self._w2, self._w3 = w1, w2, w3
+        self._blk1, self._blk2 = s1 * w1, s2 * w2
+
+        self._tags1 = np.full(n * s1 * w1, EMPTY_TAG, dtype=np.int64)
+        self._ages1 = np.zeros(n * s1 * w1, dtype=np.int64)
+        self._tags2 = np.full(n * s2 * w2, EMPTY_TAG, dtype=np.int64)
+        self._ages2 = np.zeros(n * s2 * w2, dtype=np.int64)
+        self._tags3 = np.full(s3 * w3, EMPTY_TAG, dtype=np.int64)
+        self._ages3 = np.zeros(s3 * w3, dtype=np.int64)
+        self._owner3: Optional[np.ndarray] = (
+            np.full(s3 * w3, -1, dtype=np.int64) if track_owner else None
+        )
+        self._arrival3 = np.full(s3 * w3, -1.0, dtype=np.float64)
+        self._dirty = np.zeros(_DIRTY_CAP0, dtype=np.uint8)
+        self._dirty_cap = _DIRTY_CAP0
+
+        # [0]=L3 age counter, [1]=pending staged-line count,
+        # [2+2c]/[3+2c]=core c's L1/L2 age counters.
+        self._iregs = np.zeros(2 + 2 * n, dtype=np.int64)
+        self._aregs = np.zeros(7, dtype=np.float64)
+        self._airegs = np.zeros(4, dtype=np.int64)
+
+        ns = socket.prefetch.n_streams
+        self._pf_sid = np.zeros(n * ns, dtype=np.int64)
+        self._pf_last = np.zeros(n * ns, dtype=np.int64)
+        self._pf_stride = np.zeros(n * ns, dtype=np.int64)
+        self._pf_streak = np.zeros(n * ns, dtype=np.int64)
+        self._pf_expected = np.zeros(n * ns, dtype=np.int64)
+        self._pf_order = np.zeros(n * ns, dtype=np.int64)
+        self._pf_count = np.zeros(n, dtype=np.int64)
+        self._pf_issued = np.zeros(n, dtype=np.int64)
+
+        self.arbiter = _ArbiterView(socket, self._aregs, self._airegs)
+        self.prefetchers = [_PrefetcherView(self, c) for c in range(n)]
+        self.counters = [CoreCounters() for _ in range(n)]
+
+        t = socket.timing
+        self._ns_per_op = t.ns_per_op
+        self._l1_ns = t.l1_hit_ns
+        self._l2_ns = t.l2_hit_ns
+        self._l3_ns = t.l3_hit_ns
+        self._pf_ns = t.prefetch_hit_ns
+        self._dram_ns = t.dram_latency_ns / t.mlp
+        self._dram_serial_ns = t.dram_latency_ns
+
+        self._out = np.zeros(7, dtype=np.int64)
+        if backend == "c":
+            self._lib = _ckernel.load()
+            self._ks = self._build_struct()
+            self._ksp = ctypes.pointer(self._ks)
+            self._outp = self._out.ctypes.data
+        else:
+            self._lib = None
+
+    # -- C plumbing ----------------------------------------------------------
+
+    def _build_struct(self) -> "_ckernel.KStruct":
+        s = self.socket
+        ks = _ckernel.KStruct()
+        ks.tags1 = self._tags1.ctypes.data
+        ks.ages1 = self._ages1.ctypes.data
+        ks.tags2 = self._tags2.ctypes.data
+        ks.ages2 = self._ages2.ctypes.data
+        ks.tags3 = self._tags3.ctypes.data
+        ks.ages3 = self._ages3.ctypes.data
+        ks.owner3 = self._owner3.ctypes.data if self._owner3 is not None else None
+        ks.arrival3 = self._arrival3.ctypes.data
+        ks.dirty = self._dirty.ctypes.data
+        ks.iregs = self._iregs.ctypes.data
+        ks.aregs = self._aregs.ctypes.data
+        ks.airegs = self._airegs.ctypes.data
+        ks.pf_sid = self._pf_sid.ctypes.data
+        ks.pf_last = self._pf_last.ctypes.data
+        ks.pf_stride = self._pf_stride.ctypes.data
+        ks.pf_streak = self._pf_streak.ctypes.data
+        ks.pf_expected = self._pf_expected.ctypes.data
+        ks.pf_order = self._pf_order.ctypes.data
+        ks.pf_count = self._pf_count.ctypes.data
+        ks.pf_issued = self._pf_issued.ctypes.data
+        ks.l1_mask, ks.l2_mask, ks.l3_mask = self._l1_mask, self._l2_mask, self._l3_mask
+        ks.w1, ks.w2, ks.w3 = self._w1, self._w2, self._w3
+        ks.blk1, ks.blk2 = self._blk1, self._blk2
+        ks.dirty_cap = self._dirty_cap
+        ks.l1_ns, ks.l2_ns, ks.l3_ns = self._l1_ns, self._l2_ns, self._l3_ns
+        ks.pf_ns = self._pf_ns
+        ks.service_ns = self.arbiter.service_ns
+        ks.window_fills = _ArbiterView.WINDOW_FILLS
+        ks.min_window_span = _ArbiterView.MIN_WINDOW_SPAN_NS
+        ks.damping = _ArbiterView.DELAY_DAMPING
+        ks.max_delay_services = _ArbiterView.MAX_DELAY_SERVICES
+        ks.line_bytes = s.line_bytes
+        ks.throttle_wb = 1 if s.throttle_writebacks else 0
+        ks.pf_enabled = 1 if s.prefetch.enabled else 0
+        ks.pf_degree = s.prefetch.degree
+        ks.pf_detect_after = s.prefetch.detect_after
+        ks.pf_nstreams = s.prefetch.n_streams
+        return ks
+
+    def _grow_dirty(self, max_line: int) -> None:
+        new_cap = self._dirty_cap
+        while new_cap <= max_line:
+            new_cap *= 2
+        grown = np.zeros(new_cap, dtype=np.uint8)
+        grown[: self._dirty_cap] = self._dirty
+        self._dirty = grown
+        self._dirty_cap = new_cap
+        if self._lib is not None:
+            self._ks.dirty = self._dirty.ctypes.data
+            self._ks.dirty_cap = new_cap
+
+    # -- hot loop ------------------------------------------------------------
+
+    def run_chunk(self, core: int, chunk: AccessChunk, now_ns: float) -> float:
+        """Execute ``chunk`` on ``core`` starting at ``now_ns``; returns
+        the simulated completion time (identical semantics and float
+        results to :meth:`FastSocket.run_chunk`)."""
+        lines = chunk.lines
+        if isinstance(lines, np.ndarray):
+            if lines.dtype != np.int64 or not lines.flags.c_contiguous:
+                lines = np.ascontiguousarray(lines, dtype=np.int64)
+        else:
+            lines = np.asarray(lines, dtype=np.int64)
+        n = int(lines.size)
+        if n:
+            max_line = int(lines.max())
+            if max_line >= self._dirty_cap:
+                if int(lines.min()) < 0:
+                    raise ValueError(
+                        "array kernel: negative line addresses are not supported"
+                    )
+                self._grow_dirty(max_line)
+            elif int(lines.min()) < 0:
+                raise ValueError(
+                    "array kernel: negative line addresses are not supported"
+                )
+
+        ops_ns = chunk.ops_per_access * self._ns_per_op
+        dram_ns = self._dram_serial_ns if chunk.serialize else self._dram_ns
+        t0 = now_ns + chunk.extra_ns
+        w = chunk.is_write
+
+        if self._lib is not None:
+            t = self._lib.run_chunk(
+                self._ksp, core, lines.ctypes.data, n,
+                1 if w else 0, 1 if chunk.prefetchable else 0, chunk.stream_id,
+                ops_ns, dram_ns, t0, self._outp,
+            )
+            out = self._out
+            n_l1, n_l2, n_l3 = int(out[0]), int(out[1]), int(out[2])
+            n_pf, n_miss = int(out[3]), int(out[4])
+            n_pfill, n_wb = int(out[5]), int(out[6])
+        else:
+            t, n_l1, n_l2, n_l3, n_pf, n_miss, n_pfill, n_wb = self._run_chunk_py(
+                core, lines, w, bool(chunk.prefetchable), chunk.stream_id,
+                ops_ns, dram_ns, t0,
+            )
+
+        c = self.counters[core]
+        c.accesses += n
+        c.l1_hits += n_l1
+        c.l2_hits += n_l2
+        c.l3_hits += n_l3
+        c.prefetch_hits += n_pf
+        c.l3_misses += n_miss
+        c.prefetch_fills += n_pfill
+        c.writebacks += n_wb
+        c.compute_ops += n * chunk.ops_per_access
+        c.compute_ns += n * ops_ns
+        c.offsocket_ns += chunk.extra_ns
+        c.stall_ns += (t - now_ns) - n * ops_ns - chunk.extra_ns
+        c.elapsed_ns += t - now_ns
+        return t
+
+    def _run_chunk_py(self, core, lines_arr, w, pf_on, sid, ops_ns, dram_ns, t):
+        """Pure-Python backend: the C loop transliterated over the same
+        flat arrays (reference for differential testing; used when no
+        compiler is available)."""
+        blk1, blk2 = self._blk1, self._blk2
+        tags1 = self._tags1[core * blk1:(core + 1) * blk1]
+        ages1 = self._ages1[core * blk1:(core + 1) * blk1]
+        tags2 = self._tags2[core * blk2:(core + 1) * blk2]
+        ages2 = self._ages2[core * blk2:(core + 1) * blk2]
+        tags3, ages3 = self._tags3, self._ages3
+        owner3, arr3, dirty = self._owner3, self._arrival3, self._dirty
+        cap = self._dirty_cap
+        m1, m2, m3 = self._l1_mask, self._l2_mask, self._l3_mask
+        w1, w2, w3 = self._w1, self._w2, self._w3
+        l1_ns, l2_ns, l3_ns = self._l1_ns, self._l2_ns, self._l3_ns
+        pf_ns = self._pf_ns
+        service_ns = self.arbiter.service_ns
+        iregs = self._iregs
+        arb_fill = self.arbiter.request_fill
+        arb_wb = self.arbiter.note_writeback
+        i_agec1, i_agec2 = 2 + 2 * core, 3 + 2 * core
+        lines: List[int] = lines_arr.tolist()
+        n = len(lines)
+        n_l1 = n_l2 = n_l3 = n_pf = n_miss = n_pfill = n_wb = 0
+
+        i = 0
+        while i < n:
+            a = lines[i]
+            t += ops_ns
+            b1 = (a & m1) * w1
+            h1 = -1
+            for j in range(w1):
+                if tags1[b1 + j] == a:
+                    h1 = j
+                    break
+            if h1 >= 0:
+                t += l1_ns
+                n_l1 += 1
+                iregs[i_agec1] += 1
+                ages1[b1 + h1] = iregs[i_agec1]
+                if w:
+                    dirty[a] = 1
+                # hit-streak fast path (see module docstring)
+                while i + 1 < n and lines[i + 1] == a:
+                    i += 1
+                    t += ops_ns
+                    t += l1_ns
+                    n_l1 += 1
+                i += 1
+                continue
+            b2 = (a & m2) * w2
+            h2 = -1
+            for j in range(w2):
+                if tags2[b2 + j] == a:
+                    h2 = j
+                    break
+            if h2 >= 0:
+                t += l2_ns
+                n_l2 += 1
+                if iregs[1] > 0:
+                    b3 = (a & m3) * w3
+                    for j in range(w3):
+                        if tags3[b3 + j] == a:
+                            arr = arr3[b3 + j]
+                            if arr >= 0.0:
+                                arr3[b3 + j] = -1.0
+                                iregs[1] -= 1
+                                n_pf += 1
+                                n_l2 -= 1
+                                if arr > t:
+                                    t = float(arr)
+                            break
+                iregs[i_agec2] += 1
+                ages2[b2 + h2] = iregs[i_agec2]
+            else:
+                b3 = (a & m3) * w3
+                h3 = -1
+                for j in range(w3):
+                    if tags3[b3 + j] == a:
+                        h3 = j
+                        break
+                if h3 >= 0:
+                    arr = arr3[b3 + h3] if iregs[1] > 0 else -1.0
+                    if arr >= 0.0:
+                        arr3[b3 + h3] = -1.0
+                        iregs[1] -= 1
+                        t += pf_ns
+                        if arr > t:
+                            t = float(arr)
+                        n_pf += 1
+                    else:
+                        t += l3_ns
+                        n_l3 += 1
+                    iregs[0] += 1
+                    ages3[b3 + h3] = iregs[0]
+                    if owner3 is not None:
+                        owner3[b3 + h3] = core
+                else:
+                    n_miss += 1
+                    t += dram_ns + arb_fill(t)
+                    vs = b3
+                    va = ages3[b3]
+                    for j in range(1, w3):
+                        if ages3[b3 + j] < va:
+                            va = ages3[b3 + j]
+                            vs = b3 + j
+                    victim = int(tags3[vs])
+                    if victim != EMPTY_TAG:
+                        if arr3[vs] >= 0.0:
+                            arr3[vs] = -1.0
+                            iregs[1] -= 1
+                        if 0 <= victim < cap and dirty[victim]:
+                            dirty[victim] = 0
+                            arb_wb(t)
+                            n_wb += 1
+                    tags3[vs] = a
+                    iregs[0] += 1
+                    ages3[vs] = iregs[0]
+                    arr3[vs] = -1.0
+                    if owner3 is not None:
+                        owner3[vs] = core
+                    if not w:
+                        dirty[a] = 0
+                if pf_on:
+                    cnt, stride = self._pf_observe_py(core, a, sid)
+                    k_fill = 0
+                    for q in range(1, cnt + 1):
+                        p = a + stride * q
+                        bp = (p & m3) * w3
+                        hp = -1
+                        for j in range(w3):
+                            if tags3[bp + j] == p:
+                                hp = j
+                                break
+                        if hp < 0:
+                            delay = arb_fill(t, False)
+                            k_fill += 1
+                            n_pfill += 1
+                            vs = bp
+                            va = ages3[bp]
+                            for j in range(1, w3):
+                                if ages3[bp + j] < va:
+                                    va = ages3[bp + j]
+                                    vs = bp + j
+                            v = int(tags3[vs])
+                            if v != EMPTY_TAG:
+                                if arr3[vs] >= 0.0:
+                                    arr3[vs] = -1.0
+                                    iregs[1] -= 1
+                                if 0 <= v < cap and dirty[v]:
+                                    dirty[v] = 0
+                                    arb_wb(t)
+                                    n_wb += 1
+                            tags3[vs] = p
+                            iregs[0] += 1
+                            ages3[vs] = iregs[0]
+                            arr3[vs] = t + dram_ns + delay + k_fill * service_ns
+                            iregs[1] += 1
+                            if owner3 is not None:
+                                owner3[vs] = core
+                        bp2 = (p & m2) * w2
+                        hq = -1
+                        for j in range(w2):
+                            if tags2[bp2 + j] == p:
+                                hq = j
+                                break
+                        if hq < 0:
+                            vs = bp2
+                            va = ages2[bp2]
+                            for j in range(1, w2):
+                                if ages2[bp2 + j] < va:
+                                    va = ages2[bp2 + j]
+                                    vs = bp2 + j
+                            tags2[vs] = p
+                            iregs[i_agec2] += 1
+                            ages2[vs] = iregs[i_agec2]
+                vs = b2
+                va = ages2[b2]
+                for j in range(1, w2):
+                    if ages2[b2 + j] < va:
+                        va = ages2[b2 + j]
+                        vs = b2 + j
+                tags2[vs] = a
+                iregs[i_agec2] += 1
+                ages2[vs] = iregs[i_agec2]
+            vs = b1
+            va = ages1[b1]
+            for j in range(1, w1):
+                if ages1[b1 + j] < va:
+                    va = ages1[b1 + j]
+                    vs = b1 + j
+            tags1[vs] = a
+            iregs[i_agec1] += 1
+            ages1[vs] = iregs[i_agec1]
+            if w:
+                dirty[a] = 1
+            while i + 1 < n and lines[i + 1] == a:
+                i += 1
+                t += ops_ns
+                t += l1_ns
+                n_l1 += 1
+            i += 1
+
+        return float(t), n_l1, n_l2, n_l3, n_pf, n_miss, n_pfill, n_wb
+
+    def _pf_observe_py(self, core: int, a: int, sid: int):
+        """StridePrefetcher.observe_miss over the stream-table arrays.
+        Returns ``(count, stride)``; staged lines are ``a + stride*k``."""
+        pf = self.socket.prefetch
+        if not pf.enabled or pf.degree == 0:
+            return 0, 0
+        ns = pf.n_streams
+        base = core * ns
+        sids = self._pf_sid
+        order = self._pf_order
+        cnt = int(self._pf_count[core])
+        slot = -1
+        for i in range(cnt):
+            s = int(order[base + i])
+            if sids[base + s] == sid:
+                slot = s
+                break
+        if slot < 0:
+            if cnt >= ns:
+                slot = int(order[base])
+                order[base:base + cnt - 1] = order[base + 1:base + cnt]
+                cnt -= 1
+            else:
+                slot = cnt
+            order[base + cnt] = slot
+            self._pf_count[core] = cnt + 1
+            sids[base + slot] = sid
+            self._pf_last[base + slot] = -1
+            self._pf_stride[base + slot] = 0
+            self._pf_streak[base + slot] = 0
+            self._pf_expected[base + slot] = -1
+        degree = pf.degree
+        k = base + slot
+        if self._pf_expected[k] == a:
+            stride = int(self._pf_stride[k])
+            self._pf_last[k] = a
+            self._pf_expected[k] = a + (degree + 1) * stride
+            self._pf_issued[core] += 1
+            return degree, stride
+        last = int(self._pf_last[k])
+        stride = a - last if last >= 0 else 0
+        if stride == 0:
+            self._pf_streak[k] = 0
+        elif stride == self._pf_stride[k]:
+            self._pf_streak[k] += 1
+        else:
+            self._pf_streak[k] = 1
+        self._pf_stride[k] = stride
+        self._pf_last[k] = a
+        if stride != 0 and self._pf_streak[k] >= pf.detect_after:
+            self._pf_expected[k] = a + (degree + 1) * stride
+            self._pf_issued[core] += 1
+            return degree, stride
+        self._pf_expected[k] = -1
+        return 0, 0
+
+    # -- inspection / control -------------------------------------------------
+
+    def l3_resident_count(self) -> int:
+        """Number of lines currently resident in the shared L3."""
+        return int((self._tags3 != EMPTY_TAG).sum())
+
+    def l3_occupancy_by_owner(self) -> Dict[int, int]:
+        """L3 lines held per core (requires ``track_owner=True``)."""
+        if self._owner3 is None:
+            raise ValueError("ArraySocket was created without track_owner")
+        occupied = self._tags3 != EMPTY_TAG
+        owners, counts = np.unique(self._owner3[occupied], return_counts=True)
+        return {int(o): int(c) for o, c in zip(owners, counts)}
+
+    def l3_contains(self, line_addr: int) -> bool:
+        b = (line_addr & self._l3_mask) * self._w3
+        return bool((self._tags3[b:b + self._w3] == line_addr).any())
+
+    def reset_counters(self) -> None:
+        """Zero all event counters, keeping cache/link state (used to
+        separate warm-up from the measurement window)."""
+        for c in self.counters:
+            c.reset()
+        self.arbiter.reset_counters()
+
+    def flush_caches(self) -> None:
+        """Empty every cache level and prefetcher (cold restart)."""
+        self._tags1.fill(EMPTY_TAG)
+        self._ages1.fill(0)
+        self._tags2.fill(EMPTY_TAG)
+        self._ages2.fill(0)
+        self._tags3.fill(EMPTY_TAG)
+        self._ages3.fill(0)
+        if self._owner3 is not None:
+            self._owner3.fill(-1)
+        self._arrival3.fill(-1.0)
+        self._dirty.fill(0)
+        self._iregs.fill(0)
+        self._pf_count.fill(0)
+        self._pf_issued.fill(0)
+
+    def socket_counters(self, elapsed_ns: float) -> SocketCounters:
+        """Aggregate snapshot over a window of ``elapsed_ns``."""
+        return SocketCounters(
+            cores=[c.snapshot() for c in self.counters],
+            link_fill_bytes=self.arbiter.fill_bytes,
+            link_writeback_bytes=self.arbiter.writeback_bytes,
+            link_busy_ns=self.arbiter.busy_ns,
+            elapsed_ns=elapsed_ns,
+        )
+
+
+SocketKernel = Union[FastSocket, ArraySocket]
+
+_warned_fallback = False
+
+
+def resolve_kernel_name(socket: SocketConfig) -> str:
+    """Kernel choice: ``REPRO_KERNEL`` env var, else ``socket.kernel``."""
+    name = os.environ.get("REPRO_KERNEL", "").strip() or getattr(
+        socket, "kernel", "arrays"
+    )
+    if name not in ("arrays", "lists"):
+        raise ConfigError(
+            f"unknown kernel {name!r} (REPRO_KERNEL/SocketConfig.kernel "
+            "must be 'arrays' or 'lists')"
+        )
+    return name
+
+
+def make_socket_kernel(socket: SocketConfig, track_owner: bool = False) -> SocketKernel:
+    """Build the simulation kernel selected by ``REPRO_KERNEL`` /
+    :attr:`SocketConfig.kernel`.
+
+    ``arrays`` (the default) uses :class:`ArraySocket` with the compiled
+    hot loop. When no C compiler is available the pure-Python array
+    backend would be slower than the tuned list kernel, so the *implicit*
+    default quietly falls back to :class:`FastSocket`; setting
+    ``REPRO_KERNEL=arrays`` explicitly forces the array kernel either
+    way. Both choices are cross-validated bit-for-bit, so this only ever
+    affects throughput.
+    """
+    global _warned_fallback
+    name = resolve_kernel_name(socket)
+    if name == "lists":
+        return FastSocket(socket, track_owner=track_owner)
+    if _ckernel.load() is not None:
+        return ArraySocket(socket, track_owner=track_owner, backend="c")
+    if os.environ.get("REPRO_KERNEL", "").strip() == "arrays":
+        return ArraySocket(socket, track_owner=track_owner, backend="py")
+    if not _warned_fallback:
+        _warned_fallback = True
+        warnings.warn(
+            "no C compiler found: falling back to the list kernel "
+            "(set REPRO_KERNEL=arrays to force the pure-Python array kernel)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return FastSocket(socket, track_owner=track_owner)

@@ -1,9 +1,12 @@
-"""Fused single-socket simulation kernel.
+"""Fused single-socket simulation kernel (reference list implementation).
 
-This module is the performance-critical core of the library: a single
-tuned Python loop that pushes one :class:`~repro.engine.chunk.AccessChunk`
-through L1 -> L2 -> shared L3 -> DRAM, charging time, feeding the stride
-prefetcher and reserving DRAM-link slots.
+A single tuned Python loop that pushes one
+:class:`~repro.engine.chunk.AccessChunk` through L1 -> L2 -> shared L3 ->
+DRAM, charging time, feeding the stride prefetcher and reserving
+DRAM-link slots. This is the *reference* kernel (``REPRO_KERNEL=lists``):
+the default production kernel is the array-native
+:class:`~repro.engine.arraypath.ArraySocket`, which is cross-validated
+bit-for-bit against this one and several times faster.
 
 Semantics are identical to the reference composition in
 :mod:`repro.mem.hierarchy` under LRU (cross-validated by
@@ -151,7 +154,13 @@ class FastSocket:
         t = now_ns + chunk.extra_ns
         n_l1 = n_l2 = n_l3 = n_pf = n_miss = n_pfill = n_wb = 0
 
-        for a in chunk.lines:
+        # Chunks carry int64 ndarrays (zero-copy for the array kernel);
+        # one tolist() per chunk is cheaper than iterating np scalars.
+        lines = chunk.lines
+        if not isinstance(lines, list):
+            lines = lines.tolist()
+
+        for a in lines:
             t += ops_ns
             lst1 = l1_sets[a & l1_mask]
             if a in lst1:
@@ -266,7 +275,7 @@ class FastSocket:
             if w:
                 dirty.add(a)
 
-        n = len(chunk.lines)
+        n = len(lines)
         c = self.counters[core]
         c.accesses += n
         c.l1_hits += n_l1

@@ -17,12 +17,14 @@ access safety limit trips.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Sequence
 
 from ..errors import SimulationError
 from .chunk import AccessChunk
-from .fastpath import FastSocket
 from .thread import SimThread
+
+if TYPE_CHECKING:  # avoid an import cycle with arraypath/socket_sim
+    from .arraypath import SocketKernel
 
 
 @dataclass
@@ -67,9 +69,10 @@ class ScheduleOutcome:
 
 
 class Scheduler:
-    """Drives a set of threads over a :class:`FastSocket`."""
+    """Drives a set of threads over a socket kernel (array or list —
+    both expose the same ``run_chunk`` contract)."""
 
-    def __init__(self, fast: FastSocket, cores: Sequence[CoreState]):
+    def __init__(self, fast: "SocketKernel", cores: Sequence[CoreState]):
         self.fast = fast
         self.cores = list(cores)
         if not self.cores:

@@ -24,14 +24,16 @@ import numpy as np
 from ..config import SocketConfig
 from ..errors import SimulationError
 from ..mem.addrspace import AddressSpace
-from .fastpath import FastSocket
+from .arraypath import make_socket_kernel
 from .results import MeasureResult
 from .scheduler import CoreState, Scheduler, ScheduleOutcome
 from .thread import SimThread, ThreadContext
 
 
 class SocketSimulator:
-    """Owns a :class:`FastSocket`, an address space and a thread roster."""
+    """Owns a socket kernel (array or list, see
+    :func:`~repro.engine.arraypath.make_socket_kernel`), an address space
+    and a thread roster."""
 
     def __init__(
         self,
@@ -41,7 +43,7 @@ class SocketSimulator:
     ):
         self.socket = socket
         self.seed = seed
-        self.fast = FastSocket(socket, track_owner=track_owner)
+        self.fast = make_socket_kernel(socket, track_owner=track_owner)
         self.addrspace = AddressSpace(line_bytes=socket.line_bytes)
         self._threads: List[CoreState] = []
         self._started = False

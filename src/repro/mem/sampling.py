@@ -27,6 +27,7 @@ import numpy as np
 
 from ..config import SocketConfig
 from ..errors import ConfigError
+from .tagstore import TagStore
 
 
 class SampledL3:
@@ -35,8 +36,14 @@ class SampledL3:
     Private levels are not modelled: the estimator targets the
     Section III-C regime (random-pattern probes whose accesses
     essentially always miss L1/L2), where the L3 miss *ratio* is the
-    measurement of interest. For full-hierarchy semantics use
-    :class:`~repro.engine.fastpath.FastSocket`.
+    measurement of interest. For full-hierarchy semantics use the socket
+    kernels (:class:`~repro.engine.arraypath.ArraySocket` /
+    :class:`~repro.engine.fastpath.FastSocket`).
+
+    The sampled sets live in a :class:`~repro.mem.tagstore.TagStore` —
+    the same flat tag/age-array LRU core the array kernel uses — indexed
+    by the *compacted* set index (full set index ``>> sample_shift``,
+    dense because only all-low-bits-zero sets are sampled).
     """
 
     def __init__(self, socket: SocketConfig, sample_shift: int = 3):
@@ -54,7 +61,7 @@ class SampledL3:
         #: are zero.
         self._sample_mask = (1 << sample_shift) - 1
         self._ways = socket.l3.ways
-        self._sets: dict[int, list[int]] = {}
+        self._store = TagStore(n_sets >> sample_shift, socket.l3.ways)
         self.accesses = 0
         self.hits = 0
         self.misses = 0
@@ -71,44 +78,26 @@ class SampledL3:
     def run(self, lines: Sequence[int] | np.ndarray) -> int:
         """Feed a batch of line addresses; returns how many were in the
         sampled set population."""
-        if isinstance(lines, np.ndarray):
-            # Pre-filter in numpy: the whole point of sampling is to skip
-            # the Python-loop cost of unsampled accesses.
-            mask = (lines & self._sample_mask) == 0
-            batch = lines[mask].tolist()
-        else:
-            batch = [a for a in lines if (a & self._sample_mask) == 0]
-        set_mask = self._set_mask
-        ways = self._ways
-        sets = self._sets
-        hits = misses = 0
-        for a in batch:
-            s = a & set_mask
-            lst = sets.get(s)
-            if lst is None:
-                lst = []
-                sets[s] = lst
-            if a in lst:
-                hits += 1
-                if lst[-1] != a:
-                    lst.remove(a)
-                    lst.append(a)
-            else:
-                misses += 1
-                lst.append(a)
-                if len(lst) > ways:
-                    del lst[0]
-        self.accesses += len(batch)
+        if not isinstance(lines, np.ndarray):
+            lines = np.asarray(lines, dtype=np.int64)
+        # Pre-filter in numpy: the whole point of sampling is to skip
+        # the per-access cost of unsampled lines.
+        batch = lines[(lines & self._sample_mask) == 0]
+        n = int(batch.size)
+        hits = self._store.run_sampled_batch(
+            batch, self._set_mask, self.sample_shift
+        )
+        self.accesses += n
         self.hits += hits
-        self.misses += misses
-        return len(batch)
+        self.misses += n - hits
+        return n
 
     def reset_counters(self) -> None:
         """Zero counters, keeping cache state (warm-up/measure split)."""
         self.accesses = self.hits = self.misses = 0
 
     def flush(self) -> None:
-        self._sets.clear()
+        self._store.flush()
 
 
 def sampled_miss_rate(

@@ -73,7 +73,7 @@ def record_trace(
     chunk_lengths: List[int] = []
     for chunk in thread.chunks():
         take = min(len(chunk.lines), n_accesses - len(lines))
-        lines.extend(chunk.lines[:take])
+        lines.extend(chunk.lines[:take].tolist())
         writes.extend([1 if chunk.is_write else 0] * take)
         chunk_lengths.append(take)
         if len(lines) >= n_accesses:

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional
 
+import numpy as np
+
 from ..engine.chunk import AccessChunk
 from ..engine.thread import SimThread, ThreadContext
 from ..mem.addrspace import Buffer
@@ -90,18 +92,15 @@ class BWThr(SimThread):
         q = self.quantum
         ops = self.overhead_ops
         which = 0
+        step = LINE_STRIDE * np.arange(self.quantum, dtype=np.int64)
         while True:
             base = bases[which]
             n_lines = counts[which]
             pos = positions[which]
-            lines = []
-            append = lines.append
-            for _ in range(q):
-                append(base + pos)
-                pos += LINE_STRIDE
-                if pos >= n_lines:
-                    pos -= n_lines
-            positions[which] = pos
+            # Equivalent to the original per-access walk: the stride is
+            # smaller than the buffer, so each step wraps at most once.
+            lines = base + (pos + step) % n_lines
+            positions[which] = (pos + LINE_STRIDE * q) % n_lines
             yield AccessChunk(
                 lines=lines, is_write=True, ops_per_access=ops, stream_id=which
             )

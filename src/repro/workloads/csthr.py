@@ -67,11 +67,9 @@ class CSThr(SimThread):
         buf = self.buffer
         while True:
             idx = rng.integers(0, n, size=q)
-            chunk = AccessChunk.from_indices(
-                buf, idx, is_write=True, ops_per_access=ops
+            yield AccessChunk.from_indices(
+                buf, idx, is_write=True, ops_per_access=ops, prefetchable=False
             )
-            chunk.prefetchable = False
-            yield chunk
 
     def describe(self) -> str:
         return f"{self.name}: {self.buffer_bytes} paper-bytes, uniform random RMW"

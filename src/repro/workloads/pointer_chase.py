@@ -78,19 +78,17 @@ class PointerChase(SimThread):
         assert self._ctx is not None and self.buffer is not None
         assert self._order is not None
         base = self.buffer.base_line
-        lines_all = (self._order + base).tolist()
+        lines_all = self._order + base  # int64 ndarray, handed to chunks as-is
         n = len(lines_all)
         q = self.quantum
         remaining = self.n_accesses
         pos = 0
         while remaining is None or remaining > 0:
             size = q if remaining is None else min(q, remaining)
-            chunk_lines = []
-            for _ in range(size):
-                chunk_lines.append(lines_all[pos])
-                pos += 1
-                if pos == n:
-                    pos = 0
+            chunk_lines = lines_all.take(
+                np.arange(pos, pos + size), mode="wrap"
+            )
+            pos = (pos + size) % n
             yield AccessChunk(
                 lines=chunk_lines,
                 is_write=False,

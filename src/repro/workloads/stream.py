@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional
 
+import numpy as np
+
 from ..engine.chunk import AccessChunk
 from ..engine.thread import SimThread, ThreadContext
 from ..mem.addrspace import Buffer
@@ -70,25 +72,25 @@ class StreamTriad(SimThread):
         pos = 0
         while True:
             end = pos + q
-            idx = list(range(pos, end))
+            idx = np.arange(pos, end, dtype=np.int64)
             if end >= n_lines:
-                idx = [i % n_lines for i in idx]
+                idx %= n_lines
             # b and c reads, then the a write, per line-run; one chunk per
             # array keeps stream ids clean for the prefetcher.
             yield AccessChunk(
-                lines=[b.base_line + i for i in idx],
+                lines=b.base_line + idx,
                 is_write=False,
                 ops_per_access=OPS_PER_LINE_ACCESS,
                 stream_id=1,
             )
             yield AccessChunk(
-                lines=[c.base_line + i for i in idx],
+                lines=c.base_line + idx,
                 is_write=False,
                 ops_per_access=OPS_PER_LINE_ACCESS,
                 stream_id=2,
             )
             yield AccessChunk(
-                lines=[a.base_line + i for i in idx],
+                lines=a.base_line + idx,
                 is_write=True,
                 ops_per_access=OPS_PER_LINE_ACCESS,
                 stream_id=0,

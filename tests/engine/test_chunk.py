@@ -13,12 +13,16 @@ class TestConstruction:
         chunk = AccessChunk.from_indices(buf, np.array([0, 15, 16]))
         assert chunk.lines[0] == chunk.lines[1]  # same line (16 ints/line)
         assert chunk.lines[2] == chunk.lines[0] + 1
-        assert isinstance(chunk.lines, list)
+        assert isinstance(chunk.lines, np.ndarray)
+        assert chunk.lines.dtype == np.int64
+        assert chunk.lines.flags.c_contiguous
 
     def test_from_lines_accepts_ndarray_and_sequence(self):
         a = AccessChunk.from_lines(np.array([1, 2, 3]))
         b = AccessChunk.from_lines((1, 2, 3))
-        assert a.lines == b.lines == [1, 2, 3]
+        assert np.array_equal(a.lines, b.lines)
+        assert a.lines.tolist() == [1, 2, 3]
+        assert a.lines.dtype == b.lines.dtype == np.int64
 
     def test_len(self):
         assert len(AccessChunk(lines=[1, 2, 3])) == 3

@@ -1,0 +1,24 @@
+"""Extension: robust onset detection vs the fixed 5% threshold.
+
+Quantifies the false-onset rate of the seed's single-trial threshold
+rule under synthetic heavy-tailed noise, and checks the rank-test
+detector suppresses those false onsets without losing real ones.
+"""
+
+from repro.experiments import run_robustness
+from repro.experiments.robustness import render
+
+
+def test_bench_robust_onset(run_experiment):
+    record = run_experiment(run_robustness, render=render)
+    levels = record.data["noise_levels"]
+    for name, r in levels.items():
+        # The statistical detector must never false-fire more than the
+        # naive rule, and must hold its false rate near alpha.
+        assert r["robust_false_rate"] <= r["naive_false_rate"], name
+        assert r["robust_false_rate"] <= 0.05, name
+    # Under heavy noise the naive rule degenerates; robust must not.
+    assert levels["hostile"]["naive_false_rate"] >= 0.25
+    assert levels["hostile"]["robust_false_rate"] <= 0.05
+    # Real onsets still get found in quiet conditions.
+    assert levels["quiet"]["robust_detect_rate"] >= 0.85

@@ -1,0 +1,157 @@
+"""Chaos drill: fault-injected, kill-resumed campaign == clean campaign.
+
+The robustness layer's whole promise in one executable check:
+
+1. run a small capacity sweep cleanly -> reference JSON;
+2. run the same sweep under deterministic fault injection
+   (``REPRO_FAULT_SEED``: transient faults, hangs, simulated crashes,
+   cache corruption) with a crash-safe journal, and SIGKILL the run
+   once a couple of points are journaled;
+3. re-run the same command with the same journal (resume) — it must
+   skip the journaled points and finish;
+4. assert the resumed, fault-injected output is **bit-identical** to
+   the clean reference.
+
+Exit status 0 = the promise holds. Used by the ``chaos`` CI job and
+runnable locally: ``PYTHONPATH=src python scripts/chaos_check.py``.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+FAULT_SEED = "20140604"          # deterministic chaos plan
+KS = [0, 1, 2, 3, 4, 5]
+
+
+def run_sweep_to_json(out_path: Path) -> None:
+    """Child mode: run the sweep with the env-configured runner and dump
+    every observable point field with full float precision."""
+    from repro.config import xeon20mb
+    from repro.core import ActiveMeasurement
+    from repro.units import MiB
+    from repro.workloads import ProbabilisticBenchmark, UniformDist
+
+    am = ActiveMeasurement(
+        xeon20mb(),
+        lambda: ProbabilisticBenchmark(UniformDist(), 50 * MiB),
+        warmup_accesses=25_000,
+        measure_accesses=15_000,
+        seed=7,
+        workload_spec="chaos-drill-probe",
+    )
+    sweep = am.capacity_sweep(ks=KS)
+    payload = [
+        {
+            "kind": p.kind,
+            "k": p.k,
+            "makespan_ns": repr(p.makespan_ns),
+            "main_cores": p.main_cores,
+            "l3_miss_rates": {str(c): repr(v) for c, v in p.l3_miss_rates.items()},
+            "bandwidths_Bps": {str(c): repr(v) for c, v in p.bandwidths_Bps.items()},
+            "time_per_access_ns": repr(p.time_per_access_ns),
+        }
+        for p in sweep.points
+    ]
+    out_path.write_text(json.dumps(payload, sort_keys=True, indent=1))
+    tele = am.runner.last_telemetry
+    if tele is not None:
+        print(f"child telemetry: {tele.summary()}", flush=True)
+
+
+def child_cmd(out: Path) -> list:
+    return [sys.executable, str(Path(__file__).resolve()), "--child", "--out", str(out)]
+
+
+def child_env(**extra: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    # The drill controls its own chaos/journal knobs exclusively.
+    for k in ("REPRO_FAULT_SEED", "REPRO_JOURNAL", "REPRO_CACHE_DIR",
+              "REPRO_WORKERS", "REPRO_RUNNER_BACKEND"):
+        env.pop(k, None)
+    env.update(extra)
+    return env
+
+
+def count_journaled_points(journal: Path) -> int:
+    if not journal.exists():
+        return 0
+    return sum(1 for line in journal.read_bytes().splitlines()
+               if b'"event":"point"' in line)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--child", action="store_true")
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument("--kill-after-points", type=int, default=2,
+                        help="SIGKILL the chaos run once this many points "
+                        "are journaled")
+    args = parser.parse_args(argv)
+
+    if args.child:
+        run_sweep_to_json(args.out)
+        return 0
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        tmpdir = Path(tmp)
+        ref = tmpdir / "reference.json"
+        chaotic = tmpdir / "chaotic.json"
+        journal = tmpdir / "journal.jsonl"
+
+        print("[1/4] clean reference run ...", flush=True)
+        subprocess.run(child_cmd(ref), env=child_env(), check=True)
+
+        print("[2/4] fault-injected run, killing mid-campaign ...", flush=True)
+        chaos_env = child_env(
+            REPRO_FAULT_SEED=FAULT_SEED,
+            REPRO_FAULT_HANG_S="0.2",
+            REPRO_JOURNAL=str(journal),
+        )
+        proc = subprocess.Popen(child_cmd(chaotic), env=chaos_env)
+        deadline = time.time() + 300
+        killed = False
+        while proc.poll() is None and time.time() < deadline:
+            if count_journaled_points(journal) >= args.kill_after_points:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=60)
+                killed = True
+                break
+            time.sleep(0.02)
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=60)
+            raise SystemExit("chaos run still alive at deadline; aborting")
+        if not killed:
+            print("  note: run finished before the kill threshold "
+                  f"({count_journaled_points(journal)} points journaled); "
+                  "resume will be a pure replay", flush=True)
+
+        print(f"[3/4] resuming from journal "
+              f"({count_journaled_points(journal)} points) ...", flush=True)
+        subprocess.run(child_cmd(chaotic), env=chaos_env, check=True)
+
+        print("[4/4] comparing outputs ...", flush=True)
+        if ref.read_bytes() != chaotic.read_bytes():
+            print("FAIL: resumed fault-injected output differs from the "
+                  "clean reference", file=sys.stderr)
+            return 1
+        n = count_journaled_points(journal)
+        print(f"OK: bit-identical ({n} journaled points, "
+              f"kill {'exercised' if killed else 'not reached'})")
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,20 @@
-"""Run every experiment in paper mode and persist records."""
-import time, traceback
+"""Run every experiment in paper mode and persist records.
+
+Crash-safe: each completed experiment is appended to a JSONL journal
+(atomic single-line appends), so a campaign killed mid-run restarts
+with ``--resume`` and skips the experiments that already finished.
+Point-level resume inside an experiment is available independently via
+``REPRO_JOURNAL`` / ``REPRO_CACHE_DIR`` (see README, "Chaos drills and
+crash-safe campaigns").
+"""
+import argparse
+import sys
+import time
+import traceback
+from pathlib import Path
+
 import repro.experiments as ex
+from repro.core.journal import append_jsonl, iter_jsonl
 from repro.experiments import ablations
 from repro.experiments.common import DEFAULT_RESULTS_DIR
 
@@ -18,15 +32,66 @@ RUNS = [
     ("ablation_bwthr_capacity", ablations.run_bwthr_capacity_ablation),
     ("fig6", ex.run_fig6),   # the big one last
 ]
-for name, fn in RUNS:
-    t0 = time.perf_counter()
-    try:
-        rec = fn("paper")
-        path = rec.save(DEFAULT_RESULTS_DIR / "paper")
-        print(f"[{name}] done in {time.perf_counter()-t0:.0f}s -> {path}", flush=True)
-        for n in rec.notes:
-            print(f"   {n}", flush=True)
-    except Exception:
-        print(f"[{name}] FAILED after {time.perf_counter()-t0:.0f}s", flush=True)
-        traceback.print_exc()
-print("CAMPAIGN COMPLETE", flush=True)
+
+
+def completed_experiments(journal: Path) -> set:
+    return {
+        rec["name"]
+        for rec in iter_jsonl(journal)
+        if rec.get("event") == "experiment" and "name" in rec
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip experiments already recorded in the campaign journal",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="campaign journal path "
+        "(default: <results>/paper/campaign_journal.jsonl)",
+    )
+    args = parser.parse_args(argv)
+
+    out_dir = DEFAULT_RESULTS_DIR / "paper"
+    journal = Path(args.journal) if args.journal else out_dir / "campaign_journal.jsonl"
+    journal.parent.mkdir(parents=True, exist_ok=True)
+    done = completed_experiments(journal) if args.resume else set()
+    if journal.exists() and journal.stat().st_size > 0 and not args.resume:
+        print(
+            f"journal {journal} already exists; pass --resume to continue "
+            "that campaign, or delete the file to start over",
+            file=sys.stderr,
+        )
+        return 2
+    if done:
+        print(f"resuming: {len(done)} experiment(s) already journaled", flush=True)
+
+    failures = 0
+    for name, fn in RUNS:
+        if name in done:
+            print(f"[{name}] skipped (journaled)", flush=True)
+            continue
+        t0 = time.perf_counter()
+        try:
+            rec = fn("paper")
+            path = rec.save(out_dir)
+            append_jsonl(journal, {
+                "event": "experiment", "name": name, "path": str(path),
+            })
+            print(f"[{name}] done in {time.perf_counter()-t0:.0f}s -> {path}", flush=True)
+            for n in rec.notes:
+                print(f"   {n}", flush=True)
+        except Exception:
+            failures += 1
+            print(f"[{name}] FAILED after {time.perf_counter()-t0:.0f}s", flush=True)
+            traceback.print_exc()
+    append_jsonl(journal, {"event": "campaign_pass", "failures": failures})
+    print("CAMPAIGN COMPLETE", flush=True)
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,11 +7,17 @@ Commands
     Show every reproducible experiment and its paper reference.
 ``run <experiment> [--mode smoke|paper|full] [--seed N] [--out DIR]
 [--workers N] [--backend serial|thread|process] [--cache-dir DIR]
-[--no-cache] [--clear-cache]``
+[--no-cache] [--clear-cache] [--journal FILE] [--resume]
+[--fault-seed N] [--fault-rate P]``
     Run one experiment driver, print the rendered table/figure and save
     the JSON record.  ``--workers``/``--backend`` parallelise the
     interference-point sweeps; ``--cache-dir`` enables the on-disk
-    point-result cache.
+    point-result cache.  ``--journal`` records every completed point in
+    a crash-safe JSONL file; after a kill, re-running with ``--resume``
+    skips the journaled points and produces bit-identical output.
+    ``--fault-seed`` turns on deterministic chaos injection (transient
+    faults, hangs, worker crashes, cache corruption) for robustness
+    drills.
 ``machine [--scale N]``
     Describe the (optionally scaled) Table I machine.
 ``bench engine [--out FILE] [--accesses N] [--rounds N] [--compare FILE]``
@@ -47,6 +53,7 @@ def _registry() -> Dict[str, Tuple[str, Callable, Optional[Callable]]]:
     from .experiments import fig9 as fig9_mod
     from .experiments import fig10_fig12 as fig1012_mod
     from .experiments import fig11 as fig11_mod
+    from .experiments import robustness as robustness_mod
 
     return {
         "calibration": (
@@ -102,6 +109,10 @@ def _registry() -> Dict[str, Tuple[str, Callable, Optional[Callable]]]:
             "Extension: co-location advisor",
             ex.run_colocation, colocation_mod.render,
         ),
+        "robustness": (
+            "Extension: statistical vs fixed-threshold onset",
+            ex.run_robustness, robustness_mod.render,
+        ),
     }
 
 
@@ -148,6 +159,27 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--clear-cache", action="store_true",
         help="empty the point-result cache before running",
+    )
+    run_p.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="crash-safe campaign journal (JSONL); completed points are "
+        "appended durably (default: REPRO_JOURNAL env)",
+    )
+    run_p.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed run from its --journal, skipping "
+        "completed points (output is bit-identical to an uninterrupted "
+        "run)",
+    )
+    run_p.add_argument(
+        "--fault-seed", type=int, default=None, metavar="N",
+        help="enable deterministic fault injection (chaos drill) with "
+        "this plan seed (default: REPRO_FAULT_SEED env; unset disables)",
+    )
+    run_p.add_argument(
+        "--fault-rate", type=float, default=None, metavar="P",
+        help="per-attempt probability of each injected fault kind "
+        "(default: REPRO_FAULT_RATE env or 0.15)",
     )
 
     mach_p = sub.add_parser("machine", help="describe the Table I machine")
@@ -201,6 +233,24 @@ def _apply_runner_options(args: argparse.Namespace) -> None:
             n = cache.clear()
             print(f"cleared {n} cached point(s) from {cache.directory}",
                   file=sys.stderr)
+
+    journal = args.journal or os.environ.get("REPRO_JOURNAL")
+    if journal:
+        from pathlib import Path
+
+        path = Path(journal)
+        if path.exists() and path.stat().st_size > 0 and not args.resume:
+            raise SystemExit(
+                f"journal {path} already exists; pass --resume to continue "
+                "that run, or delete the file to start over"
+            )
+        os.environ["REPRO_JOURNAL"] = str(path)
+    elif args.resume:
+        raise SystemExit("--resume needs --journal FILE (or REPRO_JOURNAL)")
+    if args.fault_seed is not None:
+        os.environ["REPRO_FAULT_SEED"] = str(args.fault_seed)
+    if args.fault_rate is not None:
+        os.environ["REPRO_FAULT_RATE"] = str(args.fault_rate)
 
 
 def main(argv: Optional[list] = None) -> int:

@@ -33,7 +33,10 @@ from .orthogonality import (
     OrthogonalityReport,
     validate_orthogonality,
 )
+from .faults import FaultInjector, FaultPlan, InjectedCrash, InjectedFault
+from .journal import CampaignJournal
 from .parallel import (
+    PointFailure,
     PointRunner,
     PointTask,
     ResultCache,
@@ -43,8 +46,16 @@ from .parallel import (
     point_seed,
     reset_session_telemetry,
     session_telemetry,
+    trial_seed,
 )
 from .prediction import HierarchyPredictor, MachineScenario, PredictionResult
+from .robust import (
+    OnsetDecision,
+    RobustPoint,
+    RobustSweep,
+    TrialSummary,
+    robust_sweep,
+)
 from .report import (
     render_bandwidth_calibration,
     render_campaign,
@@ -90,6 +101,7 @@ __all__ = [
     "OrthogonalityReport",
     "CrossInterferenceSeries",
     "validate_orthogonality",
+    "PointFailure",
     "PointRunner",
     "PointTask",
     "ResultCache",
@@ -97,8 +109,19 @@ __all__ = [
     "cache_key",
     "default_runner",
     "point_seed",
+    "trial_seed",
     "session_telemetry",
     "reset_session_telemetry",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "InjectedCrash",
+    "CampaignJournal",
+    "RobustSweep",
+    "RobustPoint",
+    "TrialSummary",
+    "OnsetDecision",
+    "robust_sweep",
     "capacity_curve",
     "bandwidth_curve",
     "guarded_bandwidth_use",

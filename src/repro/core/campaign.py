@@ -15,7 +15,8 @@ three lines::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 from ..config import SocketConfig
 from ..errors import MeasurementError
@@ -23,7 +24,8 @@ from ..models import DegradationCurve, ResourceUseEstimate
 from ..units import as_GBps, fmt_bytes
 from .bandwidth import BandwidthCalibration, calibrate_bandwidth
 from .capacity import CapacityCalibration, calibrate_capacity
-from .parallel import PointRunner
+from .journal import CampaignJournal
+from .parallel import PointRunner, cache_key
 from .prediction import HierarchyPredictor, PredictionResult
 from .report import render_campaign
 from .sensitivity import bandwidth_curve, capacity_curve, resource_use
@@ -80,6 +82,14 @@ class MeasurementCampaign:
     factory returns. ``runner`` routes every sweep point through a
     :class:`~repro.core.parallel.PointRunner` (parallel backends and the
     result cache); the default is serial and uncached.
+
+    ``journal`` (a path or a :class:`~repro.core.journal.CampaignJournal`)
+    makes the campaign crash-safe: every completed point is appended
+    durably, and a killed campaign re-run against the same journal skips
+    the completed points and produces bit-identical final output. The
+    journal header carries a hash of the campaign configuration, so
+    resuming against the wrong journal fails loudly instead of mixing
+    results.
     """
 
     def __init__(
@@ -95,6 +105,7 @@ class MeasurementCampaign:
         seed: int = 0,
         runner: Optional[PointRunner] = None,
         workload_spec: Optional[str] = None,
+        journal: Optional[Union[CampaignJournal, str, Path]] = None,
     ):
         if n_processes <= 0:
             raise MeasurementError("n_processes must be positive")
@@ -102,6 +113,8 @@ class MeasurementCampaign:
         self.n_processes = n_processes
         self.cs_ks = list(cs_ks)
         self.bw_ks = list(bw_ks)
+        self.warmup_accesses = warmup_accesses
+        self.measure_accesses = measure_accesses
         self.threshold = degradation_threshold
         self.seed = seed
         self._am = ActiveMeasurement(
@@ -112,6 +125,29 @@ class MeasurementCampaign:
             measure_accesses=measure_accesses,
             runner=runner,
             workload_spec=workload_spec,
+        )
+        self.journal: Optional[CampaignJournal] = None
+        if journal is not None:
+            if not isinstance(journal, CampaignJournal):
+                journal = CampaignJournal(journal, config_key=self.config_key())
+            self.journal = journal
+            # The campaign's journal wins over any env-configured one.
+            self._am.runner.journal = journal
+
+    def config_key(self) -> str:
+        """Content hash of everything that determines this campaign's
+        results — the identity the journal header pins."""
+        return cache_key(
+            campaign="MeasurementCampaign",
+            socket=self.socket,
+            workload=self._am.workload_spec or self._am._workload_fingerprint(),
+            n_processes=self.n_processes,
+            cs_ks=self.cs_ks,
+            bw_ks=self.bw_ks,
+            warmup_accesses=self.warmup_accesses,
+            measure_accesses=self.measure_accesses,
+            degradation_threshold=self.threshold,
+            seed=self.seed,
         )
 
     def run(self) -> CampaignOutcome:
@@ -128,6 +164,8 @@ class MeasurementCampaign:
         bw_calib = calibrate_bandwidth(self.socket, saturation_ks=(), seed=self.seed)
         cap_curve = capacity_curve(cs, cap_calib)
         bw_curve = bandwidth_curve(bw, bw_calib)
+        if self.journal is not None:
+            self.journal.mark_complete()
         return CampaignOutcome(
             capacity_sweep=cs,
             bandwidth_sweep=bw,

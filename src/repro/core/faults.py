@@ -1,0 +1,265 @@
+"""Deterministic fault injection for chaos-testing campaigns.
+
+Production measurement services cannot assume a quiet machine: workers
+die, points hang, the OS injects heavy-tailed scheduling noise
+(Petrini'03 / Hoefler'10 — the same family `repro.cluster.noise`
+models), and on-disk caches rot. This module turns those failure modes
+into *reproducible experiments*: a :class:`FaultPlan` derives every
+injection decision from a single seed via content hashing — a pure
+function of ``(seed, fault kind, point label, attempt)``, never of
+scheduling order — so a chaos run can be replayed bit-for-bit and a
+failure it uncovers can be debugged deterministically.
+
+The contract that makes chaos runs *useful* rather than merely noisy:
+injected faults only fire on early attempts (``max_faulty_attempts``,
+default 1), so a :class:`~repro.core.parallel.PointRunner` with at
+least one retry always recovers, and — because every point's simulator
+seed is a pure function of its identity — the recovered campaign is
+**bit-identical** to a fault-free one. The chaos CI job and
+``tests/core/test_faults.py`` assert exactly this equivalence.
+
+Environment configuration (read by :func:`FaultInjector.from_env`):
+
+``REPRO_FAULT_SEED``
+    Enables injection; the plan seed (an integer).
+``REPRO_FAULT_RATE``
+    Per-attempt probability of each *disruptive* fault kind
+    (transient / hang / crash share it; default 0.15).
+``REPRO_FAULT_CORRUPT_RATE``
+    Probability a cache entry is corrupted before first read
+    (default: same as ``REPRO_FAULT_RATE``).
+``REPRO_FAULT_HANG_S``
+    How long a hang fault sleeps (default 30 s — meant to trip the
+    runner's per-attempt timeout on pooled backends).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import math
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, TYPE_CHECKING
+
+from ..errors import MeasurementError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .parallel import ResultCache
+
+#: Fault kinds a plan can schedule for a point attempt.
+TRANSIENT, HANG, CRASH, PERTURB, CORRUPT = (
+    "transient", "hang", "crash", "perturb", "corrupt",
+)
+DISRUPTIVE_KINDS = (CRASH, HANG, TRANSIENT)
+
+
+class InjectedFault(OSError):
+    """A transient worker fault manufactured by the injector.
+
+    Subclasses :class:`OSError` so the retry machinery treats it exactly
+    like a real lost-worker error (and unlike a
+    :class:`~repro.errors.MeasurementError`, which is never retried).
+    """
+
+
+class InjectedCrash(InjectedFault):
+    """A simulated worker crash (in-process stand-in; in a real process
+    pool worker the injector calls ``os._exit`` instead)."""
+
+
+def _fraction(seed: int, *parts: Any) -> float:
+    """Deterministic U(0,1) draw from the plan seed and a tag tuple."""
+    tag = "/".join(["repro.fault", str(seed), *map(str, parts)]).encode()
+    return int.from_bytes(hashlib.sha256(tag).digest()[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded schedule of which faults hit which point attempts.
+
+    Every decision is a pure function of ``(seed, kind, label, attempt)``
+    (or ``(seed, kind, key)`` for cache corruption), so two runs with the
+    same seed inject exactly the same faults no matter how execution
+    interleaves.
+    """
+
+    seed: int = 0
+    #: Per-attempt probability of each disruptive kind (checked in the
+    #: fixed order crash > hang > transient; at most one fires).
+    fault_rate: float = 0.15
+    #: Probability a cached entry is corrupted before its first read.
+    corrupt_rate: float = 0.15
+    #: Probability of a heavy-tailed timing perturbation (independent of
+    #: the disruptive kinds; perturbs wall time, never results).
+    perturb_rate: float = 0.25
+    #: Gumbel scale of the timing perturbation, seconds.
+    perturb_scale_s: float = 0.002
+    #: Hard ceiling on a single perturbation delay, seconds.
+    perturb_max_s: float = 0.05
+    #: How long a hang fault stalls the attempt, seconds.
+    hang_s: float = 30.0
+    #: Attempts with index < this may be faulted; later attempts always
+    #: run clean, so any runner with ``retries >= max_faulty_attempts``
+    #: recovers deterministically.
+    max_faulty_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("fault_rate", "corrupt_rate", "perturb_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise MeasurementError(f"{name} must be within [0, 1], got {rate}")
+        if self.max_faulty_attempts < 0:
+            raise MeasurementError("max_faulty_attempts must be non-negative")
+
+    # -- decisions --------------------------------------------------------------
+
+    def disruption(self, label: str, attempt: int) -> Optional[str]:
+        """Which disruptive fault (if any) hits this attempt."""
+        if attempt >= self.max_faulty_attempts:
+            return None
+        for kind in DISRUPTIVE_KINDS:
+            if _fraction(self.seed, kind, label, attempt) < self.fault_rate:
+                return kind
+        return None
+
+    def perturb_delay_s(self, label: str, attempt: int) -> float:
+        """Heavy-tailed (Gumbel) OS-noise spike for this attempt; 0 when
+        none is scheduled. Drawn from the same extreme-value family the
+        noise-amplification model uses (`repro.cluster.noise`)."""
+        if self.perturb_rate <= 0.0 or self.perturb_scale_s <= 0.0:
+            return 0.0
+        if _fraction(self.seed, PERTURB, label, attempt) >= self.perturb_rate:
+            return 0.0
+        # Inverse-CDF Gumbel sample from a second independent draw.
+        u = _fraction(self.seed, PERTURB + ".mag", label, attempt)
+        u = min(max(u, 1e-12), 1.0 - 1e-12)
+        delay = self.perturb_scale_s * -math.log(-math.log(u))
+        return float(min(max(delay, 0.0), self.perturb_max_s))
+
+    def corrupts(self, key: str) -> bool:
+        """Whether the cache entry for ``key`` gets corrupted (once)."""
+        return _fraction(self.seed, CORRUPT, key) < self.corrupt_rate
+
+
+@dataclass
+class FaultStats:
+    """What an injector actually did (parent-process view; faults fired
+    inside pool workers are observed through runner telemetry instead)."""
+
+    transients: int = 0
+    hangs: int = 0
+    crashes: int = 0
+    perturbs: int = 0
+    corruptions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    @property
+    def total(self) -> int:
+        return sum(dataclasses.asdict(self).values())
+
+
+@dataclass
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against running point attempts.
+
+    Picklable (the plan is frozen data; the mutable bookkeeping stays
+    behind), so the process backend ships it to workers along with the
+    task. ``before_attempt`` is called by the runner's worker-side
+    wrapper; ``corrupt_cache_entry`` by the parent before cache reads.
+    """
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    stats: FaultStats = field(default_factory=FaultStats)
+    #: Cache keys already corrupted once; never corrupt a repaired entry.
+    _corrupted: Set[str] = field(default_factory=set, repr=False)
+
+    def before_attempt(self, label: str, attempt: int) -> None:
+        """Inject this attempt's scheduled faults (may sleep, raise, or
+        terminate a pool worker process)."""
+        delay = self.plan.perturb_delay_s(label, attempt)
+        if delay > 0.0:
+            self.stats.perturbs += 1
+            time.sleep(delay)
+        kind = self.plan.disruption(label, attempt)
+        if kind is None:
+            return
+        if kind == HANG:
+            self.stats.hangs += 1
+            time.sleep(self.plan.hang_s)
+            # A real hang never returns; after the stall the attempt is
+            # abandoned so pooled timeouts and serial retries agree on
+            # the outcome.
+            raise InjectedFault(
+                f"injected hang on {label!r} attempt {attempt} "
+                f"({self.plan.hang_s}s)"
+            )
+        if kind == CRASH:
+            self.stats.crashes += 1
+            if multiprocessing.parent_process() is not None:
+                # Genuine worker death: the parent sees BrokenProcessPool.
+                os._exit(17)  # pragma: no cover - kills the test process
+            raise InjectedCrash(
+                f"injected worker crash on {label!r} attempt {attempt}"
+            )
+        self.stats.transients += 1
+        raise InjectedFault(
+            f"injected transient fault on {label!r} attempt {attempt}"
+        )
+
+    def corrupt_cache_entry(self, cache: "ResultCache", key: str) -> bool:
+        """Corrupt the on-disk entry for ``key`` if the plan says so and
+        it has not been corrupted before. Returns True when it did."""
+        if key in self._corrupted or not self.plan.corrupts(key):
+            return False
+        path = cache._path(key)
+        if not path.exists():
+            return False
+        try:
+            payload = path.read_bytes()
+            # Truncate and flip the header so every unpickler chokes.
+            path.write_bytes(b"\x00CHAOS" + payload[: max(0, len(payload) // 2)])
+        except OSError:
+            return False
+        self._corrupted.add(key)
+        self.stats.corruptions += 1
+        return True
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultInjector"]:
+        """Build an injector from ``REPRO_FAULT_*``; ``None`` when chaos
+        is not enabled (no ``REPRO_FAULT_SEED``)."""
+        raw = os.environ.get("REPRO_FAULT_SEED")
+        if raw is None or raw == "":
+            return None
+        try:
+            seed = int(raw)
+        except ValueError as exc:
+            raise MeasurementError(
+                f"REPRO_FAULT_SEED must be an integer, got {raw!r}"
+            ) from exc
+
+        def _rate(name: str, default: float) -> float:
+            value = os.environ.get(name)
+            if value is None:
+                return default
+            try:
+                return float(value)
+            except ValueError as exc:
+                raise MeasurementError(
+                    f"{name} must be a float, got {value!r}"
+                ) from exc
+
+        fault_rate = _rate("REPRO_FAULT_RATE", 0.15)
+        return cls(
+            plan=FaultPlan(
+                seed=seed,
+                fault_rate=fault_rate,
+                corrupt_rate=_rate("REPRO_FAULT_CORRUPT_RATE", fault_rate),
+                hang_s=_rate("REPRO_FAULT_HANG_S", 30.0),
+            )
+        )

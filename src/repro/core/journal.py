@@ -1,0 +1,195 @@
+"""Crash-safe campaign journal: atomic JSONL appends, exact resume.
+
+A 660-point campaign that dies mid-run (worker crash, OOM kill, CI
+timeout) must not lose the hours it already spent. The journal is an
+append-only JSONL file recording every completed point *with its
+payload*, written with atomic appends (single ``write`` + flush +
+fsync per line), so the file is valid after a kill at any instant —
+at worst the final line is truncated, and the loader skips it.
+
+Resume contract: a campaign restarted against its journal serves every
+journaled point without re-execution and — because each point's result
+is a pure function of its identity — produces **bit-identical** final
+output to an uninterrupted run. The journal is keyed by the same
+content hashes as :class:`~repro.core.parallel.ResultCache`, and a
+``config_key`` header line refuses resumption against a journal written
+by a *different* campaign (changed socket, workload, seed or windows).
+
+Record layout (one JSON object per line)::
+
+    {"event": "begin", "format": 1, "config_key": "..."}
+    {"event": "point", "key": "<cache key>", "label": "cs:k=2",
+     "payload": "<base64 pickle>"}
+    {"event": "end", "points": 12}
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from ..errors import MeasurementError
+
+#: Bump when the journal line layout changes.
+JOURNAL_FORMAT = 1
+
+
+def append_jsonl(path: Path, record: Dict[str, Any]) -> None:
+    """Append one record as a single atomic line (write + flush + fsync).
+
+    The line is serialised first and written with one ``write`` call, so
+    a crash can only ever truncate the *final* line of the file, never
+    interleave or tear earlier ones.
+    """
+    line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    with open(path, "ab") as fh:
+        fh.write(line.encode())
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def iter_jsonl(path: Path) -> Iterator[Dict[str, Any]]:
+    """Yield intact records, silently skipping a truncated/corrupt tail
+    (the expected state after a mid-append kill)."""
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return
+    for line in raw.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode())
+        except (ValueError, UnicodeDecodeError):
+            continue  # torn tail or bit-rot: not a completed record
+        if isinstance(record, dict):
+            yield record
+
+
+class CampaignJournal:
+    """Append-only completion log for one measurement campaign.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file; parent directories are created.
+    config_key:
+        Campaign identity hash (e.g. :func:`~repro.core.parallel.cache_key`
+        over the campaign's configuration). When given and the journal
+        already carries a different one, loading raises — resuming a
+        campaign against another campaign's journal would silently mix
+        results.
+    """
+
+    def __init__(self, path: str | Path, config_key: Optional[str] = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.config_key = config_key
+        self.skipped_lines = 0
+        self.completed: Dict[str, str] = {}   # key -> label
+        self._payloads: Dict[str, bytes] = {}  # key -> pickled value
+        self._load()
+
+    # -- loading ----------------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            if self.config_key is not None:
+                append_jsonl(self.path, {
+                    "event": "begin",
+                    "format": JOURNAL_FORMAT,
+                    "config_key": self.config_key,
+                })
+            return
+        seen_header = False
+        for record in iter_jsonl(self.path):
+            event = record.get("event")
+            if event == "begin":
+                seen_header = True
+                theirs = record.get("config_key")
+                if (
+                    self.config_key is not None
+                    and theirs is not None
+                    and theirs != self.config_key
+                ):
+                    raise MeasurementError(
+                        f"journal {self.path} belongs to a different campaign "
+                        f"(config_key {theirs[:12]}… != {self.config_key[:12]}…); "
+                        "delete it or point --journal elsewhere"
+                    )
+            elif event == "point":
+                key, label = record.get("key"), record.get("label", "point")
+                payload = record.get("payload")
+                if not key or payload is None:
+                    self.skipped_lines += 1
+                    continue
+                try:
+                    blob = base64.b64decode(payload, validate=True)
+                except (ValueError, TypeError):
+                    self.skipped_lines += 1
+                    continue
+                self.completed[key] = label
+                self._payloads[key] = blob
+        if not seen_header and self.config_key is not None:
+            append_jsonl(self.path, {
+                "event": "begin",
+                "format": JOURNAL_FORMAT,
+                "config_key": self.config_key,
+            })
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed
+
+    def get(self, key: str) -> Optional[Any]:
+        """The journaled result for ``key``, or None. A payload that no
+        longer unpickles is dropped (treated as never journaled)."""
+        blob = self._payloads.get(key)
+        if blob is None:
+            return None
+        try:
+            return pickle.loads(blob)
+        except Exception:  # noqa: BLE001 - any unpickling fault is a miss
+            self.completed.pop(key, None)
+            self._payloads.pop(key, None)
+            self.skipped_lines += 1
+            return None
+
+    # -- writes -----------------------------------------------------------------
+
+    def record_point(self, key: str, label: str, value: Any) -> bool:
+        """Durably record a completed point; returns False when the value
+        cannot be pickled (the point simply stays un-journaled)."""
+        if key in self.completed:
+            return True
+        try:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:  # noqa: BLE001 - unpicklable result
+            return False
+        append_jsonl(self.path, {
+            "event": "point",
+            "key": key,
+            "label": label,
+            "payload": base64.b64encode(blob).decode(),
+        })
+        self.completed[key] = label
+        self._payloads[key] = blob
+        return True
+
+    def mark_complete(self) -> None:
+        append_jsonl(self.path, {"event": "end", "points": len(self.completed)})
+
+    @classmethod
+    def from_env(cls) -> Optional["CampaignJournal"]:
+        """Journal at ``REPRO_JOURNAL`` (resuming any existing content),
+        or None when the variable is unset."""
+        path = os.environ.get("REPRO_JOURNAL")
+        return cls(path) if path else None

@@ -15,10 +15,17 @@ its point runs through:
   is keyed by a hash of everything that determines its outcome
   (socket config, workload spec, kind, k, seed, window parameters), so
   re-running a campaign or example script skips already-measured points.
-- :func:`point_seed` — stable per-point seed derivation, a pure function
-  of the point's identity, never of execution order. This is what makes
-  parallel runs bit-identical to serial ones (DESIGN.md, "deterministic
-  seeding").
+- :func:`point_seed` / :func:`trial_seed` — stable per-point (and
+  per-trial) seed derivation, pure functions of the point's identity,
+  never of execution order. This is what makes parallel runs
+  bit-identical to serial ones (DESIGN.md, "deterministic seeding").
+
+The runner also hosts the robustness layer's hooks: a
+:class:`~repro.core.faults.FaultInjector` (deterministic chaos testing),
+a :class:`~repro.core.journal.CampaignJournal` (crash-safe resume), and
+a fail-soft mode in which a point that exhausts its retries becomes a
+:class:`PointFailure` marker — a reported gap — instead of aborting the
+whole batch.
 
 Configuration via environment (read by :func:`default_runner`):
 
@@ -29,6 +36,11 @@ Configuration via environment (read by :func:`default_runner`):
     ``REPRO_WORKERS`` > 1).
 ``REPRO_CACHE_DIR``
     Enables the on-disk result cache rooted at this directory.
+``REPRO_JOURNAL``
+    Enables the crash-safe campaign journal at this JSONL path; an
+    existing journal is resumed (completed points are served from it).
+``REPRO_FAULT_SEED`` (+ ``REPRO_FAULT_RATE`` …)
+    Enables deterministic fault injection (see `repro.core.faults`).
 """
 
 from __future__ import annotations
@@ -69,6 +81,22 @@ def point_seed(base_seed: int, kind: str, k: int) -> int:
     return int.from_bytes(hashlib.sha256(tag).digest()[:8], "big")
 
 
+def trial_seed(base_seed: int, kind: str, k: int, trial: int) -> int:
+    """Decorrelated seed for repeated trials of the same point.
+
+    Trial 0 is the point's canonical seed (so single-trial sweeps and
+    trial 0 of a robust sweep share cache entries); higher trials hash
+    the trial index into the identity tag. Like :func:`point_seed`, a
+    pure function of identity, never of execution order.
+    """
+    if trial < 0:
+        raise MeasurementError("trial index must be non-negative")
+    if trial == 0:
+        return point_seed(base_seed, kind, k)
+    tag = f"repro.trial/{base_seed}/{kind}/{k}/{trial}".encode()
+    return int.from_bytes(hashlib.sha256(tag).digest()[:8], "big")
+
+
 # -- content-addressed cache keys ---------------------------------------------------
 
 
@@ -103,27 +131,80 @@ def cache_key(**parts: Any) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+#: Everything ``pickle.load`` is known to raise on garbage bytes:
+#: truncated streams (EOFError), torn opcodes (UnpicklingError,
+#: ValueError, IndexError), byte-flipped text (UnicodeDecodeError, a
+#: ValueError subclass, listed for the reader), and payloads referencing
+#: renamed/removed symbols (AttributeError, ImportError).
+CORRUPT_PICKLE_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    ValueError,
+    UnicodeDecodeError,
+)
+
+
 class ResultCache:
     """On-disk pickle store addressed by :func:`cache_key` hashes.
 
     Writes are atomic (temp file + ``os.replace``) so concurrent workers
     racing on the same point cannot corrupt an entry; last writer wins
     with an identical payload (points are deterministic).
+
+    Reads are self-healing: an entry whose bytes no longer unpickle is
+    *quarantined* — renamed to ``<key>.corrupt`` — so it reads as a miss
+    exactly once and is re-measured, instead of failing every future
+    read. ``.tmp`` droppings leaked by writers killed mid-``put`` are
+    swept on construction once older than ``stale_tmp_age_s``.
     """
 
-    def __init__(self, directory: str | Path):
+    def __init__(self, directory: str | Path, stale_tmp_age_s: float = 3600.0):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: Corrupt entries quarantined by :meth:`get` over this cache's
+        #: lifetime (surfaced as ``RunnerTelemetry.quarantines``).
+        self.quarantined = 0
+        #: Stale writer temp files removed at construction.
+        self.tmp_swept = self._sweep_stale_tmp(stale_tmp_age_s)
+
+    def _sweep_stale_tmp(self, max_age_s: float) -> int:
+        """Remove ``.tmp`` files older than ``max_age_s`` (a writer that
+        old is dead, not slow)."""
+        cutoff = time.time() - max_age_s
+        n = 0
+        for path in self.directory.glob("*.tmp"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+                    n += 1
+            except OSError:
+                pass  # raced with another sweeper, or unreadable: skip
+        return n
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            return  # somebody else already moved/removed it
+        self.quarantined += 1
 
     def get(self, key: str) -> Optional[Any]:
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
                 return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except CORRUPT_PICKLE_ERRORS:
+            # Bad bytes, not a missing file: move the entry aside so the
+            # point is re-measured once instead of erroring forever.
+            self._quarantine(path)
+            return None
+        except OSError:
             return None
 
     def put(self, key: str, value: Any) -> None:
@@ -146,14 +227,18 @@ class ResultCache:
         return sum(1 for _ in self.directory.glob("*.pkl"))
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry — including quarantined ``.corrupt``
+        carcasses and ``.tmp`` files leaked by killed writers, which a
+        ``*.pkl``-only sweep would let accumulate forever. Returns the
+        number of files removed."""
         n = 0
-        for path in self.directory.glob("*.pkl"):
-            try:
-                path.unlink()
-                n += 1
-            except OSError:
-                pass
+        for pattern in ("*.pkl", "*.tmp", "*.corrupt"):
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                    n += 1
+                except OSError:
+                    pass
         return n
 
     @classmethod
@@ -178,6 +263,13 @@ class RunnerTelemetry:
     retries: int = 0
     timeouts: int = 0
     failures: int = 0
+    #: Corrupt cache entries quarantined (renamed aside) during reads.
+    quarantines: int = 0
+    #: Points served from the crash-safe campaign journal on resume.
+    journal_hits: int = 0
+    #: Points that exhausted retries under fail-soft and were reported
+    #: as gaps instead of aborting the batch.
+    gaps: int = 0
     #: Tasks that could not be shipped to a worker process (unpicklable
     #: workload factory) and ran inline in the parent instead.
     inline_fallbacks: int = 0
@@ -201,6 +293,9 @@ class RunnerTelemetry:
         self.retries += other.retries
         self.timeouts += other.timeouts
         self.failures += other.failures
+        self.quarantines += other.quarantines
+        self.journal_hits += other.journal_hits
+        self.gaps += other.gaps
         self.inline_fallbacks += other.inline_fallbacks
         self.busy_s += other.busy_s
         self.wall_s += other.wall_s
@@ -222,10 +317,16 @@ class RunnerTelemetry:
             f"backend={self.backend} x{self.workers}",
             f"utilization {self.utilization * 100:.0f}%",
         ]
+        if self.journal_hits:
+            bits.append(f"{self.journal_hits} journal hits")
         if self.retries:
             bits.append(f"{self.retries} retries")
+        if self.quarantines:
+            bits.append(f"{self.quarantines} quarantined cache entries")
         if self.failures:
             bits.append(f"{self.failures} failures")
+        if self.gaps:
+            bits.append(f"{self.gaps} gaps")
         return ", ".join(bits)
 
 
@@ -262,8 +363,34 @@ class PointTask:
     label: str = "point"
 
 
-def _timed_call(fn: Callable[..., Any], args: Tuple[Any, ...]) -> Tuple[Any, float]:
-    """Worker-side wrapper: run the task and report its execution time."""
+@dataclass(frozen=True)
+class PointFailure:
+    """Marker a fail-soft batch returns for a point that exhausted its
+    retries — an explicit, inspectable gap, never a silent zero."""
+
+    label: str
+    error: str
+
+    def __bool__(self) -> bool:
+        return False  # so ``filter(None, results)`` drops gaps
+
+
+def _timed_call(
+    fn: Callable[..., Any],
+    args: Tuple[Any, ...],
+    injector: Optional[Any] = None,
+    label: str = "point",
+    attempt: int = 0,
+) -> Tuple[Any, float]:
+    """Worker-side wrapper: run the task and report its execution time.
+
+    When a :class:`~repro.core.faults.FaultInjector` rides along, its
+    scheduled faults fire *before* the measurement — they can stall,
+    raise, or kill the worker, but never touch the deterministic
+    simulation itself.
+    """
+    if injector is not None:
+        injector.before_attempt(label, attempt)
     t0 = time.perf_counter()
     out = fn(*args)
     return out, time.perf_counter() - t0
@@ -298,6 +425,23 @@ class PointRunner:
         preempt a running point, so the limit is not enforced there.
     progress:
         Optional hook called after every completed point.
+    journal:
+        A :class:`~repro.core.journal.CampaignJournal`; completed points
+        are appended durably and served back on resume without
+        re-execution, making a killed campaign restartable with
+        bit-identical final output.
+    injector:
+        A :class:`~repro.core.faults.FaultInjector` for deterministic
+        chaos runs; ``None`` (the default) injects nothing.
+    fail_soft:
+        When true, a task that exhausts its retries yields a
+        :class:`PointFailure` marker (a reported gap) instead of
+        aborting the batch with :class:`MeasurementError`.
+        :class:`MeasurementError` raised by the task itself still
+        propagates — configuration errors are deterministic and gapping
+        them would hide bugs.
+    backoff_seed:
+        Seed of the deterministic backoff jitter (see :meth:`_backoff`).
     """
 
     def __init__(
@@ -310,6 +454,10 @@ class PointRunner:
         max_backoff_s: float = 2.0,
         timeout_s: Optional[float] = None,
         progress: Optional[ProgressHook] = None,
+        journal: Optional[Any] = None,
+        injector: Optional[Any] = None,
+        fail_soft: bool = False,
+        backoff_seed: int = 0,
     ):
         if backend not in BACKENDS:
             raise MeasurementError(
@@ -325,32 +473,52 @@ class PointRunner:
         self.max_backoff_s = max_backoff_s
         self.timeout_s = timeout_s
         self.progress = progress
+        self.journal = journal
+        self.injector = injector
+        self.fail_soft = fail_soft
+        self.backoff_seed = backoff_seed
         #: Telemetry of the most recent :meth:`run` batch.
         self.last_telemetry: Optional[RunnerTelemetry] = None
 
     # -- public API -----------------------------------------------------------
 
-    def run(self, tasks: Sequence[PointTask]) -> List[Any]:
+    def run(
+        self, tasks: Sequence[PointTask], fail_soft: Optional[bool] = None
+    ) -> List[Any]:
         """Run every task, returning results in input order.
 
-        Cached results are served without executing; fresh results are
-        written back to the cache. Any task still failing after all
-        retry rounds aborts the batch with :class:`MeasurementError`.
+        Journaled and cached results are served without executing; fresh
+        results are written back to both. Any task still failing after
+        all retry rounds aborts the batch with :class:`MeasurementError`
+        — unless fail-soft is on, in which case the slot holds a
+        :class:`PointFailure` gap marker.
         """
+        soft = self.fail_soft if fail_soft is None else fail_soft
         tele = RunnerTelemetry(
             backend=self.backend,
             workers=1 if self.backend == "serial" else self.max_workers,
             points_total=len(tasks),
         )
         t0 = time.perf_counter()
+        quarantined0 = self.cache.quarantined if self.cache is not None else 0
         results: List[Any] = [None] * len(tasks)
         pending: List[int] = []
         for i, task in enumerate(tasks):
+            hit = self._journal_get(task)
+            if hit is not None:
+                results[i] = hit
+                tele.journal_hits += 1
+                tele.points_done += 1
+                self._report_progress(tele)
+                continue
             hit = self._cache_get(task)
             if hit is not None:
                 results[i] = hit
                 tele.cache_hits += 1
                 tele.points_done += 1
+                # A cache hit not yet journaled still counts as campaign
+                # progress; record it so a later resume needs no cache.
+                self._journal_put(task, hit)
                 self._report_progress(tele)
             else:
                 if task.key is not None and self.cache is not None:
@@ -360,13 +528,15 @@ class PointRunner:
         try:
             if pending:
                 if self.backend == "serial":
-                    self._run_serial(tasks, pending, results, tele)
+                    self._run_serial(tasks, pending, results, tele, soft)
                 else:
-                    self._run_pooled(tasks, pending, results, tele)
+                    self._run_pooled(tasks, pending, results, tele, soft)
         finally:
             # Record telemetry even when the batch aborts, so failures
             # and timeouts stay observable.
             tele.wall_s = time.perf_counter() - t0
+            if self.cache is not None:
+                tele.quarantines += self.cache.quarantined - quarantined0
             self.last_telemetry = tele
             _SESSION.merge(tele)
         return results
@@ -377,9 +547,22 @@ class PointRunner:
 
     # -- internals ------------------------------------------------------------
 
+    def _journal_get(self, task: PointTask) -> Optional[Any]:
+        if self.journal is None or task.key is None:
+            return None
+        return self.journal.get(task.key)
+
+    def _journal_put(self, task: PointTask, value: Any) -> None:
+        if self.journal is not None and task.key is not None:
+            self.journal.record_point(task.key, task.label, value)
+
     def _cache_get(self, task: PointTask) -> Optional[Any]:
         if self.cache is None or task.key is None:
             return None
+        if self.injector is not None:
+            # Chaos: rot the entry on disk *before* the read, so the
+            # quarantine path (rename aside, re-measure) is exercised.
+            self.injector.corrupt_cache_entry(self.cache, task.key)
         return self.cache.get(task.key)
 
     def _cache_put(self, task: PointTask, value: Any) -> None:
@@ -390,8 +573,19 @@ class PointRunner:
         if self.progress is not None:
             self.progress(tele.points_done, tele.points_total, tele)
 
-    def _backoff(self, attempt: int) -> float:
-        return min(self.backoff_s * (2 ** attempt), self.max_backoff_s)
+    def _backoff(self, attempt: int, token: str = "") -> float:
+        """Exponential backoff with deterministic, per-task jitter.
+
+        Pure exponential delays make every worker that shared a
+        transient fault retry in lockstep, re-colliding forever. The
+        jitter spreads the round's delay over ``[0.5, 1.5)`` of the
+        exponential base — derived by hashing ``(backoff_seed, token,
+        attempt)``, so replays of the same batch sleep identically.
+        """
+        base = min(self.backoff_s * (2 ** attempt), self.max_backoff_s)
+        tag = f"repro.backoff/{self.backoff_seed}/{token}/{attempt}".encode()
+        frac = int.from_bytes(hashlib.sha256(tag).digest()[:8], "big") / 2.0**64
+        return base * (0.5 + frac)
 
     def _finish(self, i: int, task: PointTask, value: Any, dt: float,
                 results: List[Any], tele: RunnerTelemetry) -> None:
@@ -399,19 +593,35 @@ class PointRunner:
         tele.busy_s += dt
         tele.points_done += 1
         self._cache_put(task, value)
+        self._journal_put(task, value)
+        self._report_progress(tele)
+
+    def _fail(self, i: int, task: PointTask, exc: BaseException,
+              results: List[Any], tele: RunnerTelemetry, soft: bool) -> None:
+        tele.failures += 1
+        if not soft:
+            raise MeasurementError(
+                f"point {task.label!r} failed after {self.retries + 1} "
+                f"attempts: {exc!r}"
+            ) from exc
+        tele.gaps += 1
+        results[i] = PointFailure(label=task.label, error=repr(exc))
         self._report_progress(tele)
 
     def _run_serial(self, tasks: Sequence[PointTask], pending: List[int],
-                    results: List[Any], tele: RunnerTelemetry) -> None:
+                    results: List[Any], tele: RunnerTelemetry,
+                    soft: bool = False) -> None:
         for i in pending:
             task = tasks[i]
             last_exc: Optional[BaseException] = None
             for attempt in range(self.retries + 1):
                 if attempt:
                     tele.retries += 1
-                    time.sleep(self._backoff(attempt - 1))
+                    time.sleep(self._backoff(attempt - 1, token=task.label))
                 try:
-                    value, dt = _timed_call(task.fn, task.args)
+                    value, dt = _timed_call(
+                        task.fn, task.args, self.injector, task.label, attempt
+                    )
                 except MeasurementError:
                     # Configuration errors are deterministic: retrying
                     # cannot help, and callers rely on them propagating.
@@ -423,11 +633,7 @@ class PointRunner:
                 last_exc = None
                 break
             if last_exc is not None:
-                tele.failures += 1
-                raise MeasurementError(
-                    f"point {task.label!r} failed after {self.retries + 1} "
-                    f"attempts: {last_exc!r}"
-                ) from last_exc
+                self._fail(i, task, last_exc, results, tele, soft)
 
     def _picklable(self, task: PointTask) -> bool:
         try:
@@ -437,7 +643,8 @@ class PointRunner:
             return False
 
     def _run_pooled(self, tasks: Sequence[PointTask], pending: List[int],
-                    results: List[Any], tele: RunnerTelemetry) -> None:
+                    results: List[Any], tele: RunnerTelemetry,
+                    soft: bool = False) -> None:
         if self.backend == "process":
             shippable = [i for i in pending if self._picklable(tasks[i])]
             inline = [i for i in pending if i not in set(shippable)]
@@ -452,7 +659,7 @@ class PointRunner:
         # inline so a lambda workload factory degrades gracefully.
         if inline:
             tele.inline_fallbacks += len(inline)
-            self._run_serial(tasks, inline, results, tele)
+            self._run_serial(tasks, inline, results, tele, soft)
 
         try:
             remaining = list(shippable)
@@ -461,13 +668,18 @@ class PointRunner:
                     break
                 if attempt:
                     tele.retries += len(remaining)
-                    time.sleep(self._backoff(attempt - 1))
+                    token = ",".join(tasks[i].label for i in remaining)
+                    time.sleep(self._backoff(attempt - 1, token=token))
                 futures = {
-                    executor.submit(_timed_call, tasks[i].fn, tasks[i].args): i
+                    executor.submit(
+                        _timed_call, tasks[i].fn, tasks[i].args,
+                        self.injector, tasks[i].label, attempt,
+                    ): i
                     for i in remaining
                 }
                 failed: List[int] = []
                 errors: Dict[int, BaseException] = {}
+                pool_broken = False
                 for fut, i in futures.items():
                     try:
                         value, dt = fut.result(timeout=self.timeout_s)
@@ -479,26 +691,24 @@ class PointRunner:
                         failed.append(i)
                         errors[i] = exc
                     except BrokenProcessPool as exc:
-                        # The pool is dead; replace it before retrying.
+                        # The pool is dead; every sibling future fails
+                        # with the same error — replace the pool once.
                         failed.append(i)
                         errors[i] = exc
-                        executor.shutdown(wait=False, cancel_futures=True)
-                        executor = cf.ProcessPoolExecutor(
-                            max_workers=self.max_workers
-                        )
+                        if not pool_broken:
+                            pool_broken = True
+                            executor.shutdown(wait=False, cancel_futures=True)
+                            executor = cf.ProcessPoolExecutor(
+                                max_workers=self.max_workers
+                            )
                     except Exception as exc:  # noqa: BLE001
                         failed.append(i)
                         errors[i] = exc
                     else:
                         self._finish(i, tasks[i], value, dt, results, tele)
                 remaining = failed
-            if remaining:
-                tele.failures += len(remaining)
-                i = remaining[0]
-                raise MeasurementError(
-                    f"point {tasks[i].label!r} failed after "
-                    f"{self.retries + 1} attempts: {errors[i]!r}"
-                ) from errors[i]
+            for i in remaining:
+                self._fail(i, tasks[i], errors[i], results, tele, soft)
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
 
@@ -508,7 +718,11 @@ class PointRunner:
 
 def default_runner(progress: Optional[ProgressHook] = None) -> PointRunner:
     """Build a runner from ``REPRO_WORKERS`` / ``REPRO_RUNNER_BACKEND`` /
-    ``REPRO_CACHE_DIR``; serial and uncached unless configured."""
+    ``REPRO_CACHE_DIR`` / ``REPRO_JOURNAL`` / ``REPRO_FAULT_SEED``;
+    serial, uncached, un-journaled and fault-free unless configured."""
+    from .faults import FaultInjector
+    from .journal import CampaignJournal
+
     try:
         workers = int(os.environ.get("REPRO_WORKERS", "1"))
     except ValueError:
@@ -527,4 +741,6 @@ def default_runner(progress: Optional[ProgressHook] = None) -> PointRunner:
         cache=ResultCache.from_env(),
         timeout_s=float(timeout) if timeout else None,
         progress=progress,
+        journal=CampaignJournal.from_env(),
+        injector=FaultInjector.from_env(),
     )

@@ -1,0 +1,461 @@
+"""Noise-robust multi-trial measurement and statistical onset detection.
+
+The paper's whole methodology funnels into one decision: the smallest
+interference level ``k`` at which the application *starts* to degrade
+(Fig. 1). The seed reproduction made that call from a single trial
+against a fixed 5% threshold — one OS-noise spike on the wrong point
+(Petrini'03 / Hoefler'10 amplification makes such spikes routine on
+busy machines) manufactures a spurious onset and corrupts every
+downstream resource bracket.
+
+This module replaces the bare threshold with a *statistically tested*
+decision over multiple independent trials per point:
+
+- per-point trial sets with **median / MAD** summaries and
+  modified-z-score outlier rejection (Iglewicz-Hoaglin, |z| > 3.5);
+- **deterministic bootstrap** confidence intervals (seeded resampling —
+  same inputs, same interval, bit-for-bit);
+- a one-sided **Mann-Whitney rank test** of "slower than baseline",
+  gated by a minimum median effect size, yielding an
+  :class:`OnsetDecision` with a reported p-value/confidence;
+- per-point :data:`quality <QUALITY_OK>` flags so campaigns degrade
+  gracefully — a point whose trials all failed is reported as a **gap**,
+  never as a silent zero.
+
+Everything is numpy-only and a pure function of its inputs: robust
+sweeps inherit the repo-wide bit-identical-replay guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import erf, sqrt
+from typing import Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import MeasurementError
+from .parallel import PointFailure, PointTask, trial_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sweep import ActiveMeasurement, InterferencePoint
+
+#: Point quality flags (ordered best to worst).
+QUALITY_OK = "ok"            #: all trials usable
+QUALITY_FLAGGED = "flagged"  #: some trials failed or were rejected
+QUALITY_GAP = "gap"          #: no usable trial — a hole, not a zero
+
+#: Iglewicz-Hoaglin modified-z-score cutoff.
+MAD_Z_THRESHOLD = 3.5
+#: Consistency constant making MAD estimate sigma for Gaussian data.
+_MAD_SIGMA = 0.6745
+
+
+# -- robust estimators --------------------------------------------------------------
+
+
+def median(values: Sequence[float]) -> float:
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise MeasurementError("median() needs at least one value")
+    return float(np.median(arr))
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation (unscaled)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise MeasurementError("mad() needs at least one value")
+    return float(np.median(np.abs(arr - np.median(arr))))
+
+
+def modified_z_scores(values: Sequence[float]) -> np.ndarray:
+    """Iglewicz-Hoaglin modified z-scores; zeros when MAD is zero."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    m = np.median(arr)
+    d = np.median(np.abs(arr - m))
+    if d == 0.0:
+        return np.zeros_like(arr)
+    return _MAD_SIGMA * (arr - m) / d
+
+
+def reject_outliers(
+    values: Sequence[float], z_threshold: float = MAD_Z_THRESHOLD
+) -> np.ndarray:
+    """Boolean keep-mask: True for values within the MAD fence."""
+    return np.abs(modified_z_scores(values)) <= z_threshold
+
+
+def bootstrap_median_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple:
+    """Deterministic percentile-bootstrap CI of the median.
+
+    The resampling RNG is seeded from the ``seed`` argument only, so the
+    interval is a pure function of the inputs (crucial for the
+    bit-identical-resume guarantee).
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise MeasurementError("bootstrap_median_ci() needs at least one value")
+    if arr.size == 1:
+        return float(arr[0]), float(arr[0])
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    medians = np.median(arr[idx], axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(medians, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+def rank_test_greater(x: Sequence[float], y: Sequence[float]) -> float:
+    """One-sided Mann-Whitney p-value for "x is stochastically greater
+    than y" (normal approximation with tie correction and continuity
+    correction; deterministic, scipy-free).
+
+    Small p ⇒ strong evidence the x-population is larger (slower).
+    """
+    xs = np.asarray(list(x), dtype=np.float64)
+    ys = np.asarray(list(y), dtype=np.float64)
+    nx, ny = xs.size, ys.size
+    if nx == 0 or ny == 0:
+        raise MeasurementError("rank_test_greater() needs non-empty samples")
+    combined = np.concatenate([xs, ys])
+    order = np.argsort(combined, kind="mergesort")
+    ranks = np.empty(combined.size, dtype=np.float64)
+    ranks[order] = np.arange(1, combined.size + 1, dtype=np.float64)
+    # Average ranks across ties.
+    vals, inverse, counts = np.unique(
+        combined, return_inverse=True, return_counts=True
+    )
+    if vals.size != combined.size:
+        sums = np.zeros(vals.size)
+        np.add.at(sums, inverse, ranks)
+        ranks = (sums / counts)[inverse]
+    u = float(ranks[:nx].sum()) - nx * (nx + 1) / 2.0
+    mu = nx * ny / 2.0
+    n = nx + ny
+    tie_term = float((counts**3 - counts).sum())
+    var = nx * ny / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    if var <= 0.0:
+        return 1.0  # every observation tied: no evidence either way
+    z = (u - mu - 0.5) / sqrt(var)
+    return float(0.5 * (1.0 - erf(z / sqrt(2.0))))
+
+
+# -- trial summaries & robust points ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Robust summary of one point's repeated makespan measurements."""
+
+    values: tuple          #: every successful trial, trial order
+    kept: tuple            #: values surviving MAD outlier rejection
+    median_ns: float
+    mad_ns: float
+    ci_lo_ns: float
+    ci_hi_ns: float
+    n_failed: int = 0      #: trials that raised / crashed (gaps)
+
+    @property
+    def n_rejected(self) -> int:
+        return len(self.values) - len(self.kept)
+
+
+def summarize_trials(
+    values: Sequence[float],
+    n_failed: int = 0,
+    confidence: float = 0.95,
+    ci_seed: int = 0,
+) -> TrialSummary:
+    """MAD-reject, then summarise what survives. Rejection never empties
+    the sample (the median itself always has z = 0)."""
+    vals = tuple(float(v) for v in values)
+    if not vals:
+        raise MeasurementError("summarize_trials() needs at least one value")
+    keep = reject_outliers(vals)
+    kept = tuple(v for v, k in zip(vals, keep) if k)
+    lo, hi = bootstrap_median_ci(kept, confidence=confidence, seed=ci_seed)
+    return TrialSummary(
+        values=vals,
+        kept=kept,
+        median_ns=median(kept),
+        mad_ns=mad(kept),
+        ci_lo_ns=lo,
+        ci_hi_ns=hi,
+        n_failed=n_failed,
+    )
+
+
+@dataclass
+class RobustPoint:
+    """One interference level measured over ``n_trials`` trials."""
+
+    kind: str
+    k: int
+    quality: str                              #: QUALITY_OK/FLAGGED/GAP
+    summary: Optional[TrialSummary] = None    #: None for gaps
+    #: Representative single-trial payload (the kept trial whose
+    #: makespan is closest to the median); None for gaps.
+    representative: Optional["InterferencePoint"] = field(
+        repr=False, default=None
+    )
+    note: str = ""
+
+    @property
+    def is_gap(self) -> bool:
+        return self.quality == QUALITY_GAP
+
+    def require_summary(self) -> TrialSummary:
+        if self.summary is None:
+            raise MeasurementError(
+                f"point (kind={self.kind!r}, k={self.k}) is a gap: {self.note}"
+            )
+        return self.summary
+
+
+@dataclass(frozen=True)
+class OnsetDecision:
+    """A statistically backed degradation-onset call.
+
+    ``k`` is None when no level shows significant degradation. The
+    p-value (and ``confidence = 1 - p``) at the detected onset is
+    reported so downstream consumers can weigh the call; ``p_values``
+    carries the full ladder for diagnostics.
+    """
+
+    k: Optional[int]
+    method: str
+    alpha: float
+    threshold: float
+    p_values: Dict[int, float]
+    gaps: tuple = ()
+    reason: str = ""
+
+    @property
+    def detected(self) -> bool:
+        return self.k is not None
+
+    @property
+    def confidence(self) -> Optional[float]:
+        if self.k is None:
+            return None
+        return 1.0 - self.p_values[self.k]
+
+
+class RobustSweep:
+    """An interference ladder where every level holds a trial set.
+
+    Gap points are carried (so reports can show the hole) but never
+    contribute numbers to any estimate.
+    """
+
+    def __init__(self, kind: str, points: List[RobustPoint]):
+        if not points:
+            raise MeasurementError("robust sweep produced no points")
+        self.kind = kind
+        self.points = sorted(points, key=lambda p: p.k)
+        ks = [p.k for p in self.points]
+        if len(set(ks)) != len(ks):
+            raise MeasurementError("robust sweep has duplicate levels")
+
+    @classmethod
+    def from_trials(
+        cls,
+        kind: str,
+        trials_by_k: Mapping[int, Sequence[float]],
+        failed_by_k: Optional[Mapping[int, int]] = None,
+    ) -> "RobustSweep":
+        """Build a sweep from raw makespan trials (test fixtures, replay
+        of recorded campaigns). An empty trial list makes a gap."""
+        failed = dict(failed_by_k or {})
+        points = []
+        for k, values in trials_by_k.items():
+            n_failed = int(failed.get(k, 0))
+            if not list(values):
+                points.append(RobustPoint(
+                    kind=kind, k=k, quality=QUALITY_GAP,
+                    note=f"all {n_failed or 'requested'} trials failed",
+                ))
+                continue
+            summary = summarize_trials(values, n_failed=n_failed)
+            quality = (
+                QUALITY_OK
+                if n_failed == 0 and summary.n_rejected == 0
+                else QUALITY_FLAGGED
+            )
+            points.append(RobustPoint(
+                kind=kind, k=k, quality=quality, summary=summary,
+            ))
+        return cls(kind, points)
+
+    # -- access -----------------------------------------------------------------
+
+    @property
+    def baseline(self) -> RobustPoint:
+        p = self.points[0]
+        if p.k != 0:
+            raise MeasurementError("robust sweep has no k=0 baseline point")
+        if p.is_gap:
+            raise MeasurementError("baseline (k=0) point is a gap")
+        return p
+
+    def point(self, k: int) -> RobustPoint:
+        for p in self.points:
+            if p.k == k:
+                return p
+        raise KeyError(f"no point with k={k}")
+
+    def ks(self) -> List[int]:
+        return [p.k for p in self.points]
+
+    def gaps(self) -> List[int]:
+        return [p.k for p in self.points if p.is_gap]
+
+    def median_slowdowns(self) -> Dict[int, float]:
+        base = self.baseline.require_summary().median_ns
+        if base <= 0:
+            raise MeasurementError("baseline median time is non-positive")
+        return {
+            p.k: p.require_summary().median_ns / base
+            for p in self.points
+            if not p.is_gap
+        }
+
+    # -- the decision -----------------------------------------------------------
+
+    def degradation_onset(
+        self,
+        threshold: float = 0.05,
+        alpha: float = 0.01,
+        method: str = "rank",
+    ) -> OnsetDecision:
+        """Smallest k whose slowdown is *statistically* established.
+
+        ``method="rank"``: one-sided Mann-Whitney test of the point's
+        kept trials against the baseline's, gated by a median slowdown
+        of at least ``1 + threshold`` (statistical significance alone
+        must not fire on a real-but-negligible shift).
+
+        ``method="ci"``: the deterministic bootstrap CI of the point's
+        median must clear ``(1 + threshold) ×`` the *upper* CI edge of
+        the baseline median (CI separation).
+        """
+        if method not in ("rank", "ci"):
+            raise MeasurementError(f"unknown onset method {method!r}")
+        if not 0.0 < alpha < 1.0:
+            raise MeasurementError("alpha must be within (0, 1)")
+        base = self.baseline.require_summary()
+        if base.median_ns <= 0:
+            raise MeasurementError("baseline median time is non-positive")
+        p_values: Dict[int, float] = {}
+        onset: Optional[int] = None
+        for p in self.points:
+            if p.k == 0 or p.is_gap:
+                continue
+            s = p.require_summary()
+            slow = s.median_ns / base.median_ns
+            if method == "rank":
+                pval = rank_test_greater(s.kept, base.kept)
+            else:
+                separated = s.ci_lo_ns > (1.0 + threshold) * base.ci_hi_ns
+                pval = 1.0 - alpha if not separated else alpha / 2.0
+            p_values[p.k] = pval
+            if onset is None and pval <= alpha and slow >= 1.0 + threshold:
+                onset = p.k
+        gaps = tuple(self.gaps())
+        reason = (
+            f"first k with one-sided p <= {alpha} and median slowdown "
+            f">= {1.0 + threshold:.3f}"
+        )
+        if gaps:
+            reason += f"; levels {list(gaps)} are gaps and were skipped"
+        return OnsetDecision(
+            k=onset,
+            method=method,
+            alpha=alpha,
+            threshold=threshold,
+            p_values=p_values,
+            gaps=gaps,
+            reason=reason,
+        )
+
+
+# -- measurement driver -------------------------------------------------------------
+
+
+def robust_sweep(
+    am: "ActiveMeasurement",
+    kind: str,
+    ks: Sequence[int],
+    n_trials: int = 5,
+) -> RobustSweep:
+    """Measure a robust interference ladder through ``am``'s runner.
+
+    Each (k, trial) pair is an independent :class:`PointTask` with its
+    own decorrelated seed (:func:`~repro.core.parallel.trial_seed`) and
+    its own cache key, so trials parallelise, cache, journal and resume
+    exactly like single-trial points. The runner is flipped into
+    fail-soft mode for the batch: a trial that exhausts retries becomes
+    a recorded failure, and a level with no surviving trial becomes a
+    :data:`QUALITY_GAP` point instead of aborting the campaign.
+    """
+    if n_trials < 1:
+        raise MeasurementError("n_trials must be >= 1")
+    tasks: List[PointTask] = []
+    index: List[tuple] = []
+    for k in ks:
+        for t in range(n_trials):
+            tasks.append(am.point_task(kind, k, trial=t))
+            index.append((k, t))
+    results = am.runner.run(tasks, fail_soft=True)
+
+    by_k: Dict[int, List["InterferencePoint"]] = {int(k): [] for k in ks}
+    failed_by_k: Dict[int, int] = {int(k): 0 for k in ks}
+    for (k, _t), res in zip(index, results):
+        if res is None or isinstance(res, PointFailure):
+            failed_by_k[int(k)] += 1
+        else:
+            by_k[int(k)].append(res)
+
+    points: List[RobustPoint] = []
+    for k in ks:
+        trials = by_k[int(k)]
+        n_failed = failed_by_k[int(k)]
+        if not trials:
+            points.append(RobustPoint(
+                kind=kind, k=int(k), quality=QUALITY_GAP,
+                note=f"all {n_trials} trials failed",
+            ))
+            continue
+        values = [p.makespan_ns for p in trials]
+        summary = summarize_trials(values, n_failed=n_failed)
+        rep = min(
+            trials, key=lambda p: (abs(p.makespan_ns - summary.median_ns), p.makespan_ns)
+        )
+        quality = (
+            QUALITY_OK
+            if n_failed == 0 and summary.n_rejected == 0
+            else QUALITY_FLAGGED
+        )
+        note = ""
+        if n_failed:
+            note = f"{n_failed}/{n_trials} trials failed"
+        points.append(RobustPoint(
+            kind=kind, k=int(k), quality=quality, summary=summary,
+            representative=rep, note=note,
+        ))
+    return RobustSweep(kind, points)
+
+
+__all__ = [
+    "QUALITY_OK", "QUALITY_FLAGGED", "QUALITY_GAP",
+    "TrialSummary", "RobustPoint", "RobustSweep", "OnsetDecision",
+    "median", "mad", "modified_z_scores", "reject_outliers",
+    "bootstrap_median_ci", "rank_test_greater", "summarize_trials",
+    "robust_sweep", "trial_seed",
+]

@@ -23,7 +23,14 @@ from ..config import SocketConfig
 from ..engine import MeasureResult, SimThread, SocketSimulator
 from ..errors import MeasurementError
 from ..workloads import BWThr, CSThr
-from .parallel import PointRunner, PointTask, cache_key, default_runner, point_seed
+from .parallel import (
+    PointRunner,
+    PointTask,
+    cache_key,
+    default_runner,
+    point_seed,
+    trial_seed,
+)
 
 WorkloadFactory = Callable[[], Union[SimThread, Sequence[SimThread]]]
 
@@ -119,7 +126,14 @@ class InterferenceSweep:
 
     def degradation_onset(self, threshold: float = 0.05) -> Optional[int]:
         """Smallest k whose slowdown exceeds ``1 + threshold``; ``None``
-        when the workload never degrades (Fig. 1's flat region)."""
+        when the workload never degrades (Fig. 1's flat region).
+
+        This is the paper's bare single-trial rule and it is fragile on
+        noisy machines: one OS-noise spike on the wrong point fires it
+        spuriously. Campaigns that can afford repeated trials should use
+        :meth:`ActiveMeasurement.robust_sweep` and
+        :meth:`~repro.core.robust.RobustSweep.degradation_onset`, which
+        back the call with a rank test and report its confidence."""
         base = self.baseline.makespan_ns
         for p in self.points:
             if p.makespan_ns / base > 1.0 + threshold:
@@ -198,9 +212,13 @@ class ActiveMeasurement:
 
     # -- seeding / caching ------------------------------------------------------
 
-    def _seed_for(self, kind: str, k: int) -> int:
+    def _seed_for(self, kind: str, k: int, trial: int = 0) -> int:
         """Per-point simulator seed: a pure function of the point's
-        identity (see DESIGN.md, deterministic seeding)."""
+        identity (see DESIGN.md, deterministic seeding). Trial 0 keeps
+        the point's canonical seed; higher trials of a robust sweep are
+        decorrelated via :func:`~repro.core.parallel.trial_seed`."""
+        if trial:
+            return trial_seed(self.seed, kind, k, trial)
         if self.per_point_seeds:
             return point_seed(self.seed, kind, k)
         return self.seed
@@ -242,16 +260,20 @@ class ActiveMeasurement:
         except Exception:  # noqa: BLE001 - factory may require a live sim
             return None
 
-    def _cache_key(self, kind: str, k: int) -> Optional[str]:
+    def _cache_key(self, kind: str, k: int, trial: int = 0) -> Optional[str]:
         spec = self.workload_spec or self._workload_fingerprint()
         if spec is None:
             return None
+        if trial:
+            # Trial 0 keeps the pre-trial key layout so existing caches
+            # and journals stay valid.
+            spec = f"{spec}#trial={trial}"
         return cache_key(
             socket=self.socket,
             workload=spec,
             kind=kind,
             k=k,
-            seed=self._seed_for(kind, k),
+            seed=self._seed_for(kind, k, trial),
             warmup_accesses=self.warmup_accesses,
             measure_accesses=self.measure_accesses,
             csthr_bytes=self.csthr_bytes,
@@ -273,8 +295,11 @@ class ActiveMeasurement:
             )
         raise MeasurementError(f"unknown interference kind {kind!r}")
 
-    def run_point(self, kind: str, k: int) -> InterferencePoint:
-        """Measure the workload against ``k`` interference threads."""
+    def run_point(self, kind: str, k: int, trial: int = 0) -> InterferencePoint:
+        """Measure the workload against ``k`` interference threads.
+
+        ``trial`` selects an independent repetition with a decorrelated
+        seed (used by :func:`~repro.core.robust.robust_sweep`)."""
         workload = self.workload_factory()
         mains: List[SimThread] = (
             list(workload) if isinstance(workload, (list, tuple)) else [workload]
@@ -288,7 +313,9 @@ class ActiveMeasurement:
                 f"({len(mains)} used by the workload)"
             )
         sim = SocketSimulator(
-            self.socket, seed=self._seed_for(kind, k), track_owner=self.track_owner
+            self.socket,
+            seed=self._seed_for(kind, k, trial),
+            track_owner=self.track_owner,
         )
         main_cores = [sim.add_thread(m, main=True) for m in mains]
         for i in range(k):
@@ -315,16 +342,19 @@ class ActiveMeasurement:
 
     # -- sweeps -------------------------------------------------------------------
 
+    def point_task(self, kind: str, k: int, trial: int = 0) -> PointTask:
+        """The runnable unit for one (kind, k, trial) measurement —
+        picklable, content-keyed, label-stable."""
+        label = f"{kind}:k={k}" if trial == 0 else f"{kind}:k={k}:t{trial}"
+        return PointTask(
+            fn=_run_point_payload,
+            args=(self._payload(), kind, k, trial),
+            key=self._cache_key(kind, k, trial),
+            label=label,
+        )
+
     def _point_tasks(self, kind: str, ks: Sequence[int]) -> List[PointTask]:
-        return [
-            PointTask(
-                fn=_run_point_payload,
-                args=(self._payload(), kind, k),
-                key=self._cache_key(kind, k),
-                label=f"{kind}:k={k}",
-            )
-            for k in ks
-        ]
+        return [self.point_task(kind, k) for k in ks]
 
     def _payload(self) -> "_PointPayload":
         return _PointPayload(
@@ -354,6 +384,13 @@ class ActiveMeasurement:
         stops being capacity-neutral, Section III-D)."""
         return self.sweep(BW, ks)
 
+    def robust_sweep(self, kind: str, ks: Sequence[int], n_trials: int = 5):
+        """Multi-trial ladder with robust statistics and graceful gaps;
+        see :func:`repro.core.robust.robust_sweep`."""
+        from .robust import robust_sweep as _robust_sweep
+
+        return _robust_sweep(self, kind, ks, n_trials=n_trials)
+
 
 @dataclass(frozen=True)
 class _PointPayload:
@@ -373,7 +410,9 @@ class _PointPayload:
     per_point_seeds: bool
 
 
-def _run_point_payload(payload: _PointPayload, kind: str, k: int) -> InterferencePoint:
+def _run_point_payload(
+    payload: _PointPayload, kind: str, k: int, trial: int = 0
+) -> InterferencePoint:
     """Module-level worker entry point (picklable for process pools)."""
     am = ActiveMeasurement(
         payload.socket,
@@ -387,4 +426,4 @@ def _run_point_payload(payload: _PointPayload, kind: str, k: int) -> Interferenc
         track_owner=payload.track_owner,
         per_point_seeds=payload.per_point_seeds,
     )
-    return am.run_point(kind, k)
+    return am.run_point(kind, k, trial=trial)

@@ -12,7 +12,8 @@ Fig. 10           :func:`run_fig10`
 Fig. 11           :func:`run_fig11`
 Fig. 12           :func:`run_fig12`
 Sec. V            :func:`run_bubble_comparison`
-extension         :func:`run_detection_accuracy`, :func:`run_colocation`
+extension         :func:`run_detection_accuracy`, :func:`run_colocation`,
+                  :func:`run_robustness`
 ablations         :mod:`repro.experiments.ablations`
 ================  ==========================================
 
@@ -31,6 +32,7 @@ from .fig11 import run_fig11
 from .colocation import run_colocation
 from .detection import run_detection_accuracy
 from .related_work import run_bubble_comparison
+from .robustness import run_robustness
 from . import ablations, common, related_work
 
 __all__ = [
@@ -45,6 +47,7 @@ __all__ = [
     "run_bubble_comparison",
     "run_detection_accuracy",
     "run_colocation",
+    "run_robustness",
     "related_work",
     "ablations",
     "common",

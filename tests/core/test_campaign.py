@@ -36,3 +36,50 @@ class TestCampaign:
                 lambda: ProbabilisticBenchmark(UniformDist(), 40 * MiB),
                 n_processes=0,
             )
+
+
+def small_campaign(**kw):
+    defaults = dict(
+        cs_ks=[0, 2],
+        bw_ks=[0, 1],
+        warmup_accesses=8_000,
+        measure_accesses=6_000,
+        seed=8,
+        workload_spec="campaign-probe",
+    )
+    defaults.update(kw)
+    return MeasurementCampaign(
+        xeon20mb(),
+        lambda: ProbabilisticBenchmark(UniformDist(), 40 * MiB),
+        **defaults,
+    )
+
+
+class TestCampaignJournal:
+    def test_config_key_pins_the_configuration(self):
+        assert small_campaign().config_key() == small_campaign().config_key()
+        assert small_campaign(seed=9).config_key() != small_campaign().config_key()
+        assert small_campaign(cs_ks=[0, 3]).config_key() != small_campaign().config_key()
+
+    def test_journaled_rerun_is_bit_identical_without_execution(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        first = small_campaign(journal=path).run()
+        resumed_campaign = small_campaign(journal=path)
+        resumed = resumed_campaign.run()
+        n_points = len(first.capacity_sweep.points) + len(
+            first.bandwidth_sweep.points
+        )
+        tele = resumed_campaign._am.runner.last_telemetry
+        assert tele.journal_hits > 0
+        assert len(resumed_campaign.journal) == n_points
+        assert [
+            (p.kind, p.k, p.makespan_ns) for p in resumed.capacity_sweep.points
+        ] == [(p.kind, p.k, p.makespan_ns) for p in first.capacity_sweep.points]
+        assert resumed.capacity_use.per_process == first.capacity_use.per_process
+        assert resumed.bandwidth_use.per_process == first.bandwidth_use.per_process
+
+    def test_wrong_campaigns_journal_is_refused(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        small_campaign(journal=path)  # writes the config-key header
+        with pytest.raises(MeasurementError, match="different campaign"):
+            small_campaign(seed=99, journal=path)

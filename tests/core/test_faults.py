@@ -1,0 +1,193 @@
+"""Deterministic fault injection and the chaos-equivalence guarantee."""
+
+import pickle
+
+import pytest
+
+from repro.core import (
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+    PointRunner,
+    ResultCache,
+    cache_key,
+)
+from repro.core.faults import CRASH, DISRUPTIVE_KINDS, HANG, TRANSIENT
+from repro.errors import MeasurementError
+
+from .test_parallel import make_am, point_fields
+
+
+def find_seed(kind: str, label: str = "p", fault_rate: float = 0.3) -> int:
+    """Smallest plan seed whose attempt-0 disruption for ``label`` is
+    ``kind`` — lets tests pin a specific fault without magic numbers."""
+    for seed in range(10_000):
+        plan = FaultPlan(seed=seed, fault_rate=fault_rate)
+        if plan.disruption(label, 0) == kind:
+            return seed
+    raise AssertionError(f"no seed under 10000 schedules {kind!r}")
+
+
+class TestFaultPlan:
+    def test_decisions_are_pure_functions_of_identity(self):
+        a = FaultPlan(seed=3, fault_rate=0.5)
+        b = FaultPlan(seed=3, fault_rate=0.5)
+        for label in ("cs:k=0", "cs:k=1", "bw:k=2"):
+            assert a.disruption(label, 0) == b.disruption(label, 0)
+            assert a.perturb_delay_s(label, 0) == b.perturb_delay_s(label, 0)
+
+    def test_seed_changes_the_schedule(self):
+        labels = [f"cs:k={k}" for k in range(40)]
+        a = [FaultPlan(seed=1, fault_rate=0.5).disruption(l, 0) for l in labels]
+        b = [FaultPlan(seed=2, fault_rate=0.5).disruption(l, 0) for l in labels]
+        assert a != b
+
+    def test_late_attempts_always_run_clean(self):
+        plan = FaultPlan(seed=0, fault_rate=1.0, max_faulty_attempts=1)
+        assert plan.disruption("p", 0) is not None
+        assert plan.disruption("p", 1) is None
+        assert plan.disruption("p", 99) is None
+
+    def test_zero_rate_never_disrupts(self):
+        plan = FaultPlan(seed=0, fault_rate=0.0)
+        assert all(
+            plan.disruption(f"k={k}", 0) is None for k in range(50)
+        )
+
+    def test_full_rate_always_disrupts(self):
+        plan = FaultPlan(seed=0, fault_rate=1.0)
+        kinds = {plan.disruption(f"k={k}", 0) for k in range(10)}
+        assert kinds <= set(DISRUPTIVE_KINDS)
+        assert None not in kinds
+
+    def test_perturb_delay_bounded_and_nonnegative(self):
+        plan = FaultPlan(seed=5, perturb_rate=1.0, perturb_max_s=0.01)
+        delays = [plan.perturb_delay_s(f"k={k}", 0) for k in range(100)]
+        assert all(0.0 <= d <= 0.01 for d in delays)
+        assert any(d > 0.0 for d in delays)
+
+    def test_corrupts_is_deterministic_per_key(self):
+        plan = FaultPlan(seed=9, corrupt_rate=0.5)
+        keys = [cache_key(i=i) for i in range(40)]
+        first = [plan.corrupts(k) for k in keys]
+        assert first == [plan.corrupts(k) for k in keys]
+        assert any(first) and not all(first)
+
+    def test_rates_validated(self):
+        with pytest.raises(MeasurementError, match="fault_rate"):
+            FaultPlan(fault_rate=1.5)
+        with pytest.raises(MeasurementError, match="max_faulty_attempts"):
+            FaultPlan(max_faulty_attempts=-1)
+
+
+class TestFaultInjector:
+    def test_transient_raises_and_counts(self):
+        seed = find_seed(TRANSIENT)
+        inj = FaultInjector(plan=FaultPlan(seed=seed, fault_rate=0.3,
+                                           perturb_rate=0.0))
+        with pytest.raises(InjectedFault):
+            inj.before_attempt("p", 0)
+        assert inj.stats.transients == 1
+        inj.before_attempt("p", 1)  # retry runs clean
+        assert inj.stats.total == 1
+
+    def test_crash_raises_injected_crash_in_parent(self):
+        seed = find_seed(CRASH)
+        inj = FaultInjector(plan=FaultPlan(seed=seed, fault_rate=0.3,
+                                           perturb_rate=0.0))
+        with pytest.raises(InjectedCrash):
+            inj.before_attempt("p", 0)
+        assert inj.stats.crashes == 1
+
+    def test_hang_stalls_then_raises(self):
+        seed = find_seed(HANG)
+        inj = FaultInjector(plan=FaultPlan(seed=seed, fault_rate=0.3,
+                                           perturb_rate=0.0, hang_s=0.01))
+        with pytest.raises(InjectedFault, match="hang"):
+            inj.before_attempt("p", 0)
+        assert inj.stats.hangs == 1
+
+    def test_injector_pickles_for_the_process_backend(self):
+        inj = FaultInjector(plan=FaultPlan(seed=1))
+        clone = pickle.loads(pickle.dumps(inj))
+        assert clone.plan == inj.plan
+
+    def test_cache_corruption_fires_once_per_key(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = next(
+            cache_key(i=i) for i in range(200)
+            if FaultPlan(seed=2, corrupt_rate=0.3).corrupts(cache_key(i=i))
+        )
+        cache.put(key, {"v": 1})
+        inj = FaultInjector(plan=FaultPlan(seed=2, corrupt_rate=0.3))
+        assert inj.corrupt_cache_entry(cache, key) is True
+        assert cache.get(key) is None          # quarantined, reads as miss
+        cache.put(key, {"v": 1})               # re-measured and repaired
+        assert inj.corrupt_cache_entry(cache, key) is False
+        assert cache.get(key) == {"v": 1}
+        assert inj.stats.corruptions == 1
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_SEED", raising=False)
+        assert FaultInjector.from_env() is None
+        monkeypatch.setenv("REPRO_FAULT_SEED", "41")
+        monkeypatch.setenv("REPRO_FAULT_RATE", "0.25")
+        inj = FaultInjector.from_env()
+        assert inj.plan.seed == 41
+        assert inj.plan.fault_rate == 0.25
+        assert inj.plan.corrupt_rate == 0.25   # defaults to the fault rate
+        monkeypatch.setenv("REPRO_FAULT_SEED", "not-a-seed")
+        with pytest.raises(MeasurementError, match="REPRO_FAULT_SEED"):
+            FaultInjector.from_env()
+
+
+def chaos_plan(seed: int = 11) -> FaultPlan:
+    """A fast but busy plan: every kind enabled, sub-ms stalls."""
+    return FaultPlan(
+        seed=seed, fault_rate=0.6, corrupt_rate=0.5,
+        perturb_rate=0.5, perturb_scale_s=0.0002, perturb_max_s=0.002,
+        hang_s=0.01,
+    )
+
+
+class TestChaosEquivalence:
+    """The headline guarantee: a fault-injected sweep is bit-identical
+    to a clean one, because faults only hit retried attempts and never
+    touch the deterministic simulation."""
+
+    def test_serial_sweep_bit_identical_under_faults(self, xeon):
+        ks = [0, 1, 2]
+        clean = make_am(xeon).capacity_sweep(ks)
+        inj = FaultInjector(plan=chaos_plan())
+        chaotic = make_am(
+            xeon,
+            runner=PointRunner(retries=2, backoff_s=0.0, injector=inj),
+        ).capacity_sweep(ks)
+        assert inj.stats.total > 0, "plan injected nothing; test is vacuous"
+        assert [point_fields(p) for p in chaotic.points] == [
+            point_fields(p) for p in clean.points
+        ]
+
+    def test_faulted_cache_replay_bit_identical(self, xeon, tmp_path):
+        ks = [0, 2]
+        cache = ResultCache(tmp_path / "c")
+        am = make_am(xeon, runner=PointRunner(cache=cache))
+        clean = am.capacity_sweep(ks)
+
+        inj = FaultInjector(plan=chaos_plan(seed=13))
+        am2 = make_am(
+            xeon,
+            runner=PointRunner(
+                cache=cache, retries=2, backoff_s=0.0, injector=inj
+            ),
+        )
+        replay = am2.capacity_sweep(ks)
+        assert [point_fields(p) for p in replay.points] == [
+            point_fields(p) for p in clean.points
+        ]
+        tele = am2.runner.last_telemetry
+        # Whatever was corrupted got quarantined and re-measured; the
+        # rest hit the cache.
+        assert tele.quarantines == inj.stats.corruptions
+        assert tele.cache_hits + tele.cache_misses == len(ks)

@@ -1,0 +1,183 @@
+"""Crash-safe journal: atomic appends, torn-tail tolerance, exact resume."""
+
+import base64
+import json
+
+import pytest
+
+from repro.core import CampaignJournal, PointRunner, PointTask, cache_key
+from repro.core.journal import append_jsonl, iter_jsonl
+from repro.errors import MeasurementError
+
+from .test_parallel import make_am, point_fields
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        append_jsonl(path, {"event": "a", "n": 1})
+        append_jsonl(path, {"event": "b", "n": 2})
+        assert [r["event"] for r in iter_jsonl(path)] == ["a", "b"]
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(iter_jsonl(tmp_path / "absent.jsonl")) == []
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        append_jsonl(path, {"event": "a"})
+        with open(path, "ab") as fh:
+            fh.write(b'{"event": "b", "payl')  # killed mid-append
+        assert [r["event"] for r in iter_jsonl(path)] == ["a"]
+
+    def test_binary_rot_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        append_jsonl(path, {"event": "a"})
+        with open(path, "ab") as fh:
+            fh.write(b"\xff\xfe garbage \x00\n")
+        append_jsonl(path, {"event": "c"})
+        assert [r["event"] for r in iter_jsonl(path)] == ["a", "c"]
+
+
+class TestCampaignJournal:
+    def test_record_and_get_roundtrip(self, tmp_path):
+        j = CampaignJournal(tmp_path / "j.jsonl")
+        key = cache_key(k=1)
+        assert key not in j and j.get(key) is None
+        assert j.record_point(key, "cs:k=1", {"v": [1, 2]}) is True
+        assert key in j and len(j) == 1
+        assert j.get(key) == {"v": [1, 2]}
+
+    def test_survives_reload(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        key = cache_key(k=2)
+        CampaignJournal(path).record_point(key, "cs:k=2", 42)
+        again = CampaignJournal(path)
+        assert again.get(key) == 42
+
+    def test_config_key_header_guards_resume(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CampaignJournal(path, config_key=cache_key(campaign="a"))
+        CampaignJournal(path, config_key=cache_key(campaign="a"))  # same: ok
+        with pytest.raises(MeasurementError, match="different campaign"):
+            CampaignJournal(path, config_key=cache_key(campaign="b"))
+
+    def test_unpicklable_value_stays_unjournaled(self, tmp_path):
+        j = CampaignJournal(tmp_path / "j.jsonl")
+        key = cache_key(k=3)
+        assert j.record_point(key, "p", lambda: None) is False
+        assert key not in j
+
+    def test_rotten_payload_reads_as_miss(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        key = cache_key(k=4)
+        append_jsonl(path, {
+            "event": "point", "key": key, "label": "p",
+            "payload": base64.b64encode(b"not a pickle").decode(),
+        })
+        j = CampaignJournal(path)
+        assert key in j          # the line parsed...
+        assert j.get(key) is None  # ...but the payload is gone: re-measure
+        assert key not in j
+
+    def test_mark_complete_appends_end_record(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = CampaignJournal(path)
+        j.record_point(cache_key(k=5), "p", 1)
+        j.mark_complete()
+        end = [r for r in iter_jsonl(path) if r.get("event") == "end"]
+        assert end == [{"event": "end", "points": 1}]
+
+    def test_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_JOURNAL", raising=False)
+        assert CampaignJournal.from_env() is None
+        monkeypatch.setenv("REPRO_JOURNAL", str(tmp_path / "j.jsonl"))
+        assert CampaignJournal.from_env().path == tmp_path / "j.jsonl"
+
+
+class TestRunnerResume:
+    def test_journaled_points_skip_execution(self, tmp_path):
+        calls = []
+
+        def expensive(x):
+            calls.append(x)
+            return x * 10
+
+        path = tmp_path / "j.jsonl"
+        tasks = [
+            PointTask(fn=expensive, args=(i,), key=cache_key(i=i), label=f"p{i}")
+            for i in range(3)
+        ]
+        first = PointRunner(journal=CampaignJournal(path))
+        assert first.run(tasks) == [0, 10, 20]
+        assert calls == [0, 1, 2]
+
+        resumed = PointRunner(journal=CampaignJournal(path))
+        assert resumed.run(tasks) == [0, 10, 20]
+        assert calls == [0, 1, 2]  # nothing re-executed
+        assert resumed.last_telemetry.journal_hits == 3
+
+    def test_aborted_batch_resumes_where_it_died(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        armed = [True]
+
+        def fragile(x):
+            if x == 1 and armed[0]:
+                raise OSError("worker died")
+            return x * 10
+
+        tasks = [
+            PointTask(fn=fragile, args=(i,), key=cache_key(i=i), label=f"p{i}")
+            for i in range(3)
+        ]
+        first = PointRunner(journal=CampaignJournal(path), retries=0)
+        with pytest.raises(MeasurementError, match="p1"):
+            first.run(tasks)
+        assert len(CampaignJournal(path)) == 1  # p0 survived the crash
+
+        armed[0] = False
+        resumed = PointRunner(journal=CampaignJournal(path), retries=0)
+        assert resumed.run(tasks) == [0, 10, 20]
+        assert resumed.last_telemetry.journal_hits == 1
+
+    def test_resumed_sweep_bit_identical(self, xeon, tmp_path):
+        ks = [0, 1, 2]
+        clean = make_am(xeon).capacity_sweep(ks)
+
+        path = tmp_path / "j.jsonl"
+        am = make_am(xeon, runner=PointRunner(journal=CampaignJournal(path)))
+        am.capacity_sweep(ks)
+
+        resumed_am = make_am(
+            xeon, runner=PointRunner(journal=CampaignJournal(path))
+        )
+        resumed = resumed_am.capacity_sweep(ks)
+        assert resumed_am.runner.last_telemetry.journal_hits == len(ks)
+        assert [point_fields(p) for p in resumed.points] == [
+            point_fields(p) for p in clean.points
+        ]
+
+    def test_cache_hits_get_journaled_for_later_resume(self, tmp_path):
+        from repro.core import ResultCache
+
+        cache = ResultCache(tmp_path / "c")
+        key = cache_key(i=9)
+        cache.put(key, 99)
+        path = tmp_path / "j.jsonl"
+        runner = PointRunner(
+            cache=cache, journal=CampaignJournal(path)
+        )
+        assert runner.run([PointTask(fn=int, key=key)]) == [99]
+        assert runner.last_telemetry.cache_hits == 1
+        # The journal alone can now serve the point (cache deleted).
+        cacheless = PointRunner(journal=CampaignJournal(path))
+        assert cacheless.run([PointTask(fn=int, key=key)]) == [99]
+        assert cacheless.last_telemetry.journal_hits == 1
+
+
+def test_journal_record_lines_are_json_objects(tmp_path):
+    """Layout sanity for external tools: one JSON object per line."""
+    path = tmp_path / "j.jsonl"
+    j = CampaignJournal(path, config_key=cache_key(c=1))
+    j.record_point(cache_key(k=0), "p0", {"x": 1})
+    for line in path.read_text().splitlines():
+        assert isinstance(json.loads(line), dict)

@@ -1,6 +1,7 @@
 """Point runner, result cache, and deterministic-seeding guarantees."""
 
 import dataclasses
+import os
 import time
 
 import pytest
@@ -8,13 +9,17 @@ import pytest
 from repro.core import (
     CS,
     ActiveMeasurement,
+    FaultInjector,
+    FaultPlan,
     InterferencePoint,
     InterferenceSweep,
+    PointFailure,
     PointRunner,
     PointTask,
     ResultCache,
     cache_key,
     point_seed,
+    trial_seed,
 )
 from repro.errors import MeasurementError
 from repro.units import MiB
@@ -65,6 +70,22 @@ class TestPointSeed:
         assert 0 <= point_seed(0, CS, 0) < 2**64
 
 
+class TestTrialSeed:
+    def test_trial_zero_matches_point_seed(self):
+        # Back-compat: single-trial sweeps keep their historical seeds
+        # (and therefore their historical cache entries).
+        assert trial_seed(7, CS, 3, 0) == point_seed(7, CS, 3)
+
+    def test_later_trials_are_decorrelated(self):
+        seeds = {trial_seed(7, CS, 3, t) for t in range(5)}
+        assert len(seeds) == 5
+
+    def test_pure_function_of_identity(self):
+        assert trial_seed(7, CS, 3, 2) == trial_seed(7, CS, 3, 2)
+        assert trial_seed(7, CS, 3, 2) != trial_seed(7, CS, 4, 2)
+        assert 0 <= trial_seed(7, CS, 3, 2) < 2**64
+
+
 class TestCacheKey:
     def test_stable_and_order_insensitive(self):
         assert cache_key(a=1, b=2.5) == cache_key(b=2.5, a=1)
@@ -110,6 +131,55 @@ class TestResultCache:
         key = cache_key(x=1)
         (cache.directory / f"{key}.pkl").write_bytes(b"not a pickle")
         assert cache.get(key) is None
+
+    def test_corrupt_entry_is_quarantined_not_retried_forever(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache_key(x=1)
+        entry = cache.directory / f"{key}.pkl"
+        entry.write_bytes(b"\x00CHAOS not a pickle")
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert not entry.exists()                       # moved aside...
+        assert entry.with_suffix(".corrupt").exists()   # ...for forensics
+        assert key not in cache
+        cache.put(key, 7)                               # self-heals
+        assert cache.get(key) == 7
+
+    def test_quarantine_catches_the_full_unpickling_surface(self, tmp_path):
+        # Torn pickles fail with many exception types depending on where
+        # the bytes were cut; every one must read as a miss, not a crash.
+        import pickle
+
+        cache = ResultCache(tmp_path / "c")
+        payload = pickle.dumps({"v": list(range(100))})
+        cuts = [0, 1, 2, len(payload) // 2, len(payload) - 1]
+        for i, cut in enumerate(cuts):
+            key = cache_key(cut=i)
+            (cache.directory / f"{key}.pkl").write_bytes(payload[:cut])
+            assert cache.get(key) is None
+        assert cache.quarantined == len(cuts)
+
+    def test_clear_sweeps_tmp_and_corrupt_droppings(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(cache_key(i=0), 0)
+        (cache.directory / "dead-writer.tmp").write_bytes(b"partial")
+        (cache.directory / "old.corrupt").write_bytes(b"rotten")
+        assert cache.clear() == 3
+        assert list(cache.directory.iterdir()) == []
+
+    def test_stale_tmp_swept_at_construction(self, tmp_path):
+        d = tmp_path / "c"
+        d.mkdir()
+        stale = d / "stale-writer.tmp"
+        stale.write_bytes(b"partial")
+        ancient = time.time() - 7200
+        os.utime(stale, (ancient, ancient))
+        fresh = d / "live-writer.tmp"
+        fresh.write_bytes(b"in flight")
+        cache = ResultCache(d, stale_tmp_age_s=3600.0)
+        assert cache.tmp_swept == 1
+        assert not stale.exists()
+        assert fresh.exists()  # a live writer is not a leak
 
 
 class TestPointRunner:
@@ -195,6 +265,161 @@ class TestPointRunner:
         runner = PointRunner(cache=cache)
         runner.run([PointTask(fn=_double, args=(1,))])
         assert len(cache) == 0
+
+
+class TestBackoffJitter:
+    def test_deterministic_for_same_identity(self):
+        r = PointRunner(backoff_s=0.1, backoff_seed=3)
+        assert r._backoff(0, "cs:k=1") == r._backoff(0, "cs:k=1")
+
+    def test_spreads_across_tasks_and_attempts(self):
+        r = PointRunner(backoff_s=0.1)
+        delays = {r._backoff(0, f"cs:k={k}") for k in range(20)}
+        assert len(delays) == 20  # no two tasks retry in lockstep
+        assert r._backoff(1, "p") != r._backoff(0, "p")
+
+    def test_jitter_stays_within_half_to_threehalves_of_base(self):
+        r = PointRunner(backoff_s=0.1, max_backoff_s=10.0)
+        for attempt in range(4):
+            base = 0.1 * 2**attempt
+            for k in range(10):
+                d = r._backoff(attempt, f"k={k}")
+                assert 0.5 * base <= d < 1.5 * base
+
+    def test_base_is_capped(self):
+        r = PointRunner(backoff_s=1.0, max_backoff_s=2.0)
+        assert r._backoff(10, "p") < 1.5 * 2.0
+
+    def test_seed_changes_the_schedule(self):
+        a = PointRunner(backoff_s=0.1, backoff_seed=0)
+        b = PointRunner(backoff_s=0.1, backoff_seed=1)
+        assert a._backoff(0, "p") != b._backoff(0, "p")
+
+
+def _fault_plan(kind: str, label: str, hang_s: float = 30.0,
+                attempts: int = 1) -> FaultPlan:
+    """Smallest-seed plan scheduling ``kind`` for the first ``attempts``
+    attempts of ``label`` (each attempt draws independently, so pinning
+    two faulty attempts needs a seed where both draws land)."""
+    for seed in range(100_000):
+        plan = FaultPlan(seed=seed, fault_rate=0.3, perturb_rate=0.0,
+                         hang_s=hang_s, max_faulty_attempts=attempts)
+        if all(plan.disruption(label, a) == kind for a in range(attempts)):
+            return plan
+    raise AssertionError(f"no seed schedules {kind!r} x{attempts}")
+
+
+class TestFaultDrivenRunnerPaths:
+    """ISSUE satellite: the timeout and process-pool-crash paths,
+    exercised deterministically by injected hang/crash faults."""
+
+    def test_injected_hang_trips_pooled_timeout_then_recovers(self):
+        label = "cs:k=4"
+        inj = FaultInjector(plan=_fault_plan("hang", label, hang_s=0.5))
+        # Two workers: the hung attempt-0 thread cannot be preempted, so
+        # the retry needs a free slot to run on.
+        runner = PointRunner(
+            backend="thread", max_workers=2, retries=1, backoff_s=0.0,
+            timeout_s=0.05, injector=inj,
+        )
+        assert runner.run([PointTask(fn=_double, args=(3,), label=label)]) == [6]
+        tele = runner.last_telemetry
+        assert tele.timeouts == 1   # attempt 0 hung past the limit
+        assert tele.retries == 1    # attempt 1 ran clean
+        assert tele.failures == 0
+        assert inj.stats.hangs == 1
+
+    def test_injected_hang_exhausting_retries_identifies_the_point(self):
+        label = "cs:k=5"
+        inj = FaultInjector(
+            plan=_fault_plan("hang", label, hang_s=0.3, attempts=2)
+        )
+        runner = PointRunner(
+            backend="thread", max_workers=2, retries=1, backoff_s=0.0,
+            timeout_s=0.05, injector=inj,
+        )
+        with pytest.raises(MeasurementError, match="cs:k=5.*2 attempts"):
+            runner.run([PointTask(fn=_double, args=(3,), label=label)])
+        assert runner.last_telemetry.timeouts == 2
+        assert runner.last_telemetry.failures == 1
+
+    def test_injected_crash_breaks_the_pool_then_recovers(self):
+        label = "cs:k=6"
+        inj = FaultInjector(plan=_fault_plan("crash", label))
+        runner = PointRunner(
+            backend="process", max_workers=1, retries=1, backoff_s=0.0,
+            injector=inj,
+        )
+        assert runner.run([PointTask(fn=_double, args=(5,), label=label)]) == [10]
+        tele = runner.last_telemetry
+        assert tele.retries == 1    # pool was rebuilt and the point redone
+        assert tele.failures == 0
+
+    def test_injected_crash_exhausting_retries_identifies_the_point(self):
+        label = "cs:k=7"
+        inj = FaultInjector(plan=_fault_plan("crash", label, attempts=2))
+        runner = PointRunner(
+            backend="process", max_workers=1, retries=1, backoff_s=0.0,
+            injector=inj,
+        )
+        with pytest.raises(MeasurementError, match="cs:k=7"):
+            runner.run([PointTask(fn=_double, args=(5,), label=label)])
+        assert runner.last_telemetry.failures == 1
+
+    def test_serial_crash_fault_is_retried_like_a_lost_worker(self):
+        label = "cs:k=8"
+        inj = FaultInjector(plan=_fault_plan("crash", label))
+        runner = PointRunner(retries=1, backoff_s=0.0, injector=inj)
+        assert runner.run([PointTask(fn=_double, args=(2,), label=label)]) == [4]
+        assert runner.last_telemetry.retries == 1
+        assert inj.stats.crashes == 1
+
+
+class TestFailSoft:
+    def test_gap_marker_instead_of_abort(self):
+        def broken():
+            raise OSError("dead")
+
+        runner = PointRunner(retries=0, fail_soft=True)
+        ok = PointTask(fn=_double, args=(1,), label="good")
+        bad = PointTask(fn=broken, label="cs:k=3")
+        results = runner.run([ok, bad])
+        assert results[0] == 2
+        gap = results[1]
+        assert isinstance(gap, PointFailure)
+        assert not gap                     # falsy: filter(None, ...) drops it
+        assert gap.label == "cs:k=3"
+        assert "dead" in gap.error
+        tele = runner.last_telemetry
+        assert tele.gaps == 1 and tele.failures == 1
+
+    def test_per_run_override_beats_constructor_default(self):
+        def broken():
+            raise OSError("dead")
+
+        runner = PointRunner(retries=0, fail_soft=True)
+        with pytest.raises(MeasurementError):
+            runner.run([PointTask(fn=broken)], fail_soft=False)
+
+    def test_measurement_error_still_propagates_under_fail_soft(self):
+        def bad_config():
+            raise MeasurementError("bad windows")
+
+        runner = PointRunner(retries=0, fail_soft=True)
+        with pytest.raises(MeasurementError, match="bad windows"):
+            runner.run([PointTask(fn=bad_config)])
+
+
+class TestQuarantineTelemetry:
+    def test_runner_counts_quarantined_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cache_key(p=1)
+        (cache.directory / f"{key}.pkl").write_bytes(b"rotten")
+        runner = PointRunner(cache=cache)
+        assert runner.run([PointTask(fn=_double, args=(4,), key=key)]) == [8]
+        assert runner.last_telemetry.quarantines == 1
+        # The re-measured value replaced the quarantined one.
+        assert cache.get(key) == 8
 
 
 class TestSweepParity:

@@ -1,0 +1,235 @@
+"""Robust estimators, trial summaries, and statistical onset detection."""
+
+import pytest
+
+from repro.core import (
+    CS,
+    FaultInjector,
+    FaultPlan,
+    OnsetDecision,
+    PointRunner,
+    RobustSweep,
+)
+from repro.core.robust import (
+    QUALITY_FLAGGED,
+    QUALITY_GAP,
+    QUALITY_OK,
+    bootstrap_median_ci,
+    mad,
+    median,
+    modified_z_scores,
+    rank_test_greater,
+    reject_outliers,
+    summarize_trials,
+)
+from repro.errors import MeasurementError
+
+from .test_parallel import make_am
+
+
+class TestEstimators:
+    def test_median_and_mad(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert mad([1.0, 2.0, 3.0, 100.0]) == 1.0
+
+    def test_empty_inputs_rejected(self):
+        for fn in (median, mad, summarize_trials):
+            with pytest.raises(MeasurementError):
+                fn([])
+
+    def test_outlier_rejection_flags_only_the_spike(self):
+        values = [100.0, 101.0, 99.0, 100.5, 1000.0]
+        keep = reject_outliers(values)
+        assert list(keep) == [True, True, True, True, False]
+
+    def test_constant_sample_keeps_everything(self):
+        # MAD = 0 must not divide by zero or reject the whole sample.
+        values = [5.0] * 6
+        assert list(modified_z_scores(values)) == [0.0] * 6
+        assert all(reject_outliers(values))
+
+    def test_bootstrap_ci_is_deterministic_and_brackets_median(self):
+        values = [10.0, 11.0, 9.5, 10.2, 10.8, 9.9]
+        lo1, hi1 = bootstrap_median_ci(values, seed=3)
+        lo2, hi2 = bootstrap_median_ci(values, seed=3)
+        assert (lo1, hi1) == (lo2, hi2)
+        assert lo1 <= median(values) <= hi1
+        assert lo1 < hi1
+
+    def test_bootstrap_ci_degenerate_single_value(self):
+        assert bootstrap_median_ci([7.0]) == (7.0, 7.0)
+
+
+class TestRankTest:
+    def test_separated_samples_give_small_p(self):
+        slow = [130.0, 131.0, 129.0, 132.0, 130.5]
+        fast = [100.0, 101.0, 99.0, 100.5, 100.2]
+        assert rank_test_greater(slow, fast) < 0.01
+
+    def test_direction_matters(self):
+        slow = [130.0, 131.0, 129.0]
+        fast = [100.0, 101.0, 99.0]
+        assert rank_test_greater(fast, slow) > 0.5
+
+    def test_identical_samples_are_no_evidence(self):
+        same = [5.0, 5.0, 5.0, 5.0]
+        assert rank_test_greater(same, same) == 1.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(MeasurementError):
+            rank_test_greater([], [1.0])
+
+
+class TestTrialSummary:
+    def test_spike_is_rejected_from_the_summary(self):
+        s = summarize_trials([100.0, 101.0, 99.0, 100.0, 1000.0])
+        assert s.n_rejected == 1
+        assert 1000.0 not in s.kept
+        assert 99.0 <= s.median_ns <= 101.0
+        assert s.ci_lo_ns <= s.median_ns <= s.ci_hi_ns
+
+    def test_failures_are_carried(self):
+        s = summarize_trials([100.0], n_failed=2)
+        assert s.n_failed == 2
+
+
+def trials_fixture(spike_first=False):
+    """Flat ladder with one contaminated trial at k=1.
+
+    The spike makes the *naive* single-trial rule (first trial,
+    slowdown > 1.05) misfire when it lands on the first trial; the
+    robust path must not.
+    """
+    k1 = [100.0, 101.0, 99.0, 100.5]
+    k1.insert(0 if spike_first else 4, 180.0)
+    return {
+        0: [100.0, 100.5, 99.5, 100.2, 99.8],
+        1: k1,
+        2: [100.3, 99.7, 100.1, 100.4, 99.9],
+        3: [100.0, 100.6, 99.4, 100.2, 100.1],
+    }
+
+
+class TestRobustSweep:
+    def test_from_trials_quality_flags(self):
+        sweep = RobustSweep.from_trials(CS, trials_fixture())
+        assert sweep.point(0).quality == QUALITY_OK
+        assert sweep.point(1).quality == QUALITY_FLAGGED  # spike rejected
+        assert sweep.point(1).summary.n_rejected == 1
+
+    def test_empty_level_becomes_gap_not_zero(self):
+        trials = trials_fixture()
+        trials[2] = []
+        sweep = RobustSweep.from_trials(CS, trials, failed_by_k={2: 5})
+        p = sweep.point(2)
+        assert p.is_gap and p.quality == QUALITY_GAP
+        assert p.summary is None
+        with pytest.raises(MeasurementError, match="gap"):
+            p.require_summary()
+        assert 2 not in sweep.median_slowdowns()
+        assert sweep.gaps() == [2]
+
+    def test_gap_baseline_is_an_error(self):
+        trials = trials_fixture()
+        trials[0] = []
+        sweep = RobustSweep.from_trials(CS, trials)
+        with pytest.raises(MeasurementError, match="baseline"):
+            sweep.degradation_onset()
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(MeasurementError, match="no points|duplicate"):
+            RobustSweep(CS, [])
+
+
+class TestOnsetDecision:
+    def test_noisy_spike_fools_naive_threshold_not_the_rank_test(self):
+        """ISSUE acceptance: the fixture where the fixed 5% rule misfires
+        and the statistical test does not."""
+        trials = trials_fixture(spike_first=True)
+        # The naive seed rule: first trial only, fixed threshold.
+        naive = trials[1][0] / trials[0][0] > 1.05
+        assert naive, "fixture must trip the naive detector"
+        decision = RobustSweep.from_trials(CS, trials).degradation_onset(
+            threshold=0.05, alpha=0.01
+        )
+        assert not decision.detected
+        assert decision.k is None and decision.confidence is None
+
+    def test_real_onset_is_detected_with_confidence(self):
+        trials = trials_fixture()
+        trials[2] = [130.0, 131.5, 129.0, 130.8, 129.6]
+        trials[3] = [150.2, 151.0, 149.1, 150.6, 149.8]
+        decision = RobustSweep.from_trials(CS, trials).degradation_onset(
+            threshold=0.05, alpha=0.01
+        )
+        assert decision.detected and decision.k == 2
+        assert decision.confidence >= 0.99
+        assert decision.p_values[2] <= 0.01
+        assert isinstance(decision, OnsetDecision)
+
+    def test_significant_but_tiny_shift_is_gated_by_effect_size(self):
+        # 2% slower with certainty: statistically real, operationally
+        # irrelevant — must not fire at a 5% threshold.
+        trials = {
+            0: [100.0, 100.1, 99.9, 100.05, 99.95],
+            1: [102.0, 102.1, 101.9, 102.05, 101.95],
+        }
+        decision = RobustSweep.from_trials(CS, trials).degradation_onset(
+            threshold=0.05, alpha=0.01
+        )
+        assert decision.p_values[1] <= 0.01
+        assert not decision.detected
+
+    def test_ci_separation_method(self):
+        trials = trials_fixture()
+        trials[3] = [140.0, 141.0, 139.0, 140.5, 139.5]
+        decision = RobustSweep.from_trials(CS, trials).degradation_onset(
+            threshold=0.05, alpha=0.05, method="ci"
+        )
+        assert decision.method == "ci"
+        assert decision.k == 3
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(MeasurementError, match="method"):
+            RobustSweep.from_trials(CS, trials_fixture()).degradation_onset(
+                method="eyeball"
+            )
+
+    def test_gaps_are_reported_in_the_decision(self):
+        trials = trials_fixture()
+        trials[2] = []
+        decision = RobustSweep.from_trials(CS, trials).degradation_onset()
+        assert decision.gaps == (2,)
+        assert "gaps" in decision.reason
+
+
+class TestMeasuredRobustSweep:
+    def test_end_to_end_deterministic(self, xeon):
+        ks = [0, 2]
+        a = make_am(xeon).robust_sweep(CS, ks, n_trials=3)
+        b = make_am(xeon).robust_sweep(CS, ks, n_trials=3)
+        for pa, pb in zip(a.points, b.points):
+            assert pa.quality == QUALITY_OK
+            assert pa.summary == pb.summary
+            assert pa.representative.makespan_ns == pb.representative.makespan_ns
+
+    def test_trials_are_decorrelated_but_reproducible(self, xeon):
+        sweep = make_am(xeon).robust_sweep(CS, [0], n_trials=3)
+        values = sweep.point(0).summary.values
+        assert len(values) == 3
+        assert len(set(values)) > 1  # distinct seeds, distinct trials
+
+    def test_all_trials_failing_yields_gap_not_abort(self, xeon):
+        # Every attempt faulted (max_faulty_attempts > retries), so every
+        # trial exhausts its retries; fail-soft turns them into gaps.
+        inj = FaultInjector(plan=FaultPlan(
+            seed=0, fault_rate=1.0, perturb_rate=0.0, hang_s=0.0,
+            max_faulty_attempts=99,
+        ))
+        am = make_am(
+            xeon, runner=PointRunner(retries=1, backoff_s=0.0, injector=inj)
+        )
+        sweep = am.robust_sweep(CS, [0, 1], n_trials=2)
+        assert sweep.gaps() == [0, 1]
+        assert am.runner.last_telemetry.gaps == 4
+        assert am.runner.last_telemetry.failures == 4

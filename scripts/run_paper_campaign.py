@@ -17,6 +17,8 @@ import repro.experiments as ex
 from repro.core.journal import append_jsonl, iter_jsonl
 from repro.experiments import ablations
 from repro.experiments.common import DEFAULT_RESULTS_DIR
+from repro.obs import chrome_trace, configure_tracer, tracer, write_chrome_trace
+from repro.obs.tracer import span as trace_span
 
 RUNS = [
     ("calibration", ex.run_calibration),
@@ -53,7 +55,14 @@ def main(argv=None) -> int:
         help="campaign journal path "
         "(default: <results>/paper/campaign_journal.jsonl)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a span trace: crash-safe event log at FILE.jsonl, "
+        "Chrome/Perfetto JSON exported to FILE at the end",
+    )
     args = parser.parse_args(argv)
+    if args.trace:
+        configure_tracer(Path(str(args.trace) + ".jsonl"))
 
     out_dir = DEFAULT_RESULTS_DIR / "paper"
     journal = Path(args.journal) if args.journal else out_dir / "campaign_journal.jsonl"
@@ -76,7 +85,8 @@ def main(argv=None) -> int:
             continue
         t0 = time.perf_counter()
         try:
-            rec = fn("paper")
+            with trace_span("experiment", cat="experiment", experiment=name):
+                rec = fn("paper")
             path = rec.save(out_dir)
             append_jsonl(journal, {
                 "event": "experiment", "name": name, "path": str(path),
@@ -89,6 +99,11 @@ def main(argv=None) -> int:
             print(f"[{name}] FAILED after {time.perf_counter()-t0:.0f}s", flush=True)
             traceback.print_exc()
     append_jsonl(journal, {"event": "campaign_pass", "failures": failures})
+    if args.trace:
+        t = tracer()
+        t.finish()
+        out = write_chrome_trace(Path(args.trace), chrome_trace(t.events))
+        print(f"trace written to {out} (event log: {t.path})", flush=True)
     print("CAMPAIGN COMPLETE", flush=True)
     return 0 if failures == 0 else 1
 

@@ -35,6 +35,8 @@ import numpy as np
 from .config import SocketConfig, xeon20mb
 from .engine import ArraySocket, FastSocket, _ckernel
 from .engine.chunk import AccessChunk
+from .obs.tracer import span as trace_span
+from .obs.tracer import tracer as current_tracer
 
 DEFAULT_N_ACCESSES = 200_000
 DEFAULT_ROUNDS = 3
@@ -107,20 +109,34 @@ def run_engine_bench(
     if socket is None:
         socket = xeon20mb()
     results: Dict[str, Dict[str, float]] = {}
-    for shape, make_chunks in SHAPES.items():
-        chunks = make_chunks(n_accesses)
-        n = sum(len(c) for c in chunks)
-        results[shape] = {}
-        for kname, make_kernel in _kernels().items():
-            best = float("inf")
-            for _ in range(rounds):
-                kernel = make_kernel(socket)
-                t0 = time.perf_counter()
-                t = 0.0
-                for c in chunks:
-                    t = kernel.run_chunk(0, c, t)
-                best = min(best, time.perf_counter() - t0)
-            results[shape][kname] = n / best
+    # Tracing sits at (shape, kernel, round) granularity — never inside
+    # the per-chunk loop — so an enabled tracer stays inside the <3%
+    # overhead budget against BENCH_engine.json.
+    with trace_span("bench.engine", cat="bench", n_accesses=n_accesses,
+                    rounds=rounds):
+        for shape, make_chunks in SHAPES.items():
+            chunks = make_chunks(n_accesses)
+            n = sum(len(c) for c in chunks)
+            results[shape] = {}
+            for kname, make_kernel in _kernels().items():
+                best = float("inf")
+                for rnd in range(rounds):
+                    kernel = make_kernel(socket)
+                    with trace_span(f"{shape}/{kname}", cat="bench.round",
+                                    shape=shape, kernel=kname, round=rnd):
+                        t0 = time.perf_counter()
+                        t = 0.0
+                        for c in chunks:
+                            t = kernel.run_chunk(0, c, t)
+                        best = min(best, time.perf_counter() - t0)
+                results[shape][kname] = n / best
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.record_counters("bench.engine", {
+                f"{shape}.{kname}": rate
+                for shape, by_kernel in results.items()
+                for kname, rate in by_kernel.items()
+            })
     out: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         "bench": "engine",

@@ -20,18 +20,31 @@ Commands
     drills.
 ``machine [--scale N]``
     Describe the (optionally scaled) Table I machine.
-``bench engine [--out FILE] [--accesses N] [--rounds N] [--compare FILE]``
+``bench engine [--out FILE] [--accesses N] [--rounds N] [--compare FILE]
+[--trace FILE]``
     Measure simulation-kernel throughput (accesses/sec per shape and
     kernel) and write the machine-readable baseline; ``--compare``
     prints an informational delta against a stored baseline.
+``trace <file>``
+    Summarise a recorded trace (either the Chrome JSON written by
+    ``--trace`` or its crash-safe ``.jsonl`` event log): per-phase time,
+    point-latency percentiles, cache/journal hit timelines, and a
+    worker-utilization Gantt.
 ``version``
     Print the package version.
+
+Tracing: ``repro run <exp> --trace t.json`` streams spans to the
+crash-safe event log ``t.json.jsonl`` while running and exports the
+Chrome-trace JSON ``t.json`` (loads in chrome://tracing / Perfetto) at
+the end — on the failure path too. ``REPRO_TRACE`` in the environment
+enables the same thing without a flag.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
 
 from . import __version__
@@ -181,6 +194,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-attempt probability of each injected fault kind "
         "(default: REPRO_FAULT_RATE env or 0.15)",
     )
+    run_p.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a span trace: streams the crash-safe event log to "
+        "FILE.jsonl and exports Chrome/Perfetto JSON to FILE at the end "
+        "(default: REPRO_TRACE env; unset disables tracing)",
+    )
 
     mach_p = sub.add_parser("machine", help="describe the Table I machine")
     mach_p.add_argument("--scale", type=int, default=None,
@@ -206,6 +225,19 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--compare", default=None, metavar="FILE",
         help="print an informational delta against this stored baseline",
+    )
+    bench_p.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a span trace of the bench run (see 'run --trace')",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="summarise a recorded span trace",
+    )
+    trace_p.add_argument(
+        "file",
+        help="trace file: the Chrome JSON exported by --trace, or its "
+        "crash-safe .jsonl event log",
     )
     return parser
 
@@ -253,6 +285,41 @@ def _apply_runner_options(args: argparse.Namespace) -> None:
         os.environ["REPRO_FAULT_RATE"] = str(args.fault_rate)
 
 
+def _start_trace(args: argparse.Namespace) -> Optional[Path]:
+    """Enable the span tracer when ``--trace`` (or ``REPRO_TRACE``) asks
+    for it. Events stream to ``<FILE>.jsonl``; the Chrome export lands
+    at ``<FILE>`` when :func:`_finish_trace` runs."""
+    import os
+
+    target = getattr(args, "trace", None) or os.environ.get("REPRO_TRACE")
+    if not target:
+        return None
+    from .obs.tracer import configure_tracer
+
+    path = Path(target)
+    configure_tracer(Path(str(path) + ".jsonl"))
+    return path
+
+
+def _finish_trace(path: Optional[Path]) -> None:
+    """Close the event log and export the Chrome trace. Runs on success
+    and failure paths alike — a trace of a failed campaign is exactly
+    the artifact needed to diagnose it."""
+    if path is None:
+        return
+    from .obs.export import chrome_trace, write_chrome_trace
+    from .obs.tracer import tracer
+
+    t = tracer()
+    t.finish()
+    out = write_chrome_trace(path, chrome_trace(t.events))
+    print(
+        f"trace written to {out} (event log: {t.path}); "
+        f"inspect with 'repro trace {out}' or load in Perfetto",
+        file=sys.stderr,
+    )
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -269,6 +336,16 @@ def main(argv: Optional[list] = None) -> int:
         print(socket.describe())
         return 0
 
+    if args.command == "trace":
+        from .obs.summary import summarize_trace
+
+        try:
+            print(summarize_trace(args.file))
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
     if args.command == "bench":
         import json
 
@@ -279,8 +356,10 @@ def main(argv: Optional[list] = None) -> int:
             kwargs["n_accesses"] = args.accesses
         if args.rounds is not None:
             kwargs["rounds"] = args.rounds
+        trace_path = _start_trace(args)
         print("measuring engine throughput ...", file=sys.stderr)
         baseline = bench_mod.run_engine_bench(**kwargs)
+        _finish_trace(trace_path)
         print(bench_mod.format_engine_bench(baseline))
         if args.compare is not None:
             with open(args.compare) as fh:
@@ -307,19 +386,32 @@ def main(argv: Optional[list] = None) -> int:
             return 2
         desc, run_fn, render_fn = registry[args.experiment]
         _apply_runner_options(args)
+        trace_path = _start_trace(args)
         print(f"running {args.experiment} ({desc}) ...", file=sys.stderr)
         from .core.parallel import reset_session_telemetry, session_telemetry
+        from .obs.tracer import span as trace_span
 
         reset_session_telemetry()
+        failure: Optional[ReproError] = None
+        record: Optional[ExperimentRecord] = None
         try:
-            record: ExperimentRecord = run_fn(args.mode, seed=args.seed)
+            with trace_span("experiment", cat="experiment",
+                            experiment=args.experiment):
+                record = run_fn(args.mode, seed=args.seed)
         except ReproError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
+            failure = exc
+        # Telemetry and the trace must survive the failure path: a
+        # partially-completed campaign's counters and spans matter most
+        # exactly when the run needs diagnosing.
         telemetry = session_telemetry()
         if telemetry.points_total:
-            record.attach_telemetry(telemetry.as_dict())
+            if record is not None:
+                record.attach_telemetry(telemetry.as_dict())
             print(f"runner: {telemetry.summary()}", file=sys.stderr)
+        _finish_trace(trace_path)
+        if failure is not None or record is None:
+            print(f"error: {failure}", file=sys.stderr)
+            return 1
         if render_fn is not None:
             print(render_fn(record))
         for note in record.notes:

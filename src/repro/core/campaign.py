@@ -21,6 +21,7 @@ from typing import Optional, Sequence, Union
 from ..config import SocketConfig
 from ..errors import MeasurementError
 from ..models import DegradationCurve, ResourceUseEstimate
+from ..obs.tracer import span as trace_span
 from ..units import as_GBps, fmt_bytes
 from .bandwidth import BandwidthCalibration, calibrate_bandwidth
 from .capacity import CapacityCalibration, calibrate_capacity
@@ -152,20 +153,25 @@ class MeasurementCampaign:
 
     def run(self) -> CampaignOutcome:
         """Execute sweeps + calibrations and assemble the outcome."""
-        cs = self._am.capacity_sweep(ks=self.cs_ks)
-        bw = self._am.bandwidth_sweep(ks=self.bw_ks)
-        cap_calib = calibrate_capacity(
-            self.socket,
-            ks=self.cs_ks,
-            warmup_accesses=40_000,
-            measure_accesses=25_000,
-            seed=self.seed,
-        )
-        bw_calib = calibrate_bandwidth(self.socket, saturation_ks=(), seed=self.seed)
-        cap_curve = capacity_curve(cs, cap_calib)
-        bw_curve = bandwidth_curve(bw, bw_calib)
-        if self.journal is not None:
-            self.journal.mark_complete()
+        with trace_span("campaign", cat="campaign", socket=self.socket.name):
+            cs = self._am.capacity_sweep(ks=self.cs_ks)
+            bw = self._am.bandwidth_sweep(ks=self.bw_ks)
+            with trace_span("calibrate", cat="campaign"):
+                cap_calib = calibrate_capacity(
+                    self.socket,
+                    ks=self.cs_ks,
+                    warmup_accesses=40_000,
+                    measure_accesses=25_000,
+                    seed=self.seed,
+                )
+                bw_calib = calibrate_bandwidth(
+                    self.socket, saturation_ks=(), seed=self.seed
+                )
+            with trace_span("analyze", cat="campaign"):
+                cap_curve = capacity_curve(cs, cap_calib)
+                bw_curve = bandwidth_curve(bw, bw_calib)
+            if self.journal is not None:
+                self.journal.mark_complete()
         return CampaignOutcome(
             capacity_sweep=cs,
             bandwidth_sweep=bw,

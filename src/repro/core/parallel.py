@@ -59,6 +59,9 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import MeasurementError
+from ..obs.tracer import span as trace_span
+from ..obs.tracer import tracer as current_tracer
+from ..obs.tracer import worker_capture
 
 #: Bump when the cached payload layout changes; part of every cache key.
 CACHE_FORMAT = 1
@@ -275,15 +278,36 @@ class RunnerTelemetry:
     inline_fallbacks: int = 0
     #: Sum of per-attempt execution time (worker-side, seconds).
     busy_s: float = 0.0
-    #: Wall-clock span of the batch (seconds).
+    #: Wall-clock span of the batch — or, after :meth:`merge`, of the
+    #: whole session (first batch start .. last batch end, seconds).
     wall_s: float = 0.0
+    #: Monotonic (``perf_counter``) batch start/end; zero when the
+    #: telemetry was built by hand without timestamps.
+    t_start_s: float = 0.0
+    t_end_s: float = 0.0
+
+    #: Utilization above this is an accounting bug (busy time cannot
+    #: exceed wall-clock x workers); the epsilon absorbs clock jitter.
+    UTILIZATION_ERROR_ABOVE = 1.0 + 1e-6
 
     @property
     def utilization(self) -> float:
-        """Fraction of worker capacity kept busy over the batch."""
+        """Fraction of worker capacity kept busy over the wall span.
+
+        Deliberately **unclamped**: a value above 1.0 is impossible for
+        correct accounting, and clamping it (as this property once did)
+        silently masked the bug where :meth:`merge` summed per-batch
+        wall times instead of spanning them. :meth:`summary` flags
+        over-unity loudly instead.
+        """
         if self.wall_s <= 0 or self.workers <= 0:
             return 0.0
-        return min(1.0, self.busy_s / (self.wall_s * self.workers))
+        return self.busy_s / (self.wall_s * self.workers)
+
+    @property
+    def utilization_error(self) -> bool:
+        """True when the books don't balance (utilization > 1)."""
+        return self.utilization > self.UTILIZATION_ERROR_ABOVE
 
     def merge(self, other: "RunnerTelemetry") -> None:
         self.points_total += other.points_total
@@ -298,24 +322,53 @@ class RunnerTelemetry:
         self.gaps += other.gaps
         self.inline_fallbacks += other.inline_fallbacks
         self.busy_s += other.busy_s
-        self.wall_s += other.wall_s
+        # Wall time is a *span*, not a sum: N sequential batches cover
+        # first-start..last-end, and summing their individual walls
+        # understated utilization by ~N x. Fall back to summing only for
+        # hand-built telemetry that carries no timestamps.
+        if self.t_start_s > 0.0 and other.t_start_s > 0.0:
+            self.t_start_s = min(self.t_start_s, other.t_start_s)
+            self.t_end_s = max(self.t_end_s, other.t_end_s)
+            self.wall_s = self.t_end_s - self.t_start_s
+        elif other.t_start_s > 0.0 and self.t_start_s == 0.0 and self.wall_s == 0.0:
+            # First batch merged into a fresh aggregate: adopt its span.
+            self.t_start_s, self.t_end_s = other.t_start_s, other.t_end_s
+            self.wall_s = other.wall_s
+        else:
+            self.wall_s += other.wall_s
         self.workers = max(self.workers, other.workers)
         if other.backend != "serial":
             self.backend = other.backend
 
+    def reset(self) -> None:
+        """Zero every field *in place*, so aliases captured before a
+        session reset keep observing the live object."""
+        fresh = RunnerTelemetry()
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, getattr(fresh, f.name))
+
     def as_dict(self) -> Dict[str, Any]:
         out = dataclasses.asdict(self)
+        # Monotonic timestamps are meaningless outside this process.
+        out.pop("t_start_s", None)
+        out.pop("t_end_s", None)
         out["utilization"] = round(self.utilization, 4)
         out["busy_s"] = round(self.busy_s, 4)
         out["wall_s"] = round(self.wall_s, 4)
         return out
 
     def summary(self) -> str:
+        util = f"utilization {self.utilization * 100:.0f}%"
+        if self.utilization_error:
+            util += (
+                " [ACCOUNTING ERROR: busy time exceeds wall-clock x "
+                "workers — telemetry merge is over-counting]"
+            )
         bits = [
             f"{self.points_done}/{self.points_total} points",
             f"{self.cache_hits} cache hits",
             f"backend={self.backend} x{self.workers}",
-            f"utilization {self.utilization * 100:.0f}%",
+            util,
         ]
         if self.journal_hits:
             bits.append(f"{self.journal_hits} journal hits")
@@ -332,17 +385,26 @@ class RunnerTelemetry:
 
 #: Process-wide aggregate every PointRunner batch reports into; the CLI
 #: reads it after a driver finishes to attach runner telemetry to the
-#: experiment record.
+#: experiment record. NEVER rebound — see reset_session_telemetry().
 _SESSION = RunnerTelemetry()
 
 
 def session_telemetry() -> RunnerTelemetry:
+    """The stable session-telemetry singleton (same object for the
+    lifetime of the process; resets clear it in place)."""
     return _SESSION
 
 
 def reset_session_telemetry() -> None:
-    global _SESSION
-    _SESSION = RunnerTelemetry()
+    """Zero the session counters **in place**.
+
+    This used to rebind the module global, which stranded every alias
+    captured before the reset on a dead object — code holding an old
+    ``session_telemetry()`` reference kept reporting into (and reading
+    from) counters nobody else could see. Clearing in place keeps the
+    singleton identity stable across resets.
+    """
+    _SESSION.reset()
 
 
 # -- tasks & runner -----------------------------------------------------------------
@@ -381,19 +443,34 @@ def _timed_call(
     injector: Optional[Any] = None,
     label: str = "point",
     attempt: int = 0,
-) -> Tuple[Any, float]:
+    trace: Any = False,
+) -> Tuple[Any, float, Optional[List[Dict[str, Any]]]]:
     """Worker-side wrapper: run the task and report its execution time.
 
     When a :class:`~repro.core.faults.FaultInjector` rides along, its
     scheduled faults fire *before* the measurement — they can stall,
     raise, or kill the worker, but never touch the deterministic
     simulation itself.
+
+    ``trace`` selects the tracing mode: ``False`` (free fast path),
+    ``True`` (attempt span on the live in-process tracer — serial and
+    thread backends), or ``"ship"`` (process-pool workers: capture the
+    spans in memory and return them as the third element so the parent
+    ingests them into its event log). Spans of a *failed* attempt die
+    with the exception — only completed attempts ship events home.
     """
     if injector is not None:
         injector.before_attempt(label, attempt)
-    t0 = time.perf_counter()
-    out = fn(*args)
-    return out, time.perf_counter() - t0
+    if not trace:
+        t0 = time.perf_counter()
+        out = fn(*args)
+        return out, time.perf_counter() - t0, None
+    with worker_capture(force=trace == "ship") as shipped:
+        with trace_span("attempt", cat="attempt", label=label, attempt=attempt):
+            t0 = time.perf_counter()
+            out = fn(*args)
+            dt = time.perf_counter() - t0
+    return out, dt, shipped
 
 
 #: Progress hook signature: (completed, total, telemetry-so-far).
@@ -500,9 +577,15 @@ class PointRunner:
             points_total=len(tasks),
         )
         t0 = time.perf_counter()
+        tele.t_start_s = t0
         quarantined0 = self.cache.quarantined if self.cache is not None else 0
         results: List[Any] = [None] * len(tasks)
         pending: List[int] = []
+        batch = trace_span(
+            "batch", cat="runner",
+            backend=self.backend, workers=tele.workers, tasks=len(tasks),
+        )
+        batch.__enter__()
         for i, task in enumerate(tasks):
             hit = self._journal_get(task)
             if hit is not None:
@@ -534,11 +617,20 @@ class PointRunner:
         finally:
             # Record telemetry even when the batch aborts, so failures
             # and timeouts stay observable.
-            tele.wall_s = time.perf_counter() - t0
+            now = time.perf_counter()
+            tele.t_end_s = now
+            tele.wall_s = now - t0
             if self.cache is not None:
                 tele.quarantines += self.cache.quarantined - quarantined0
             self.last_telemetry = tele
             _SESSION.merge(tele)
+            batch.__exit__(None, None, None)
+            # The tracer is the counter backend: stream both this
+            # batch's counters and the running session aggregate.
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.record_counters("runner.batch", tele.as_dict())
+                tracer.record_counters("runner.session", _SESSION.as_dict())
         return results
 
     def run_labeled(self, tasks: Sequence[PointTask]) -> Dict[str, Any]:
@@ -550,11 +642,15 @@ class PointRunner:
     def _journal_get(self, task: PointTask) -> Optional[Any]:
         if self.journal is None or task.key is None:
             return None
-        return self.journal.get(task.key)
+        with trace_span("journal.get", cat="journal", label=task.label) as sp:
+            hit = self.journal.get(task.key)
+            sp.set(hit=hit is not None)
+        return hit
 
     def _journal_put(self, task: PointTask, value: Any) -> None:
         if self.journal is not None and task.key is not None:
-            self.journal.record_point(task.key, task.label, value)
+            with trace_span("journal.put", cat="journal", label=task.label):
+                self.journal.record_point(task.key, task.label, value)
 
     def _cache_get(self, task: PointTask) -> Optional[Any]:
         if self.cache is None or task.key is None:
@@ -563,11 +659,15 @@ class PointRunner:
             # Chaos: rot the entry on disk *before* the read, so the
             # quarantine path (rename aside, re-measure) is exercised.
             self.injector.corrupt_cache_entry(self.cache, task.key)
-        return self.cache.get(task.key)
+        with trace_span("cache.get", cat="cache", label=task.label) as sp:
+            hit = self.cache.get(task.key)
+            sp.set(hit=hit is not None)
+        return hit
 
     def _cache_put(self, task: PointTask, value: Any) -> None:
         if self.cache is not None and task.key is not None:
-            self.cache.put(task.key, value)
+            with trace_span("cache.put", cat="cache", label=task.label):
+                self.cache.put(task.key, value)
 
     def _report_progress(self, tele: RunnerTelemetry) -> None:
         if self.progress is not None:
@@ -588,7 +688,9 @@ class PointRunner:
         return base * (0.5 + frac)
 
     def _finish(self, i: int, task: PointTask, value: Any, dt: float,
-                results: List[Any], tele: RunnerTelemetry) -> None:
+                results: List[Any], tele: RunnerTelemetry,
+                shipped: Optional[List[Dict[str, Any]]] = None) -> None:
+        current_tracer().ingest(shipped)
         results[i] = value
         tele.busy_s += dt
         tele.points_done += 1
@@ -611,6 +713,7 @@ class PointRunner:
     def _run_serial(self, tasks: Sequence[PointTask], pending: List[int],
                     results: List[Any], tele: RunnerTelemetry,
                     soft: bool = False) -> None:
+        traced = current_tracer().enabled
         for i in pending:
             task = tasks[i]
             last_exc: Optional[BaseException] = None
@@ -619,8 +722,9 @@ class PointRunner:
                     tele.retries += 1
                     time.sleep(self._backoff(attempt - 1, token=task.label))
                 try:
-                    value, dt = _timed_call(
-                        task.fn, task.args, self.injector, task.label, attempt
+                    value, dt, shipped = _timed_call(
+                        task.fn, task.args, self.injector, task.label,
+                        attempt, traced,
                     )
                 except MeasurementError:
                     # Configuration errors are deterministic: retrying
@@ -629,7 +733,7 @@ class PointRunner:
                 except Exception as exc:  # noqa: BLE001 - retry any worker fault
                     last_exc = exc
                     continue
-                self._finish(i, task, value, dt, results, tele)
+                self._finish(i, task, value, dt, results, tele, shipped)
                 last_exc = None
                 break
             if last_exc is not None:
@@ -662,6 +766,12 @@ class PointRunner:
             self._run_serial(tasks, inline, results, tele, soft)
 
         try:
+            if not current_tracer().enabled:
+                traced: Any = False
+            elif self.backend == "process":
+                traced = "ship"  # capture in the child, ingest here
+            else:
+                traced = True
             remaining = list(shippable)
             for attempt in range(self.retries + 1):
                 if not remaining:
@@ -673,7 +783,7 @@ class PointRunner:
                 futures = {
                     executor.submit(
                         _timed_call, tasks[i].fn, tasks[i].args,
-                        self.injector, tasks[i].label, attempt,
+                        self.injector, tasks[i].label, attempt, traced,
                     ): i
                     for i in remaining
                 }
@@ -682,7 +792,7 @@ class PointRunner:
                 pool_broken = False
                 for fut, i in futures.items():
                     try:
-                        value, dt = fut.result(timeout=self.timeout_s)
+                        value, dt, shipped = fut.result(timeout=self.timeout_s)
                     except MeasurementError:
                         raise
                     except cf.TimeoutError as exc:
@@ -705,7 +815,8 @@ class PointRunner:
                         failed.append(i)
                         errors[i] = exc
                     else:
-                        self._finish(i, tasks[i], value, dt, results, tele)
+                        self._finish(i, tasks[i], value, dt, results, tele,
+                                     shipped)
                 remaining = failed
             for i in remaining:
                 self._fail(i, tasks[i], errors[i], results, tele, soft)

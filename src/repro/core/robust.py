@@ -35,6 +35,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
 import numpy as np
 
 from ..errors import MeasurementError
+from ..obs.tracer import span as trace_span
 from .parallel import PointFailure, PointTask, trial_seed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -412,7 +413,9 @@ def robust_sweep(
         for t in range(n_trials):
             tasks.append(am.point_task(kind, k, trial=t))
             index.append((k, t))
-    results = am.runner.run(tasks, fail_soft=True)
+    with trace_span("robust_sweep", cat="sweep", kind=kind,
+                    n_points=len(list(ks)), n_trials=n_trials):
+        results = am.runner.run(tasks, fail_soft=True)
 
     by_k: Dict[int, List["InterferencePoint"]] = {int(k): [] for k in ks}
     failed_by_k: Dict[int, int] = {int(k): 0 for k in ks}

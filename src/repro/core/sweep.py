@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from ..config import SocketConfig
 from ..engine import MeasureResult, SimThread, SocketSimulator
 from ..errors import MeasurementError
+from ..obs.tracer import span as trace_span
 from ..workloads import BWThr, CSThr
 from .parallel import (
     PointRunner,
@@ -320,9 +321,13 @@ class ActiveMeasurement:
         main_cores = [sim.add_thread(m, main=True) for m in mains]
         for i in range(k):
             sim.add_thread(self._interference_thread(kind, i))
+        # Engine-kernel spans sit at window granularity — never inside
+        # the per-access hot loop (the <3% tracing-overhead budget).
         if self.warmup_accesses:
-            sim.warmup(accesses=self.warmup_accesses)
-        result = sim.measure(accesses=self.measure_accesses)
+            with trace_span("engine.warmup", cat="engine", kind=kind, k=k):
+                sim.warmup(accesses=self.warmup_accesses)
+        with trace_span("engine.measure", cat="engine", kind=kind, k=k):
+            result = sim.measure(accesses=self.measure_accesses)
 
         miss = {c: result.l3_miss_rate(c) for c in main_cores}
         bws = {c: result.bandwidth_Bps(c) for c in main_cores}
@@ -372,7 +377,9 @@ class ActiveMeasurement:
 
     def sweep(self, kind: str, ks: Sequence[int]) -> InterferenceSweep:
         """Run one interference ladder through the configured runner."""
-        points = self.runner.run(self._point_tasks(kind, list(ks)))
+        ks = list(ks)
+        with trace_span("sweep", cat="sweep", kind=kind, n_points=len(ks)):
+            points = self.runner.run(self._point_tasks(kind, ks))
         return InterferenceSweep(kind, list(points))
 
     def capacity_sweep(self, ks: Sequence[int] = range(6)) -> InterferenceSweep:
@@ -414,6 +421,13 @@ def _run_point_payload(
     payload: _PointPayload, kind: str, k: int, trial: int = 0
 ) -> InterferencePoint:
     """Module-level worker entry point (picklable for process pools)."""
+    with trace_span("point", cat="point", kind=kind, k=k, trial=trial):
+        return _rebuild_and_run(payload, kind, k, trial)
+
+
+def _rebuild_and_run(
+    payload: _PointPayload, kind: str, k: int, trial: int
+) -> InterferencePoint:
     am = ActiveMeasurement(
         payload.socket,
         payload.workload_factory,

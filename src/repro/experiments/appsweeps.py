@@ -26,6 +26,7 @@ from ..cluster import NoiseModel, ProcessMapping, run_job
 from ..config import ClusterConfig
 from ..core.parallel import PointRunner, PointTask, cache_key, default_runner
 from ..errors import MeasurementError
+from ..obs.tracer import span as trace_span
 
 #: app factory: (input_value, rank, mapping, comm_env) -> RankApp
 AppBuilder = Callable[[object, int, ProcessMapping, CommEnv], RankApp]
@@ -67,15 +68,17 @@ def _run_job_time(
     seed: int,
 ) -> float:
     """Module-level worker: one (kind, k) job run -> job time ns."""
-    res = run_job(
-        cluster,
-        mapping,
-        build,
-        interference_kind=kind if k else None,
-        n_interference=k,
-        noise=noise,
-        seed=seed,
-    )
+    with trace_span("point", cat="point", kind=kind, k=k,
+                    procs_per_socket=mapping.procs_per_socket):
+        res = run_job(
+            cluster,
+            mapping,
+            build,
+            interference_kind=kind if k else None,
+            n_interference=k,
+            noise=noise,
+            seed=seed,
+        )
     return res.time_ns
 
 
@@ -134,7 +137,9 @@ def interference_sweep(
         )
         for kind, k in wanted
     ]
-    times = runner.run(tasks)
+    with trace_span("app_sweep", cat="sweep", n_points=len(tasks),
+                    procs_per_socket=mapping.procs_per_socket):
+        times = runner.run(tasks)
     out: KindSweep = {"cs": {}, "bw": {}}
     for (kind, k), t in zip(wanted, times):
         out[kind][k] = t

@@ -1,0 +1,59 @@
+"""repro.obs — span tracing and metrics for campaign observability.
+
+The counters layer (:class:`~repro.core.parallel.RunnerTelemetry`)
+answers *how much*; this package answers *when* and *where*:
+
+- :mod:`repro.obs.tracer` — the process-global :class:`Tracer`, nested
+  :func:`span` recording, crash-safe JSONL streaming, worker-side span
+  capture, and the counter backend the fixed ``RunnerTelemetry`` reports
+  into;
+- :mod:`repro.obs.export` — Chrome ``chrome://tracing`` / Perfetto JSON
+  export, format-agnostic loading, and trace schema validation;
+- :mod:`repro.obs.summary` — the ``repro trace <file>`` ASCII report
+  (per-phase time, point-latency percentiles, hit timelines, worker
+  utilization Gantt).
+
+Quickstart::
+
+    repro run fig6 --workers 4 --trace t.json   # t.json + t.json.jsonl
+    repro trace t.json                          # ASCII summary
+    # open t.json in https://ui.perfetto.dev or chrome://tracing
+"""
+
+from .export import (
+    chrome_trace,
+    export_chrome,
+    load_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .summary import summarize_trace
+from .tracer import (
+    TRACE_ENV,
+    TRACE_FORMAT,
+    Tracer,
+    configure_from_env,
+    configure_tracer,
+    reset_tracer,
+    span,
+    tracer,
+    worker_capture,
+)
+
+__all__ = [
+    "TRACE_ENV",
+    "TRACE_FORMAT",
+    "Tracer",
+    "configure_from_env",
+    "configure_tracer",
+    "reset_tracer",
+    "span",
+    "tracer",
+    "worker_capture",
+    "chrome_trace",
+    "export_chrome",
+    "load_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "summarize_trace",
+]

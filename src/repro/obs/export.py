@@ -1,0 +1,255 @@
+"""Trace export and loading: JSONL event log ⇄ Chrome trace JSON.
+
+The tracer's native format is its crash-safe JSONL event log (one
+record per line, torn tail tolerated). For human inspection the log
+exports to the Chrome Trace Event JSON-object format — ``{"traceEvents":
+[...]}`` with complete (``"ph": "X"``) duration events and ``"ph": "C"``
+counter events — which loads directly in ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_.
+
+Loading is format-agnostic: :func:`load_trace` accepts either the JSONL
+event log or an exported Chrome JSON file and normalises both into the
+same span/counter dictionaries, so ``repro trace <file>`` summarises
+whichever artifact survived.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Chrome Trace Event phases this exporter emits.
+_PHASE_COMPLETE = "X"
+_PHASE_COUNTER = "C"
+_PHASE_METADATA = "M"
+
+
+def _iter_jsonl_records(path: Path) -> List[Dict[str, Any]]:
+    """Intact JSONL records; a torn/corrupt line (the expected state
+    after a mid-append kill) is skipped, never fatal."""
+    records: List[Dict[str, Any]] = []
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        raise ReproError(f"trace file not found: {path}") from None
+    for line in raw.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode())
+        except (ValueError, UnicodeDecodeError):
+            continue  # torn tail or bit-rot
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def _normalize_native(records: List[Dict[str, Any]]) -> Tuple[
+    List[Dict[str, Any]], List[Dict[str, Any]], Dict[str, Any]
+]:
+    spans, counters, meta = [], [], {}
+    for record in records:
+        ev = record.get("ev")
+        if ev == "span" and "t0" in record and "dur" in record:
+            spans.append({
+                "name": record.get("name", "?"),
+                "cat": record.get("cat", "phase"),
+                "t0": float(record["t0"]),
+                "dur": float(record["dur"]),
+                "pid": int(record.get("pid", 0)),
+                "tid": int(record.get("tid", 0)),
+                "args": record.get("args", {}),
+            })
+        elif ev == "counters":
+            counters.append({
+                "name": record.get("name", "counters"),
+                "t0": float(record.get("t0", 0.0)),
+                "pid": int(record.get("pid", 0)),
+                "values": record.get("values", {}),
+            })
+        elif ev == "meta":
+            meta = dict(record)
+    return spans, counters, meta
+
+
+def _normalize_chrome(payload: Dict[str, Any] | List[Any]) -> Tuple[
+    List[Dict[str, Any]], List[Dict[str, Any]], Dict[str, Any]
+]:
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents", [])
+        meta = payload.get("otherData", {})
+    else:  # bare JSON-array trace
+        events, meta = payload, {}
+    spans, counters = [], []
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        phase = event.get("ph")
+        if phase == _PHASE_COMPLETE:
+            spans.append({
+                "name": event.get("name", "?"),
+                "cat": event.get("cat", "phase"),
+                "t0": float(event.get("ts", 0.0)) / 1e6,
+                "dur": float(event.get("dur", 0.0)) / 1e6,
+                "pid": int(event.get("pid", 0)),
+                "tid": int(event.get("tid", 0)),
+                "args": event.get("args", {}),
+            })
+        elif phase == _PHASE_COUNTER:
+            counters.append({
+                "name": event.get("name", "counters"),
+                "t0": float(event.get("ts", 0.0)) / 1e6,
+                "pid": int(event.get("pid", 0)),
+                "values": event.get("args", {}),
+            })
+    return spans, counters, meta
+
+
+def load_trace(path: str | Path) -> Tuple[
+    List[Dict[str, Any]], List[Dict[str, Any]], Dict[str, Any]
+]:
+    """Load spans + counters + meta from either trace format.
+
+    Returns ``(spans, counters, meta)`` where every span dict carries
+    ``name / cat / t0 / dur`` (seconds) ``/ pid / tid / args``.
+    """
+    path = Path(path)
+    try:
+        head = path.read_bytes()[:512].lstrip()
+    except FileNotFoundError:
+        raise ReproError(f"trace file not found: {path}") from None
+    except OSError as exc:
+        raise ReproError(f"cannot read trace file {path}: {exc}") from None
+    if head[:1] in (b"{", b"["):
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            # A JSONL log whose first line parses as an object would be
+            # valid JSON only for a single line; fall back to JSONL.
+            return _normalize_native(_iter_jsonl_records(path))
+        # A one-line JSONL log also parses here; native records carry
+        # an "ev" discriminator, Chrome payloads do not.
+        if isinstance(payload, dict) and "ev" in payload:
+            return _normalize_native([payload])
+        return _normalize_chrome(payload)
+    return _normalize_native(_iter_jsonl_records(path))
+
+
+def chrome_trace(
+    events: List[Dict[str, Any]],
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Convert native event records to a Chrome trace JSON object.
+
+    Timestamps are rebased so the earliest event sits at ``ts = 0`` —
+    ``perf_counter`` origins are arbitrary and Perfetto renders small
+    offsets much more usefully.
+    """
+    spans, counters, native_meta = _normalize_native(events)
+    t_min = min(
+        [s["t0"] for s in spans] + [c["t0"] for c in counters],
+        default=0.0,
+    )
+    trace_events: List[Dict[str, Any]] = []
+    lanes = set()
+    for s in spans:
+        lanes.add((s["pid"], s["tid"]))
+        event = {
+            "name": s["name"],
+            "cat": s["cat"],
+            "ph": _PHASE_COMPLETE,
+            "ts": (s["t0"] - t_min) * 1e6,
+            "dur": s["dur"] * 1e6,
+            "pid": s["pid"],
+            "tid": s["tid"],
+        }
+        if s["args"]:
+            event["args"] = s["args"]
+        trace_events.append(event)
+    for c in counters:
+        trace_events.append({
+            "name": c["name"],
+            "cat": "counters",
+            "ph": _PHASE_COUNTER,
+            "ts": (c["t0"] - t_min) * 1e6,
+            "pid": c["pid"],
+            "tid": 0,
+            "args": c["values"],
+        })
+    for pid, tid in sorted(lanes):
+        trace_events.append({
+            "name": "thread_name",
+            "ph": _PHASE_METADATA,
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": f"worker {pid}/{tid}"},
+        })
+    other = {"format": "repro.obs", "trace_format": native_meta.get("format")}
+    if meta:
+        other.update(meta)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(path: str | Path, trace: Dict[str, Any]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(trace, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def export_chrome(
+    events_path: str | Path, out_path: str | Path
+) -> Path:
+    """Convert a JSONL event log on disk to a Chrome trace JSON file."""
+    records = _iter_jsonl_records(Path(events_path))
+    return write_chrome_trace(out_path, chrome_trace(records))
+
+
+def validate_chrome_trace(trace: Any) -> List[str]:
+    """Schema check for an exported Chrome trace object; returns the
+    list of problems (empty = loads in chrome://tracing / Perfetto)."""
+    problems: List[str] = []
+    if not isinstance(trace, dict):
+        return [f"top level must be an object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing 'traceEvents' list"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            problems.append(f"{where}: missing 'ph'")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing 'name'")
+        if phase in (_PHASE_COMPLETE, _PHASE_COUNTER):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: 'ts' must be a non-negative number")
+            if "pid" not in event:
+                problems.append(f"{where}: missing 'pid'")
+        if phase == _PHASE_COMPLETE:
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'dur' must be a non-negative number")
+        if phase == _PHASE_COUNTER:
+            args = event.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(f"{where}: counter 'args' must be numeric")
+    return problems

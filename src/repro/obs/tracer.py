@@ -1,0 +1,341 @@
+"""Structured span tracing: *when* campaign work happened, not just how
+much of it.
+
+The runner's :class:`~repro.core.parallel.RunnerTelemetry` answers "how
+many points, how many cache hits" at end of batch; it cannot answer
+"which sweep ate the wall-clock", "what is the p99 point latency", or
+"were the workers actually busy". The :class:`Tracer` records **nested
+spans** — campaign → sweep → point → attempt, plus cache/journal I/O and
+engine-kernel calls — with monotonic timestamps, and streams each
+completed span to a crash-safe JSONL event log using the same
+atomic-append discipline as :mod:`repro.core.journal`: one serialised
+line per event, written with a single ``write`` call and flushed, so a
+kill can at worst tear the *final* line (the loader skips it).
+
+Design rules (DESIGN.md, decision 10):
+
+- **One process-global tracer, never rebound.** The module-level
+  singleton is configured and reset *in place*, for the same reason
+  ``reset_session_telemetry()`` clears the session counters in place:
+  any module that captured the tracer must keep observing the live one.
+- **Disabled means free.** :func:`span` returns a shared no-op handle
+  after one attribute check when tracing is off, so always-on
+  instrumentation costs nothing in the default configuration, and the
+  enabled cost stays inside the <3% ``repro bench engine`` budget by
+  keeping spans *off the per-access hot loop* (kernel calls are traced
+  at ``warmup()``/``measure()`` granularity, never per chunk).
+- **Workers ship their spans home.** A worker process has its own
+  (disabled) global tracer; :func:`worker_capture` flips it into
+  in-memory capture for the duration of one attempt, and the runner
+  ships the captured events back with the result so the parent's event
+  log holds the whole story with real worker pids/tids.
+- **Counters live inside the tracer.** The fixed ``RunnerTelemetry`` is
+  the tracer's counter backend: every runner batch reports its counter
+  dict via :meth:`Tracer.record_counters`, which both streams a counter
+  event (Chrome ``ph:"C"``-exportable) and keeps the latest values for
+  the trace summary.
+
+Timestamps are ``time.perf_counter()`` — on Linux a system-wide
+monotonic clock, so parent and worker spans share one timeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Bump when the event-log line layout changes.
+TRACE_FORMAT = 1
+
+#: Environment variable enabling tracing without a CLI flag.
+TRACE_ENV = "REPRO_TRACE"
+
+
+class _NullSpan:
+    """Shared no-op handle returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, **labels: Any) -> None:
+        """Ignore labels (the live handle records them)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span handle: context manager recording one timed interval."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "t0", "span_id", "parent_id")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 args: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.t0 = 0.0
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+
+    def set(self, **labels: Any) -> None:
+        """Attach labels discovered mid-span (e.g. ``hit=True``)."""
+        self.args.update(labels)
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        self.span_id = tracer._next_id()
+        stack.append(self)
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        t1 = time.perf_counter()
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.args["error"] = exc_type.__name__
+        record: Dict[str, Any] = {
+            "ev": "span",
+            "name": self.name,
+            "cat": self.cat,
+            "t0": self.t0,
+            "dur": t1 - self.t0,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "id": self.span_id,
+        }
+        if self.parent_id is not None:
+            record["parent"] = self.parent_id
+        if self.args:
+            record["args"] = self.args
+        self._tracer._emit(record)
+        return False
+
+
+class Tracer:
+    """Process-global span recorder with a crash-safe JSONL stream.
+
+    The tracer is *disabled* until :meth:`configure` gives it a sink —
+    either an event-log path (the normal case) or in-memory capture
+    (worker processes). Spans, shipped worker events and counter
+    snapshots all funnel through :meth:`_emit`, which serialises each
+    record to one line and appends it with a single ``write`` + flush —
+    the :mod:`repro.core.journal` discipline, so the log survives a kill
+    at any instant with at most one torn trailing line.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._fh: Optional[Any] = None
+        self._capture: Optional[List[Dict[str, Any]]] = None
+        #: Every record emitted since configure/reset (span dicts,
+        #: counter dicts), in emission order.
+        self.events: List[Dict[str, Any]] = []
+        #: Latest counter snapshot per source name.
+        self.counters: Dict[str, Dict[str, float]] = {}
+        #: Where the JSONL event log streams; None when memory-only.
+        self.path: Optional[Path] = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._fh is not None or self._capture is not None
+
+    def configure(self, path: Optional[str | Path]) -> "Tracer":
+        """(Re)configure *in place*: close any previous stream, open the
+        event log at ``path`` (parents created) and write the meta
+        header. ``None`` enables memory-only recording."""
+        self.reset()
+        if path is not None:
+            self.path = Path(path)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "ab")
+        else:
+            self._capture = []
+        self._emit({
+            "ev": "meta",
+            "format": TRACE_FORMAT,
+            "clock": "perf_counter",
+            "pid": os.getpid(),
+            "t0": time.perf_counter(),
+            "unix_time": time.time(),
+        })
+        return self
+
+    def reset(self) -> None:
+        """Disable and clear in place; the singleton identity survives
+        (aliases captured before the reset stay live)."""
+        self.finish()
+        self._capture = None
+        self.events.clear()
+        self.counters.clear()
+        self.path = None
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    def finish(self) -> None:
+        """Flush + fsync + close the event stream (idempotent). Recorded
+        events stay available in :attr:`events` for export."""
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.flush()
+                    os.fsync(self._fh.fileno())
+                except OSError:
+                    pass
+                self._fh.close()
+                self._fh = None
+
+    # -- recording --------------------------------------------------------------
+
+    def span(self, name: str, cat: str = "phase", **labels: Any):
+        """A new span handle (no-op handle while disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, dict(labels))
+
+    def record_counters(self, name: str, values: Dict[str, Any]) -> None:
+        """Absorb a counter snapshot (e.g. ``RunnerTelemetry.as_dict()``)
+        as a timestamped counter event; non-numeric values are kept as
+        labels on the event but excluded from the numeric counter set."""
+        if not self.enabled:
+            return
+        numeric = {
+            k: v for k, v in values.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+        self.counters.setdefault(name, {}).update(numeric)
+        record: Dict[str, Any] = {
+            "ev": "counters",
+            "name": name,
+            "t0": time.perf_counter(),
+            "pid": os.getpid(),
+            "values": numeric,
+        }
+        labels = {k: v for k, v in values.items() if k not in numeric}
+        if labels:
+            record["labels"] = labels
+        self._emit(record)
+
+    def ingest(self, records: Optional[List[Dict[str, Any]]]) -> None:
+        """Re-emit events shipped back from a worker process, keeping
+        their original pids/tids/timestamps."""
+        if not records:
+            return
+        for record in records:
+            if isinstance(record, dict):
+                self._emit(record)
+                if record.get("ev") == "counters":
+                    self.counters.setdefault(
+                        record.get("name", "worker"), {}
+                    ).update(record.get("values", {}))
+
+    # -- internals --------------------------------------------------------------
+
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    def _stack(self) -> List[_Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self.events.append(record)
+            if self._capture is not None:
+                self._capture.append(record)
+            elif self._fh is not None:
+                line = json.dumps(record, sort_keys=True,
+                                  separators=(",", ":")) + "\n"
+                self._fh.write(line.encode())
+                self._fh.flush()
+
+
+#: The process-global tracer. Configured and reset IN PLACE — never
+#: rebound — so aliases captured at import time stay live (the exact
+#: failure mode the session-telemetry reset fix removed).
+_TRACER = Tracer()
+
+
+def tracer() -> Tracer:
+    """The stable process-global tracer singleton."""
+    return _TRACER
+
+
+def span(name: str, cat: str = "phase", **labels: Any):
+    """A span on the global tracer; free (shared no-op) when disabled."""
+    if not _TRACER.enabled:
+        return _NULL_SPAN
+    return _TRACER.span(name, cat, **labels)
+
+
+def configure_tracer(path: Optional[str | Path]) -> Tracer:
+    """Enable the global tracer, streaming its event log to ``path``
+    (``None`` = memory-only). Reconfigures the singleton in place."""
+    return _TRACER.configure(path)
+
+
+def reset_tracer() -> None:
+    """Disable and clear the global tracer in place."""
+    _TRACER.reset()
+
+
+def configure_from_env() -> Optional[Tracer]:
+    """Enable tracing when ``REPRO_TRACE`` names an event-log path."""
+    path = os.environ.get(TRACE_ENV)
+    if not path:
+        return None
+    return configure_tracer(path)
+
+
+@contextmanager
+def worker_capture(
+    force: bool = False,
+) -> Iterator[Optional[List[Dict[str, Any]]]]:
+    """Capture spans recorded during one worker-side attempt.
+
+    In a worker process this flips the local tracer into in-memory
+    capture and yields the buffer the runner ships back with the result.
+    When the tracer is already live (serial/thread backends run attempts
+    in the traced process), it yields ``None`` and spans stream straight
+    to the parent's event log — nothing to ship.
+
+    ``force=True`` is for pooled *process* workers: under the fork start
+    method a child inherits the parent's open tracer, so "already live"
+    lies — writing through the inherited handle would race the parent
+    and the events would never reach the parent's in-memory export
+    buffer. Forcing capture routes the child's spans into the shipped
+    buffer regardless (capture takes priority over the inherited stream,
+    which the child never touches).
+    """
+    t = _TRACER
+    if t.enabled and not force:
+        yield None
+        return
+    buffer: List[Dict[str, Any]] = []
+    t._capture = buffer
+    try:
+        yield buffer
+    finally:
+        t._capture = None

@@ -1,0 +1,12 @@
+import pytest
+
+from repro.obs import reset_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """The tracer is a process-global singleton; leave it disabled and
+    empty around every test."""
+    reset_tracer()
+    yield
+    reset_tracer()

@@ -1,0 +1,188 @@
+"""Span tracer: singleton discipline, nesting, capture, crash safety."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    configure_tracer,
+    load_trace,
+    reset_tracer,
+    span,
+    tracer,
+)
+from repro.obs.tracer import _NULL_SPAN, TRACE_FORMAT, worker_capture
+
+
+class TestSingletonDiscipline:
+    def test_tracer_identity_survives_configure_and_reset(self):
+        alias = tracer()
+        configure_tracer(None)
+        assert alias is tracer()
+        reset_tracer()
+        assert alias is tracer()
+
+    def test_stale_alias_observes_live_spans_after_reset(self):
+        # The session-telemetry aliasing bug, applied to the tracer: an
+        # alias captured before a reset must keep observing the live
+        # recorder, not a stranded dead object.
+        alias = tracer()
+        configure_tracer(None)
+        reset_tracer()
+        configure_tracer(None)
+        with span("after-reset"):
+            pass
+        assert any(
+            e.get("ev") == "span" and e["name"] == "after-reset"
+            for e in alias.events
+        )
+
+    def test_disabled_span_is_shared_noop(self):
+        assert not tracer().enabled
+        handle = span("anything", cat="point", k=3)
+        assert handle is _NULL_SPAN
+        with handle as h:
+            h.set(hit=True)  # must be a silent no-op
+        assert tracer().events == []
+
+
+class TestSpanRecording:
+    def test_nesting_records_parent_ids(self):
+        t = configure_tracer(None)
+        with span("outer", cat="campaign") as outer:
+            with span("inner", cat="sweep") as inner:
+                assert inner.parent_id == outer.span_id
+            with span("inner2", cat="sweep") as inner2:
+                assert inner2.parent_id == outer.span_id
+        spans = {e["name"]: e for e in t.events if e.get("ev") == "span"}
+        # Children close (and emit) before the parent.
+        assert list(spans) == ["inner", "inner2", "outer"]
+        assert spans["inner"]["parent"] == spans["outer"]["id"]
+        assert spans["inner2"]["parent"] == spans["outer"]["id"]
+        assert "parent" not in spans["outer"]
+        assert spans["inner"]["dur"] <= spans["outer"]["dur"]
+
+    def test_nesting_is_per_thread(self):
+        t = configure_tracer(None)
+        seen = {}
+
+        def worker():
+            with span("threaded") as s:
+                seen["parent"] = s.parent_id
+
+        with span("main-side"):
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+        # The other thread's span must not adopt this thread's stack.
+        assert seen["parent"] is None
+        assert t.events  # both spans recorded
+
+    def test_exception_tags_error_label(self):
+        t = configure_tracer(None)
+        with pytest.raises(ValueError):
+            with span("doomed", cat="attempt"):
+                raise ValueError("boom")
+        [ev] = [e for e in t.events if e.get("ev") == "span"]
+        assert ev["args"]["error"] == "ValueError"
+
+    def test_labels_set_mid_span_are_recorded(self):
+        t = configure_tracer(None)
+        with span("cache.get", cat="cache") as s:
+            s.set(hit=True)
+        [ev] = [e for e in t.events if e.get("ev") == "span"]
+        assert ev["args"] == {"hit": True}
+
+    def test_counters_split_numeric_from_labels(self):
+        t = configure_tracer(None)
+        t.record_counters("runner.batch", {
+            "points_done": 4, "utilization": 0.9,
+            "backend": "process", "flag": True,
+        })
+        assert t.counters["runner.batch"] == {
+            "points_done": 4, "utilization": 0.9,
+        }
+        [ev] = [e for e in t.events if e.get("ev") == "counters"]
+        assert ev["values"] == {"points_done": 4, "utilization": 0.9}
+        assert ev["labels"] == {"backend": "process", "flag": True}
+
+
+class TestWorkerCapture:
+    def test_capture_buffers_spans_for_shipping(self):
+        with worker_capture() as buffer:
+            assert buffer is not None
+            with span("point", cat="point", k=1):
+                pass
+        assert [e["name"] for e in buffer] == ["point"]
+        assert not tracer().enabled  # capture ended with the context
+
+    def test_live_tracer_skips_capture_unless_forced(self):
+        configure_tracer(None)
+        with worker_capture() as buffer:
+            assert buffer is None  # spans already stream to the parent
+
+    def test_force_overrides_inherited_stream(self, tmp_path):
+        # A forked pool worker inherits the parent's open tracer; the
+        # runner forces capture so the child's spans ship home instead
+        # of racing the parent's file handle.
+        log = tmp_path / "t.jsonl"
+        configure_tracer(log)
+        with worker_capture(force=True) as buffer:
+            with span("point", cat="point"):
+                pass
+        assert [e["name"] for e in buffer] == ["point"]
+        spans, _, _ = load_trace(log)
+        assert spans == []  # nothing leaked through the inherited file
+
+    def test_ingest_replays_shipped_events(self):
+        t = configure_tracer(None)
+        shipped = [
+            {"ev": "span", "name": "point", "cat": "point", "t0": 1.0,
+             "dur": 0.5, "pid": 4242, "tid": 1, "id": 1},
+            {"ev": "counters", "name": "worker", "t0": 1.5, "pid": 4242,
+             "values": {"busy_s": 0.5}},
+        ]
+        t.ingest(shipped)
+        t.ingest(None)  # untraced result: no-op
+        names = [e["name"] for e in t.events if e.get("ev") == "span"]
+        assert names == ["point"]
+        assert t.counters["worker"] == {"busy_s": 0.5}
+
+
+class TestEventLog:
+    def test_stream_has_meta_header_and_one_record_per_line(self, tmp_path):
+        log = tmp_path / "t.jsonl"
+        t = configure_tracer(log)
+        with span("a", cat="phase"):
+            pass
+        t.finish()
+        lines = log.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["ev"] == "meta"
+        assert records[0]["format"] == TRACE_FORMAT
+        assert [r["ev"] for r in records[1:]] == ["span"]
+
+    def test_torn_trailing_line_is_skipped_on_load(self, tmp_path):
+        log = tmp_path / "t.jsonl"
+        t = configure_tracer(log)
+        for name in ("a", "b"):
+            with span(name, cat="phase"):
+                pass
+        t.finish()
+        # Simulate a kill mid-append: a torn (truncated) final line.
+        with open(log, "ab") as fh:
+            fh.write(b'{"ev":"span","name":"torn","t0":1.2,"du')
+        spans, _, meta = load_trace(log)
+        assert [s["name"] for s in spans] == ["a", "b"]
+        assert meta["format"] == TRACE_FORMAT
+
+    def test_reset_clears_in_place(self, tmp_path):
+        t = configure_tracer(tmp_path / "t.jsonl")
+        with span("a"):
+            pass
+        reset_tracer()
+        assert t.events == []
+        assert t.counters == {}
+        assert t.path is None
+        assert not t.enabled

@@ -60,3 +60,105 @@ class TestRun:
         for name, (desc, run_fn, render_fn) in _registry().items():
             assert callable(run_fn), name
             assert isinstance(desc, str) and desc
+
+
+class TestTraceAndTelemetry:
+    """``--trace`` wiring, ``repro trace``, and the failure-path fix:
+    telemetry and the trace artifact must survive a ReproError."""
+
+    @pytest.fixture(autouse=True)
+    def clean_globals(self):
+        from repro.core.parallel import reset_session_telemetry
+        from repro.obs import reset_tracer
+
+        reset_session_telemetry()
+        reset_tracer()
+        yield
+        reset_session_telemetry()
+        reset_tracer()
+
+    @staticmethod
+    def _fake_registry(run_fn):
+        return lambda: {"fake": ("a fake experiment", run_fn, None)}
+
+    def _run_some_points(self):
+        """Real runner work, so session telemetry has points to report."""
+        from repro.core.parallel import PointRunner, PointTask
+
+        PointRunner(backend="serial").run(
+            [PointTask(fn=abs, args=(-i,)) for i in range(3)]
+        )
+
+    def test_trace_flag_writes_both_artifacts(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import repro.cli as cli
+        from repro.obs import validate_chrome_trace
+
+        def run(mode, seed=0):
+            self._run_some_points()
+            return ExperimentRecord(
+                experiment_id="fake", title="Fake", data={},
+            )
+
+        monkeypatch.setattr(cli, "_registry", self._fake_registry(run))
+        trace = tmp_path / "t.json"
+        assert main(["run", "fake", "--out", str(tmp_path),
+                     "--trace", str(trace)]) == 0
+        err = capsys.readouterr().err
+        assert "runner: 3/3 points" in err
+        assert f"trace written to {trace}" in err
+        assert trace.exists() and trace.with_suffix(".json.jsonl").exists()
+        assert validate_chrome_trace(json.loads(trace.read_text())) == []
+        payload = json.loads((tmp_path / "fake.json").read_text())
+        assert payload["telemetry"]["points_done"] == 3
+
+    def test_failure_path_still_reports_telemetry_and_trace(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import repro.cli as cli
+        from repro.errors import ReproError
+        from repro.obs import validate_chrome_trace
+
+        def run(mode, seed=0):
+            self._run_some_points()
+            raise ReproError("campaign exploded mid-run")
+
+        monkeypatch.setattr(cli, "_registry", self._fake_registry(run))
+        trace = tmp_path / "t.json"
+        assert main(["run", "fake", "--trace", str(trace)]) == 1
+        err = capsys.readouterr().err
+        # The bug: returning on ReproError before reading telemetry or
+        # finishing the trace threw away exactly the diagnostics a
+        # failed campaign needs.
+        assert "runner: 3/3 points" in err
+        assert "error: campaign exploded mid-run" in err
+        assert trace.exists()
+        chrome = json.loads(trace.read_text())
+        assert validate_chrome_trace(chrome) == []
+        names = {e["name"] for e in chrome["traceEvents"]}
+        assert "experiment" in names  # the span closed despite the raise
+
+    def test_trace_command_summarises_either_format(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import repro.cli as cli
+
+        def run(mode, seed=0):
+            self._run_some_points()
+            return ExperimentRecord(experiment_id="fake", title="Fake", data={})
+
+        monkeypatch.setattr(cli, "_registry", self._fake_registry(run))
+        trace = tmp_path / "t.json"
+        assert main(["run", "fake", "--out", str(tmp_path),
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        for artifact in (trace, trace.with_suffix(".json.jsonl")):
+            assert main(["trace", str(artifact)]) == 0
+            out = capsys.readouterr().out
+            assert "trace summary" in out
+            assert "per-phase time" in out
+
+    def test_trace_command_missing_file(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 1
+        assert "not found" in capsys.readouterr().err

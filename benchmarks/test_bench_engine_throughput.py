@@ -15,11 +15,20 @@ paper's campaigns:
 
 ``repro bench engine`` (``repro.bench``) runs the same shapes standalone
 and records the machine-readable baseline in ``BENCH_engine.json``.
+
+The multicore gate at the bottom covers the macro-stepped scheduler
+(``REPRO_SCHED=macro``, the default): on the multicore bench shapes it
+must sustain at least 3x the chunk-at-a-time rate — the headline
+guarantee recorded in ``BENCH_engine.json``'s
+``speedup_macro_vs_chunk``.
 """
+
+import time
 
 import numpy as np
 import pytest
 
+from repro.bench import MC_SHAPES, _sched_env, build_mc_scheduler
 from repro.config import xeon20mb
 from repro.engine import AccessChunk, ArraySocket, FastSocket
 
@@ -109,3 +118,43 @@ def test_bench_owner_tracking_overhead(benchmark):
     plain = min(run_with(False) for _ in range(3))
     tracked = benchmark.pedantic(lambda: run_with(True), rounds=3, iterations=1)
     assert tracked < plain * 2.5
+
+
+#: The committed guarantee: macro-stepping buys at least 3x on the
+#: multicore bench shapes (measured 4.5-11x; the margin absorbs CI
+#: machine noise).
+MIN_MACRO_SPEEDUP = 3.0
+
+MC_BUDGET = 40_000
+MC_ROUNDS = 3
+
+
+def _mc_rate(shape, env):
+    socket = xeon20mb()
+    best = float("inf")
+    for _ in range(MC_ROUNDS):
+        with _sched_env(env):
+            sched = build_mc_scheduler(shape, socket)
+            t0 = time.perf_counter()
+            outcome = sched.run(main_access_budget=MC_BUDGET)
+            best = min(best, time.perf_counter() - t0)
+    return outcome.total_accesses / best
+
+
+@pytest.mark.parametrize("shape", sorted(MC_SHAPES))
+def test_bench_multicore_macro_speedup(benchmark, shape):
+    """Macro-stepped scheduling >= 3x chunk-at-a-time on every shape."""
+    chunk = _mc_rate(shape, {"REPRO_SCHED": "chunk"})
+    macro = _mc_rate(shape, {"REPRO_SCHED": "macro"})
+
+    def report():
+        return macro
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+    speedup = macro / chunk
+    print(f"\n{shape}: chunk {chunk:,.0f} acc/s, macro {macro:,.0f} acc/s "
+          f"({speedup:.2f}x)")
+    assert speedup >= MIN_MACRO_SPEEDUP, (
+        f"{shape}: macro scheduler is only {speedup:.2f}x chunk-at-a-time "
+        f"(floor {MIN_MACRO_SPEEDUP}x)"
+    )

@@ -21,27 +21,53 @@ Shapes
 ``stream_writes``
     The same stride stream but writing, so the dirty-writeback and
     arbiter writeback paths are hot as well.
+
+Multicore shapes (schema v2) drive whole :class:`~repro.engine.Scheduler`
+windows — a synthetic main against the paper's interference threads —
+under each scheduler mode (``sched-chunk``, ``sched-macro`` and, when
+the C scheduler is compiled, ``sched-macro-py``), so the recorded
+``speedup_macro_vs_chunk`` documents what macro-stepping buys on the
+shapes that dominate campaign wall time:
+
+``mc_csthr``
+    1 x probabilistic benchmark + 3 x CSThr (capacity interference).
+``mc_bwthr``
+    1 x probabilistic benchmark + 3 x BWThr (bandwidth interference).
+``mc_mixed``
+    1 x probabilistic benchmark + 2 x CSThr + 2 x BWThr + 1 x STREAM
+    triad (the colocation-campaign regime).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
-from typing import Callable, Dict, Optional
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .config import SocketConfig, xeon20mb
-from .engine import ArraySocket, FastSocket, _ckernel
+from .engine import (
+    ArraySocket,
+    CoreState,
+    FastSocket,
+    Scheduler,
+    _ckernel,
+    make_socket_kernel,
+)
 from .engine.chunk import AccessChunk
+from .engine.thread import SimThread, ThreadContext
+from .mem import AddressSpace
 from .obs.tracer import span as trace_span
 from .obs.tracer import tracer as current_tracer
 
 DEFAULT_N_ACCESSES = 200_000
 DEFAULT_ROUNDS = 3
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def _random_chunks(n: int, quantum: int = 256) -> list:
@@ -72,6 +98,112 @@ SHAPES: Dict[str, Callable[[int], list]] = {
 }
 
 
+#: Interleave quantum for the multicore shapes. Deliberately finer than
+#: the campaign defaults (128-256): per-chunk scheduling overhead grows
+#: as the quantum shrinks, so fine-grained interleaving is both the
+#: highest-fidelity regime (closest to hardware-grain interleaving) and
+#: the one macro-stepping exists to make affordable. At this quantum the
+#: macro scheduler sustains >= 3x the chunk-at-a-time rate (measured
+#: 4.5-11x); at the campaign-default quanta the gap is ~1.7-2.7x.
+MC_QUANTUM = 16
+
+
+def _mc_csthr() -> List[Tuple[SimThread, bool]]:
+    from .workloads import CSThr
+    from .workloads.distributions import UniformDist
+    from .workloads.synthetic import ProbabilisticBenchmark
+
+    return [
+        (ProbabilisticBenchmark(
+            UniformDist(), 8 * 1024 * 1024, quantum=MC_QUANTUM), True),
+    ] + [(CSThr(name=f"CSThr{i}", quantum=MC_QUANTUM), False) for i in range(3)]
+
+
+def _mc_bwthr() -> List[Tuple[SimThread, bool]]:
+    from .workloads import BWThr
+    from .workloads.distributions import UniformDist
+    from .workloads.synthetic import ProbabilisticBenchmark
+
+    return [
+        (ProbabilisticBenchmark(
+            UniformDist(), 8 * 1024 * 1024, quantum=MC_QUANTUM), True),
+    ] + [(BWThr(name=f"BWThr{i}", quantum=MC_QUANTUM), False) for i in range(3)]
+
+
+def _mc_mixed() -> List[Tuple[SimThread, bool]]:
+    from .workloads import BWThr, CSThr, StreamTriad
+    from .workloads.distributions import UniformDist
+    from .workloads.synthetic import ProbabilisticBenchmark
+
+    return [
+        (ProbabilisticBenchmark(
+            UniformDist(), 8 * 1024 * 1024, quantum=MC_QUANTUM), True),
+        (CSThr(name="CSThr0", quantum=MC_QUANTUM), False),
+        (CSThr(name="CSThr1", quantum=MC_QUANTUM), False),
+        (BWThr(name="BWThr0", quantum=MC_QUANTUM), False),
+        (BWThr(name="BWThr1", quantum=MC_QUANTUM), False),
+        (StreamTriad(quantum=MC_QUANTUM), False),
+    ]
+
+
+#: Multicore shapes: factories of (thread, is_main) rosters.
+MC_SHAPES: Dict[str, Callable[[], List[Tuple[SimThread, bool]]]] = {
+    "mc_csthr": _mc_csthr,
+    "mc_bwthr": _mc_bwthr,
+    "mc_mixed": _mc_mixed,
+}
+
+_SCHED_ENV_VARS = ("REPRO_SCHED", "REPRO_NO_CSCHED", "REPRO_SCHED_BLOCK")
+
+
+def _sched_modes() -> Dict[str, Dict[str, str]]:
+    modes = {
+        "sched-chunk": {"REPRO_SCHED": "chunk"},
+        "sched-macro": {"REPRO_SCHED": "macro"},
+    }
+    if _ckernel.available():
+        # Only distinct from sched-macro when the C scheduler exists.
+        modes["sched-macro-py"] = {"REPRO_SCHED": "macro", "REPRO_NO_CSCHED": "1"}
+    return modes
+
+
+@contextmanager
+def _sched_env(env: Dict[str, str]):
+    saved = {var: os.environ.get(var) for var in _SCHED_ENV_VARS}
+    try:
+        for var in _SCHED_ENV_VARS:
+            os.environ.pop(var, None)
+        os.environ.update(env)
+        yield
+    finally:
+        for var, val in saved.items():
+            if val is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = val
+
+
+def build_mc_scheduler(
+    shape: str, socket: SocketConfig, seed0: int = 7
+) -> Scheduler:
+    """Fresh kernel, address space and threads for a multicore shape."""
+    fast = make_socket_kernel(socket)
+    space = AddressSpace(line_bytes=socket.line_bytes)
+    cores = []
+    for idx, (thread, is_main) in enumerate(MC_SHAPES[shape]()):
+        ctx = ThreadContext(
+            socket=socket,
+            addrspace=space,
+            rng=np.random.default_rng(seed0 + idx),
+            core_id=idx,
+        )
+        thread.start(ctx)
+        cores.append(
+            CoreState(core_id=idx, thread=thread, gen=thread.chunks(), is_main=is_main)
+        )
+    return Scheduler(fast, cores)
+
+
 def _kernels() -> Dict[str, Callable[[SocketConfig], object]]:
     kernels: Dict[str, Callable[[SocketConfig], object]] = {
         "lists": lambda s: FastSocket(s),
@@ -99,22 +231,40 @@ def run_engine_bench(
     n_accesses: int = DEFAULT_N_ACCESSES,
     rounds: int = DEFAULT_ROUNDS,
     socket: Optional[SocketConfig] = None,
+    shapes: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
     """Benchmark every kernel on every shape; returns the baseline dict.
 
     Each (shape, kernel) measurement builds a fresh kernel per round
     (cold caches, cold arbiter) and keeps the best round, the standard
     throughput-microbenchmark convention (minimum = least interference).
+
+    ``shapes`` restricts the run to a subset of single-core and/or
+    multicore shape names (the ``--shapes`` CLI flag); the default runs
+    everything.
     """
     if socket is None:
         socket = xeon20mb()
+    if shapes is None:
+        sc_shapes = dict(SHAPES)
+        mc_shapes = list(MC_SHAPES)
+    else:
+        unknown = [s for s in shapes if s not in SHAPES and s not in MC_SHAPES]
+        if unknown:
+            raise ValueError(
+                f"unknown bench shape(s) {unknown!r}; known: "
+                f"{sorted(SHAPES)} + {sorted(MC_SHAPES)}"
+            )
+        sc_shapes = {s: SHAPES[s] for s in shapes if s in SHAPES}
+        mc_shapes = [s for s in shapes if s in MC_SHAPES]
     results: Dict[str, Dict[str, float]] = {}
+    mc_results: Dict[str, Dict[str, float]] = {}
     # Tracing sits at (shape, kernel, round) granularity — never inside
     # the per-chunk loop — so an enabled tracer stays inside the <3%
     # overhead budget against BENCH_engine.json.
     with trace_span("bench.engine", cat="bench", n_accesses=n_accesses,
                     rounds=rounds):
-        for shape, make_chunks in SHAPES.items():
+        for shape, make_chunks in sc_shapes.items():
             chunks = make_chunks(n_accesses)
             n = sum(len(c) for c in chunks)
             results[shape] = {}
@@ -130,11 +280,27 @@ def run_engine_bench(
                             t = kernel.run_chunk(0, c, t)
                         best = min(best, time.perf_counter() - t0)
                 results[shape][kname] = n / best
+        for shape in mc_shapes:
+            mc_results[shape] = {}
+            for mode, env in _sched_modes().items():
+                best = float("inf")
+                total = 0
+                for rnd in range(rounds):
+                    with _sched_env(env):
+                        sched = build_mc_scheduler(shape, socket)
+                        with trace_span(f"{shape}/{mode}", cat="bench.round",
+                                        shape=shape, mode=mode, round=rnd):
+                            t0 = time.perf_counter()
+                            outcome = sched.run(main_access_budget=n_accesses)
+                            best = min(best, time.perf_counter() - t0)
+                    total = outcome.total_accesses
+                mc_results[shape][mode] = total / best
         tracer = current_tracer()
         if tracer.enabled:
             tracer.record_counters("bench.engine", {
                 f"{shape}.{kname}": rate
-                for shape, by_kernel in results.items()
+                for shape, by_kernel in
+                list(results.items()) + list(mc_results.items())
                 for kname, rate in by_kernel.items()
             })
     out: Dict[str, object] = {
@@ -149,6 +315,11 @@ def run_engine_bench(
             shape: results[shape]["arrays"] / results[shape]["lists"]
             for shape in results
         },
+        "multicore_accesses_per_sec": mc_results,
+        "speedup_macro_vs_chunk": {
+            shape: mc_results[shape]["sched-macro"] / mc_results[shape]["sched-chunk"]
+            for shape in mc_results
+        },
     }
     return out
 
@@ -159,18 +330,37 @@ def write_engine_bench(path: str, baseline: Dict[str, object]) -> None:
         fh.write("\n")
 
 
-def format_engine_bench(baseline: Dict[str, object]) -> str:
-    rates = baseline["accesses_per_sec"]
+def _format_rate_table(
+    title: str, rates: Dict[str, Dict[str, float]],
+    ratio_label: str, ratios: Dict[str, float],
+) -> List[str]:
     kernels = sorted(next(iter(rates.values())))
     width = max(len(s) for s in rates)
-    lines = ["engine throughput (accesses/sec):",
-             "  " + "shape".ljust(width) + "".join(k.rjust(14) for k in kernels)
-             + "  arrays/lists"]
+    lines = [title,
+             "  " + "shape".ljust(width) + "".join(k.rjust(16) for k in kernels)
+             + f"  {ratio_label}"]
     for shape, by_kernel in rates.items():
         row = "  " + shape.ljust(width)
-        row += "".join(f"{by_kernel[k]:14,.0f}" for k in kernels)
-        row += f"  {baseline['speedup_arrays_vs_lists'][shape]:10.2f}x"
+        row += "".join(f"{by_kernel[k]:16,.0f}" for k in kernels)
+        row += f"  {ratios[shape]:10.2f}x"
         lines.append(row)
+    return lines
+
+
+def format_engine_bench(baseline: Dict[str, object]) -> str:
+    lines: List[str] = []
+    rates = baseline["accesses_per_sec"]
+    if rates:
+        lines += _format_rate_table(
+            "engine throughput (accesses/sec):", rates,
+            "arrays/lists", baseline["speedup_arrays_vs_lists"],
+        )
+    mc_rates = baseline.get("multicore_accesses_per_sec", {})
+    if mc_rates:
+        lines += _format_rate_table(
+            "multicore scheduler throughput (total accesses/sec):", mc_rates,
+            "macro/chunk", baseline["speedup_macro_vs_chunk"],
+        )
     return "\n".join(lines)
 
 
@@ -182,16 +372,17 @@ def compare_engine_bench(
     Never raises on regressions — machines differ; this exists so CI logs
     show the delta."""
     lines = ["change vs stored baseline (informational):"]
-    ref_rates = reference.get("accesses_per_sec", {})
-    for shape, by_kernel in baseline["accesses_per_sec"].items():
-        for kname, rate in by_kernel.items():
-            ref = ref_rates.get(shape, {}).get(kname)
-            if not ref:
-                lines.append(f"  {shape}/{kname}: no reference")
-                continue
-            delta = 100.0 * (rate / ref - 1.0)
-            lines.append(
-                f"  {shape}/{kname}: {rate:,.0f} vs {ref:,.0f} acc/s "
-                f"({delta:+.1f}%)"
-            )
+    for section in ("accesses_per_sec", "multicore_accesses_per_sec"):
+        ref_rates = reference.get(section, {})
+        for shape, by_kernel in baseline.get(section, {}).items():
+            for kname, rate in by_kernel.items():
+                ref = ref_rates.get(shape, {}).get(kname)
+                if not ref:
+                    lines.append(f"  {shape}/{kname}: no reference")
+                    continue
+                delta = 100.0 * (rate / ref - 1.0)
+                lines.append(
+                    f"  {shape}/{kname}: {rate:,.0f} vs {ref:,.0f} acc/s "
+                    f"({delta:+.1f}%)"
+                )
     return "\n".join(lines)

@@ -20,11 +20,13 @@ Commands
     drills.
 ``machine [--scale N]``
     Describe the (optionally scaled) Table I machine.
-``bench engine [--out FILE] [--accesses N] [--rounds N] [--compare FILE]
-[--trace FILE]``
+``bench engine [--out FILE] [--accesses N] [--rounds N] [--shapes A,B]
+[--compare FILE] [--trace FILE]``
     Measure simulation-kernel throughput (accesses/sec per shape and
-    kernel) and write the machine-readable baseline; ``--compare``
-    prints an informational delta against a stored baseline.
+    kernel, plus multicore scheduler-mode rates) and write the
+    machine-readable baseline; ``--shapes`` restricts to a subset of
+    shapes, ``--compare`` prints an informational delta against a
+    stored baseline.
 ``trace <file>``
     Summarise a recorded trace (either the Chrome JSON written by
     ``--trace`` or its crash-safe ``.jsonl`` event log): per-phase time,
@@ -223,6 +225,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rounds per measurement, best kept (default: 3)",
     )
     bench_p.add_argument(
+        "--shapes", default=None, metavar="A,B",
+        help="comma-separated subset of shapes to run (single-core: "
+             "random, stream, stream_writes; multicore: mc_csthr, "
+             "mc_bwthr, mc_mixed; default: all)",
+    )
+    bench_p.add_argument(
         "--compare", default=None, metavar="FILE",
         help="print an informational delta against this stored baseline",
     )
@@ -356,9 +364,17 @@ def main(argv: Optional[list] = None) -> int:
             kwargs["n_accesses"] = args.accesses
         if args.rounds is not None:
             kwargs["rounds"] = args.rounds
+        if args.shapes is not None:
+            kwargs["shapes"] = [
+                s.strip() for s in args.shapes.split(",") if s.strip()
+            ]
         trace_path = _start_trace(args)
         print("measuring engine throughput ...", file=sys.stderr)
-        baseline = bench_mod.run_engine_bench(**kwargs)
+        try:
+            baseline = bench_mod.run_engine_bench(**kwargs)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         _finish_trace(trace_path)
         print(bench_mod.format_engine_bench(baseline))
         if args.compare is not None:

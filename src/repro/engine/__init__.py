@@ -9,11 +9,13 @@ Public surface:
 - :func:`make_socket_kernel` — kernel selection (``REPRO_KERNEL`` /
   :attr:`~repro.config.SocketConfig.kernel`)
 - :class:`Scheduler`, :class:`CoreState`, :class:`ScheduleOutcome`
+- :class:`BlockQueues`, :class:`QueueWriter` — macro-step block staging
 - :class:`SocketSimulator` — the facade experiments use
 - :class:`MeasureResult`
 """
 
 from .arraypath import ArraySocket, make_socket_kernel, resolve_kernel_name
+from .blockq import BlockQueues, QueueWriter
 from .chunk import AccessChunk
 from .fastpath import FastSocket
 from .results import MeasureResult
@@ -32,6 +34,8 @@ __all__ = [
     "Scheduler",
     "CoreState",
     "ScheduleOutcome",
+    "BlockQueues",
+    "QueueWriter",
     "SocketSimulator",
     "MeasureResult",
 ]

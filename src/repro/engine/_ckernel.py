@@ -382,6 +382,113 @@ double run_chunk(KS *k, i64 core, const i64 *lines, i64 n,
     return t;
 }
 
+/* Macro-stepped multicore scheduler state (see repro.engine.blockq for
+ * the queue layout and repro.engine.scheduler for the contract). All
+ * members are 8 bytes wide, like KS, so the ctypes mirror cannot drift.
+ * Per-slot arrays are indexed in roster order (CoreStates sorted by
+ * core_id), which is exactly the chunk-at-a-time min-scan order. */
+typedef struct {
+    i64 *core_ids;   /* [n] physical core per roster slot */
+    double *clock;   /* [n] per-core simulated clocks */
+    i64 *accesses;   /* [n] lifetime access counts */
+    i64 *flags;      /* [n] bit0 done, bit1 main, bit2 exhausted */
+    double *finish;  /* [n] completion time, valid once done */
+    i64 *goal;       /* [n] absolute access count that ends the window's
+                        budget for this main; -1 = no budget */
+    i64 *head;       /* [n] next chunk to consume per slot */
+    i64 *count;      /* [n] chunks queued per slot */
+    i64 *qlines;     /* [n][line_cap] packed chunk line addresses */
+    i64 *qoff; i64 *qlen; i64 *qwrite; i64 *qops;   /* [n][chunk_cap] */
+    i64 *qsid; i64 *qser; i64 *qpf;                 /* [n][chunk_cap] */
+    double *qextra;                                 /* [n][chunk_cap] */
+    i64 *cnt;        /* [n][9] int event-counter accumulators:
+                        accesses,l1,l2,l3,pf_hits,miss,pf_fills,wb,ops */
+    double *fcnt;    /* [n][4] float accumulators:
+                        compute_ns,offsocket_ns,stall_ns,elapsed_ns */
+    i64 n; i64 chunk_cap; i64 line_cap;
+    double ns_per_op; double dram_mlp_ns; double dram_serial_ns;
+    i64 max_total;   /* safety limit (pre-dispatch check) */
+    i64 total;       /* in/out: accesses dispatched this window */
+    i64 active_mains;/* in/out */
+    i64 event;       /* out: the slot that caused status 1 or 2 */
+} SCH;
+
+/* Min-clock interleave over the queued blocks: repeatedly select the
+ * least-advanced non-done slot (strict <, first slot wins ties — the
+ * exact tie-break of the Python chunk loop) and execute its next queued
+ * chunk via run_chunk. Float accumulation mirrors the Python wrapper's
+ * per-chunk `+=` order exactly, so flushing fcnt back over the live
+ * CoreCounters is bit-identical to having run chunk-at-a-time.
+ *
+ * Returns: 0 = window complete (no active mains left)
+ *          1 = the selected slot's queue is empty and it is not
+ *              exhausted (event = slot; caller refills and re-enters)
+ *          2 = dispatching the selected slot's next chunk would cross
+ *              max_total (event = slot; caller raises)
+ *          3 = max_steps chunks consumed (caller just re-enters)      */
+i64 sched_step(KS *k, SCH *s, i64 max_steps, i64 *out)
+{
+    i64 n = s->n, cc = s->chunk_cap, lc = s->line_cap;
+    i64 steps = 0;
+    while (s->active_mains > 0) {
+        if (steps >= max_steps) return 3;
+        i64 best = -1;
+        double best_clock = 0.0;
+        for (i64 i = 0; i < n; i++) {
+            if (s->flags[i] & 1) continue;
+            if (best < 0 || s->clock[i] < best_clock) {
+                best = i;
+                best_clock = s->clock[i];
+            }
+        }
+        /* active_mains > 0 guarantees a runnable slot exists */
+        if (s->head[best] >= s->count[best]) {
+            if (!(s->flags[best] & 4)) { s->event = best; return 1; }
+            /* drained and exhausted: the thread completes here, at the
+             * clock it would have been selected — same instant the
+             * chunk loop sees the generator end. */
+            s->flags[best] |= 1;
+            s->finish[best] = s->clock[best];
+            if (s->flags[best] & 2) s->active_mains -= 1;
+            steps += 1;
+            continue;
+        }
+        i64 c = best * cc + s->head[best];
+        i64 len = s->qlen[c];
+        if (s->total + len > s->max_total) { s->event = best; return 2; }
+        double ops_ns = (double)s->qops[c] * s->ns_per_op;
+        double dram = s->qser[c] ? s->dram_serial_ns : s->dram_mlp_ns;
+        double extra = s->qextra[c];
+        double now = s->clock[best];
+        double t = run_chunk(k, s->core_ids[best],
+                             s->qlines + best * lc + s->qoff[c], len,
+                             s->qwrite[c], s->qpf[c], s->qsid[c],
+                             ops_ns, dram, now + extra, out);
+        i64 *cn = s->cnt + best * 9;
+        cn[0] += len;
+        cn[1] += out[0]; cn[2] += out[1]; cn[3] += out[2]; cn[4] += out[3];
+        cn[5] += out[4]; cn[6] += out[5]; cn[7] += out[6];
+        cn[8] += len * s->qops[c];
+        double *fc = s->fcnt + best * 4;
+        fc[0] += (double)len * ops_ns;
+        fc[1] += extra;
+        fc[2] += (t - now) - (double)len * ops_ns - extra;
+        fc[3] += t - now;
+        s->clock[best] = t;
+        s->accesses[best] += len;
+        s->total += len;
+        s->head[best] += 1;
+        steps += 1;
+        if ((s->flags[best] & 2) && s->goal[best] >= 0
+            && s->accesses[best] >= s->goal[best]) {
+            s->flags[best] |= 1;
+            s->finish[best] = t;
+            s->active_mains -= 1;
+        }
+    }
+    return 0;
+}
+
 /* Set-sampled LRU batch for SampledL3: flat tag/age arrays over the
  * sampled sets only (compact index = full set index >> sample_shift).
  * Lines must be pre-filtered to the sampled population. Returns hits. */
@@ -445,6 +552,44 @@ class KStruct(ctypes.Structure):
         ("pf_enabled", i64), ("pf_degree", i64),
         ("pf_detect_after", i64), ("pf_nstreams", i64),
     ]
+
+
+class SCHStruct(ctypes.Structure):
+    """ctypes mirror of the C ``SCH`` struct (all members 8 bytes)."""
+
+    _fields_ = [
+        ("core_ids", ctypes.c_void_p),
+        ("clock", ctypes.c_void_p),
+        ("accesses", ctypes.c_void_p),
+        ("flags", ctypes.c_void_p),
+        ("finish", ctypes.c_void_p),
+        ("goal", ctypes.c_void_p),
+        ("head", ctypes.c_void_p),
+        ("count", ctypes.c_void_p),
+        ("qlines", ctypes.c_void_p),
+        ("qoff", ctypes.c_void_p), ("qlen", ctypes.c_void_p),
+        ("qwrite", ctypes.c_void_p), ("qops", ctypes.c_void_p),
+        ("qsid", ctypes.c_void_p), ("qser", ctypes.c_void_p),
+        ("qpf", ctypes.c_void_p),
+        ("qextra", ctypes.c_void_p),
+        ("cnt", ctypes.c_void_p),
+        ("fcnt", ctypes.c_void_p),
+        ("n", i64), ("chunk_cap", i64), ("line_cap", i64),
+        ("ns_per_op", ctypes.c_double),
+        ("dram_mlp_ns", ctypes.c_double),
+        ("dram_serial_ns", ctypes.c_double),
+        ("max_total", i64),
+        ("total", i64),
+        ("active_mains", i64),
+        ("event", i64),
+    ]
+
+
+#: ``SCH.flags`` bits, shared with the pure-Python macro-step fallback.
+F_DONE, F_MAIN, F_EXHAUSTED = 1, 2, 4
+
+#: ``sched_step`` return codes.
+STEP_DONE, STEP_REFILL, STEP_LIMIT, STEP_MAXSTEPS = 0, 1, 2, 3
 
 
 def _cache_dir() -> str:
@@ -531,6 +676,11 @@ def load() -> Optional[ctypes.CDLL]:
         ctypes.POINTER(KStruct), i64, ctypes.c_void_p, i64,
         i64, i64, i64,
         ctypes.c_double, ctypes.c_double, ctypes.c_double,
+        ctypes.c_void_p,
+    ]
+    lib.sched_step.restype = i64
+    lib.sched_step.argtypes = [
+        ctypes.POINTER(KStruct), ctypes.POINTER(SCHStruct), i64,
         ctypes.c_void_p,
     ]
     lib.lru_sampled.restype = i64

@@ -328,6 +328,25 @@ class ArraySocket:
             self._ks.dirty = self._dirty.ctypes.data
             self._ks.dirty_cap = new_cap
 
+    def ensure_line_capacity(self, lines: np.ndarray) -> None:
+        """Validate a batch of line addresses and pre-grow the dirty
+        bitmap to cover them.
+
+        The macro-stepped scheduler calls this once per refilled block:
+        the compiled loops index ``dirty`` unguarded, so the capacity
+        check that :meth:`run_chunk` performs per chunk must happen
+        before a whole block is handed to ``sched_step``.
+        """
+        if lines.size == 0:
+            return
+        if int(lines.min()) < 0:
+            raise ValueError(
+                "array kernel: negative line addresses are not supported"
+            )
+        max_line = int(lines.max())
+        if max_line >= self._dirty_cap:
+            self._grow_dirty(max_line)
+
     # -- hot loop ------------------------------------------------------------
 
     def run_chunk(self, core: int, chunk: AccessChunk, now_ns: float) -> float:
@@ -705,6 +724,68 @@ class ArraySocket:
 
 
 SocketKernel = Union[FastSocket, ArraySocket]
+
+
+def bind_sched_step(fast: SocketKernel, st) -> Optional[object]:
+    """Bind the compiled ``sched_step`` to ``fast`` and a scheduler
+    macro-state ``st`` (see :class:`repro.engine.scheduler._MacroState`).
+
+    Returns a ``step(max_steps) -> status`` callable, or ``None`` when
+    the macro loop must run in pure Python: list kernel, pure-Python
+    array backend, or ``REPRO_NO_CSCHED=1`` (which forces the Python
+    macro-step while keeping the compiled per-chunk loop — the
+    differential-testing knob for the scheduler port).
+    """
+    if not isinstance(fast, ArraySocket) or fast._lib is None:
+        return None
+    if os.environ.get("REPRO_NO_CSCHED"):
+        return None
+    lib = fast._lib
+    q = st.q
+    sch = _ckernel.SCHStruct()
+    sch.core_ids = st.core_ids.ctypes.data
+    sch.clock = st.clock.ctypes.data
+    sch.accesses = st.accesses.ctypes.data
+    sch.flags = st.flags.ctypes.data
+    sch.finish = st.finish.ctypes.data
+    sch.goal = st.goal.ctypes.data
+    sch.head = q.head.ctypes.data
+    sch.count = q.count.ctypes.data
+    sch.qoff = q.off.ctypes.data
+    sch.qlen = q.clen.ctypes.data
+    sch.qwrite = q.cwrite.ctypes.data
+    sch.qops = q.cops.ctypes.data
+    sch.qsid = q.csid.ctypes.data
+    sch.qser = q.cser.ctypes.data
+    sch.qpf = q.cpf.ctypes.data
+    sch.qextra = q.cextra.ctypes.data
+    sch.cnt = st.cnt.ctypes.data
+    sch.fcnt = st.fcnt.ctypes.data
+    sch.n = q.n_slots
+    sch.chunk_cap = q.chunk_cap
+    sch.ns_per_op = fast._ns_per_op
+    sch.dram_mlp_ns = fast._dram_ns
+    sch.dram_serial_ns = fast._dram_serial_ns
+    schp = ctypes.byref(sch)
+    bound_generation = -1  # force a qlines refresh on first call
+
+    def step(max_steps: int) -> int:
+        nonlocal bound_generation
+        if bound_generation != q.generation:
+            # The line arena was reallocated by a refill; rebind.
+            sch.qlines = q.lines.ctypes.data
+            sch.line_cap = q.line_cap
+            bound_generation = q.generation
+        sch.max_total = st.max_total
+        sch.total = st.total
+        sch.active_mains = st.active_mains
+        status = int(lib.sched_step(fast._ksp, schp, max_steps, fast._outp))
+        st.total = int(sch.total)
+        st.active_mains = int(sch.active_mains)
+        st.event = int(sch.event)
+        return status
+
+    return step
 
 _warned_fallback = False
 

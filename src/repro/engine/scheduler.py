@@ -9,6 +9,26 @@ quickly per access and therefore executes fewer accesses per unit of
 simulated time than an L3-resident thread — exactly the dynamics the
 paper's CSThr/BWThr interplay relies on.
 
+Ties in the min-scan are broken by *core id* (CoreStates are sorted at
+construction): the lowest-numbered least-advanced core runs first. This
+makes the interleave order a documented invariant rather than an
+accident of ``add_thread`` call order.
+
+The interleave itself runs in one of two modes (DESIGN.md decision 11):
+
+- **macro** (the default): threads stage whole *blocks* of chunks into
+  preallocated per-core queues (:mod:`repro.engine.blockq`) — via their
+  vectorised ``fill_block`` hook or a universal generator fallback — and
+  the min-clock loop consumes them in the compiled
+  ``repro.engine._ckernel.sched_step`` (or a bit-identical pure-Python
+  macro-step when no C kernel is available, ``REPRO_NO_CKERNEL=1``, or
+  ``REPRO_NO_CSCHED=1``). Python is re-entered only to refill a drained
+  queue, so per-chunk scheduling overhead amortises over the block.
+- **chunk** (``REPRO_SCHED=chunk``): the original chunk-at-a-time loop,
+  kept as the semantic reference. Both modes produce bit-identical event
+  counters and exactly-equal finish times
+  (``tests/engine/test_sched_equivalence.py``).
+
 Stopping conditions: all *main* threads finish (their generators are
 exhausted or they reach an access budget), or a global simulated-time /
 access safety limit trips.
@@ -16,15 +36,32 @@ access safety limit trips.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
 
 from ..errors import SimulationError
+from ..obs import span
+from . import _ckernel as _ck
+from .blockq import DEFAULT_CHUNK_CAP, BlockQueues, QueueWriter
 from .chunk import AccessChunk
 from .thread import SimThread
 
 if TYPE_CHECKING:  # avoid an import cycle with arraypath/socket_sim
     from .arraypath import SocketKernel
+
+#: Chunks per ``sched_step`` call. Any value above n_slots * chunk_cap
+#: can never trip (some queue drains first); this is a pure backstop.
+_MAX_STEPS = 1 << 30
+
+#: CoreCounters fields mirrored by the C accumulators, in SCH layout order.
+_CNT_FIELDS = (
+    "accesses", "l1_hits", "l2_hits", "l3_hits", "prefetch_hits",
+    "l3_misses", "prefetch_fills", "writebacks", "compute_ops",
+)
+_FCNT_FIELDS = ("compute_ns", "offsocket_ns", "stall_ns", "elapsed_ns")
 
 
 @dataclass
@@ -68,13 +105,75 @@ class ScheduleOutcome:
         return max(self.main_finish_ns.values()) - self.start_ns
 
 
+class _MacroState:
+    """Macro-mode scheduler state: the per-slot block queues plus the
+    flat arrays the compiled ``sched_step`` (and its Python mirror)
+    operate on. Slots follow roster order (CoreStates sorted by
+    core_id), which *is* the min-scan tie-break order. Persists across
+    measurement windows: leftover queued chunks carry over, exactly
+    where the thread's stream left off."""
+
+    def __init__(self, cores: Sequence[CoreState], chunk_cap: int):
+        n = len(cores)
+        self.q = BlockQueues(n, chunk_cap=chunk_cap)
+        self.writers = [QueueWriter(self.q, i) for i in range(n)]
+        #: True once a thread's stream ended (generator exhausted or
+        #: ``fill_block`` produced nothing). Sticky across windows, so a
+        #: reopened exhausted main immediately re-completes — matching
+        #: what ``next()`` on a spent generator does in chunk mode.
+        self.exhausted: List[bool] = [False] * n
+        self.core_ids = np.array([c.core_id for c in cores], dtype=np.int64)
+        self.clock = np.zeros(n, dtype=np.float64)
+        self.accesses = np.zeros(n, dtype=np.int64)
+        self.flags = np.zeros(n, dtype=np.int64)
+        self.finish = np.zeros(n, dtype=np.float64)
+        self.goal = np.full(n, -1, dtype=np.int64)
+        self.cnt = np.zeros((n, len(_CNT_FIELDS)), dtype=np.int64)
+        self.fcnt = np.zeros((n, len(_FCNT_FIELDS)), dtype=np.float64)
+        self.max_total = 0
+        self.total = 0
+        self.active_mains = 0
+        self.event = -1
+
+
+def _resolve_sched_mode() -> str:
+    mode = os.environ.get("REPRO_SCHED", "").strip() or "macro"
+    if mode not in ("macro", "chunk"):
+        raise SimulationError(
+            f"unknown scheduler mode {mode!r} "
+            "(REPRO_SCHED must be 'macro' or 'chunk')"
+        )
+    return mode
+
+
+def _resolve_block_chunks() -> int:
+    raw = os.environ.get("REPRO_SCHED_BLOCK", "").strip()
+    if not raw:
+        return DEFAULT_CHUNK_CAP
+    try:
+        cap = int(raw)
+    except ValueError:
+        raise SimulationError(
+            f"REPRO_SCHED_BLOCK must be a positive integer, got {raw!r}"
+        ) from None
+    if cap <= 0:
+        raise SimulationError(
+            f"REPRO_SCHED_BLOCK must be a positive integer, got {raw!r}"
+        )
+    # fill_block implementations stage whole workload cycles (triad's 3
+    # chunks, the bubble's 1 + up-to-4); a block must always hold one.
+    return max(cap, 8)
+
+
 class Scheduler:
     """Drives a set of threads over a socket kernel (array or list —
     both expose the same ``run_chunk`` contract)."""
 
     def __init__(self, fast: "SocketKernel", cores: Sequence[CoreState]):
         self.fast = fast
-        self.cores = list(cores)
+        # Sorted by core id so the min-scan tie-break is an invariant of
+        # the placement, not of add_thread call order.
+        self.cores = sorted(cores, key=lambda c: c.core_id)
         if not self.cores:
             raise SimulationError("scheduler needs at least one thread")
         ids = [c.core_id for c in self.cores]
@@ -86,6 +185,8 @@ class Scheduler:
                 raise SimulationError(
                     f"core id {c.core_id} out of range for {n}-core socket"
                 )
+        self._macro: Optional[_MacroState] = None
+        self._mode: Optional[str] = None
 
     def run(
         self,
@@ -99,6 +200,25 @@ class Scheduler:
         generators); mains with finite generators may finish earlier.
         Interference (non-main) threads run as long as any main is active.
         """
+        mode = _resolve_sched_mode()
+        if self._mode is None:
+            # Pin the mode at the first window: thread streams cannot be
+            # migrated between modes (chunk mode holds position state in
+            # suspended generators, macro mode in fill_block instance
+            # state and queued blocks).
+            self._mode = mode
+        elif mode != self._mode:
+            raise SimulationError(
+                f"REPRO_SCHED changed from {self._mode!r} to {mode!r} "
+                "mid-run: scheduler mode is pinned at the first window"
+            )
+        if mode == "chunk":
+            return self._run_chunked(main_access_budget, max_total_accesses)
+        return self._run_macro(main_access_budget, max_total_accesses)
+
+    # -- shared window setup --------------------------------------------------
+
+    def _open_window(self, outcome_cls=ScheduleOutcome):
         mains = [c for c in self.cores if c.is_main and not c.done]
         if not mains:
             raise SimulationError("no runnable main thread")
@@ -107,59 +227,271 @@ class Scheduler:
         for c in self.cores:
             if c.clock_ns < start_ns:
                 c.clock_ns = start_ns
+        return mains, outcome_cls(start_ns=start_ns)
+
+    # -- chunk-at-a-time reference loop ---------------------------------------
+
+    def _run_chunked(
+        self,
+        main_access_budget: Optional[int],
+        max_total_accesses: int,
+    ) -> ScheduleOutcome:
+        mains, outcome = self._open_window()
         window_start = {c.core_id: c.accesses for c in mains}
-        outcome = ScheduleOutcome(start_ns=start_ns)
         total = 0
         run_chunk = self.fast.run_chunk
 
         active_mains = len(mains)
         runnable = [c for c in self.cores if not c.done]
-        while active_mains > 0:
-            # Pick the least-advanced runnable core.
-            best = None
-            best_clock = float("inf")
-            for c in runnable:
-                if c.clock_ns < best_clock:
-                    best = c
-                    best_clock = c.clock_ns
-            assert best is not None
-            chunk = next(best.gen, None)
-            if chunk is None or len(chunk) == 0:
-                best.done = True
-                best.finish_ns = best.clock_ns
-                if best.is_main:
+        with span("engine.schedule", cat="engine", mode="chunk"):
+            while active_mains > 0:
+                # Pick the least-advanced runnable core.
+                best = None
+                best_clock = float("inf")
+                for c in runnable:
+                    if c.clock_ns < best_clock:
+                        best = c
+                        best_clock = c.clock_ns
+                assert best is not None
+                chunk = next(best.gen, None)
+                if chunk is None or len(chunk) == 0:
+                    best.done = True
+                    best.finish_ns = best.clock_ns
+                    if best.is_main:
+                        outcome.main_finish_ns[best.core_id] = best.clock_ns
+                        active_mains -= 1
+                    runnable = [c for c in runnable if not c.done]
+                    continue
+                # Enforce the safety limit *before* dispatching the chunk, so
+                # a runaway configuration can never overshoot the budget and
+                # the error names the core that would have crossed it.
+                if total + len(chunk) > max_total_accesses:
+                    raise SimulationError(
+                        f"simulation would have exceeded {max_total_accesses} "
+                        f"accesses dispatching a {len(chunk)}-access chunk on "
+                        f"core {best.core_id} ({best.thread.name!r}) at "
+                        f"{total} total; likely a runaway interference-only "
+                        "configuration"
+                    )
+                best.clock_ns = run_chunk(best.core_id, chunk, best.clock_ns)
+                best.accesses += len(chunk)
+                total += len(chunk)
+                if (
+                    best.is_main
+                    and main_access_budget is not None
+                    and best.accesses - window_start[best.core_id] >= main_access_budget
+                ):
+                    best.done = True
+                    best.finish_ns = best.clock_ns
                     outcome.main_finish_ns[best.core_id] = best.clock_ns
                     active_mains -= 1
-                runnable = [c for c in runnable if not c.done]
-                continue
-            # Enforce the safety limit *before* dispatching the chunk, so
-            # a runaway configuration can never overshoot the budget and
-            # the error names the core that would have crossed it.
-            if total + len(chunk) > max_total_accesses:
-                raise SimulationError(
-                    f"simulation would have exceeded {max_total_accesses} "
-                    f"accesses dispatching a {len(chunk)}-access chunk on "
-                    f"core {best.core_id} ({best.thread.name!r}) at "
-                    f"{total} total; likely a runaway interference-only "
-                    "configuration"
-                )
-            best.clock_ns = run_chunk(best.core_id, chunk, best.clock_ns)
-            best.accesses += len(chunk)
-            total += len(chunk)
-            if (
-                best.is_main
-                and main_access_budget is not None
-                and best.accesses - window_start[best.core_id] >= main_access_budget
-            ):
-                best.done = True
-                best.finish_ns = best.clock_ns
-                outcome.main_finish_ns[best.core_id] = best.clock_ns
-                active_mains -= 1
-                runnable = [c for c in runnable if not c.done]
+                    runnable = [c for c in runnable if not c.done]
 
         outcome.end_ns = max(outcome.main_finish_ns.values())
         outcome.total_accesses = total
         return outcome
+
+    # -- macro-stepped loop ---------------------------------------------------
+
+    def _run_macro(
+        self,
+        main_access_budget: Optional[int],
+        max_total_accesses: int,
+    ) -> ScheduleOutcome:
+        mains, outcome = self._open_window()
+        st = self._macro
+        if st is None:
+            st = self._macro = _MacroState(self.cores, _resolve_block_chunks())
+
+        st.max_total = int(max_total_accesses)
+        st.total = 0
+        st.active_mains = len(mains)
+        window_slots = set()
+        for i, cs in enumerate(self.cores):
+            st.clock[i] = cs.clock_ns
+            st.accesses[i] = cs.accesses
+            f = 0
+            if cs.done:
+                f |= _ck.F_DONE
+            if cs.is_main:
+                f |= _ck.F_MAIN
+            if st.exhausted[i]:
+                f |= _ck.F_EXHAUSTED
+            st.flags[i] = f
+            st.finish[i] = cs.finish_ns if cs.finish_ns is not None else 0.0
+            if cs.is_main and not cs.done and main_access_budget is not None:
+                window_slots.add(i)
+                st.goal[i] = cs.accesses + main_access_budget
+            else:
+                if cs.is_main and not cs.done:
+                    window_slots.add(i)
+                st.goal[i] = -1
+
+        from .arraypath import bind_sched_step
+
+        step = bind_sched_step(self.fast, st)
+        # The compiled step accumulates counters in SCH-side arrays (the
+        # per-chunk Python `+=` order replicated in C); seed them from
+        # the live CoreCounters so flushing back is a plain assignment
+        # that lands on bit-identical values. The Python macro-step goes
+        # through fast.run_chunk, which updates counters itself.
+        if step is not None:
+            self._seed_counters(st)
+        try:
+            with span(
+                "engine.schedule",
+                cat="engine",
+                mode="macro-c" if step is not None else "macro-py",
+            ):
+                while st.active_mains > 0:
+                    if step is not None:
+                        status = step(_MAX_STEPS)
+                    else:
+                        status = self._py_macro_step(st, _MAX_STEPS)
+                    if status == _ck.STEP_DONE:
+                        break
+                    if status == _ck.STEP_REFILL:
+                        self._refill(st, st.event)
+                    elif status == _ck.STEP_LIMIT:
+                        slot = st.event
+                        cs = self.cores[slot]
+                        clen = int(st.q.clen[slot, st.q.head[slot]])
+                        raise SimulationError(
+                            f"simulation would have exceeded "
+                            f"{max_total_accesses} accesses dispatching a "
+                            f"{clen}-access chunk on core {cs.core_id} "
+                            f"({cs.thread.name!r}) at {st.total} total; "
+                            "likely a runaway interference-only configuration"
+                        )
+                    # STEP_MAXSTEPS: backstop tripped, just re-enter.
+        finally:
+            if step is not None:
+                self._flush_counters(st)
+            for i, cs in enumerate(self.cores):
+                cs.clock_ns = float(st.clock[i])
+                cs.accesses = int(st.accesses[i])
+                if (st.flags[i] & _ck.F_DONE) and not cs.done:
+                    cs.done = True
+                    cs.finish_ns = float(st.finish[i])
+                if cs.done and i in window_slots:
+                    outcome.main_finish_ns[cs.core_id] = float(st.finish[i])
+
+        outcome.end_ns = max(outcome.main_finish_ns.values())
+        outcome.total_accesses = st.total
+        return outcome
+
+    def _py_macro_step(self, st: _MacroState, max_steps: int) -> int:
+        """Pure-Python mirror of the compiled ``sched_step`` (same
+        arrays, same statuses, same tie-break), used for the list
+        kernel, the Python array backend, and ``REPRO_NO_CSCHED=1``
+        differential runs. Chunks are zero-copy views into the queue
+        arena, executed through the kernel's ordinary ``run_chunk`` —
+        so event counters and finish times are bit-identical by
+        construction."""
+        q = st.q
+        run_chunk = self.fast.run_chunk
+        flags, clock, accesses = st.flags, st.clock, st.accesses
+        goal, finish = st.goal, st.finish
+        head, count = q.head, q.count
+        n = q.n_slots
+        steps = 0
+        while st.active_mains > 0:
+            if steps >= max_steps:
+                return _ck.STEP_MAXSTEPS
+            best = -1
+            best_clock = 0.0
+            for i in range(n):
+                if flags[i] & _ck.F_DONE:
+                    continue
+                if best < 0 or clock[i] < best_clock:
+                    best = i
+                    best_clock = clock[i]
+            if head[best] >= count[best]:
+                if not (flags[best] & _ck.F_EXHAUSTED):
+                    st.event = best
+                    return _ck.STEP_REFILL
+                flags[best] |= _ck.F_DONE
+                finish[best] = clock[best]
+                if flags[best] & _ck.F_MAIN:
+                    st.active_mains -= 1
+                steps += 1
+                continue
+            c = int(head[best])
+            clen = int(q.clen[best, c])
+            if st.total + clen > st.max_total:
+                st.event = best
+                return _ck.STEP_LIMIT
+            off = int(q.off[best, c])
+            chunk = AccessChunk(
+                lines=q.lines[best, off:off + clen],
+                is_write=bool(q.cwrite[best, c]),
+                ops_per_access=int(q.cops[best, c]),
+                stream_id=int(q.csid[best, c]),
+                serialize=bool(q.cser[best, c]),
+                extra_ns=float(q.cextra[best, c]),
+                prefetchable=bool(q.cpf[best, c]),
+            )
+            t = run_chunk(int(st.core_ids[best]), chunk, float(clock[best]))
+            clock[best] = t
+            accesses[best] += clen
+            st.total += clen
+            head[best] = c + 1
+            steps += 1
+            if (
+                (flags[best] & _ck.F_MAIN)
+                and goal[best] >= 0
+                and accesses[best] >= goal[best]
+            ):
+                flags[best] |= _ck.F_DONE
+                finish[best] = t
+                st.active_mains -= 1
+        return _ck.STEP_DONE
+
+    def _refill(self, st: _MacroState, slot: int) -> None:
+        """Stage the next block of chunks for ``slot``: the thread's
+        vectorised ``fill_block`` if it has one, else up to a block's
+        worth of generator pulls. Zero chunks staged = the stream ended
+        (sticky ``exhausted``). Line addresses are validated — and the
+        kernel's dirty bitmap pre-grown — for the whole block here,
+        because the compiled loop indexes it unguarded."""
+        cs = self.cores[slot]
+        w = st.writers[slot]
+        w.begin()
+        thread = cs.thread
+        if getattr(thread, "supports_fill_block", False):
+            thread.fill_block(w)
+            if st.q.count[slot] == 0:
+                st.exhausted[slot] = True
+        else:
+            while w.free_chunks > 0:
+                chunk = next(cs.gen, None)
+                if chunk is None or len(chunk) == 0:
+                    st.exhausted[slot] = True
+                    break
+                w.push_chunk(chunk)
+        if st.exhausted[slot]:
+            st.flags[slot] |= _ck.F_EXHAUSTED
+        used = int(st.q.used_lines[slot])
+        if used and hasattr(self.fast, "ensure_line_capacity"):
+            self.fast.ensure_line_capacity(st.q.lines[slot, :used])
+
+    def _seed_counters(self, st: _MacroState) -> None:
+        counters = self.fast.counters
+        for i, cs in enumerate(self.cores):
+            c = counters[cs.core_id]
+            for j, name in enumerate(_CNT_FIELDS):
+                st.cnt[i, j] = getattr(c, name)
+            for j, name in enumerate(_FCNT_FIELDS):
+                st.fcnt[i, j] = getattr(c, name)
+
+    def _flush_counters(self, st: _MacroState) -> None:
+        counters = self.fast.counters
+        for i, cs in enumerate(self.cores):
+            c = counters[cs.core_id]
+            for j, name in enumerate(_CNT_FIELDS):
+                setattr(c, name, int(st.cnt[i, j]))
+            for j, name in enumerate(_FCNT_FIELDS):
+                setattr(c, name, float(st.fcnt[i, j]))
 
     def reopen_mains(self) -> None:
         """Mark budget-stopped main threads runnable again for the next

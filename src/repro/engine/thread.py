@@ -52,6 +52,11 @@ class SimThread(ABC):
     #: Chunk length this thread emits; the scheduler's interleave quantum.
     quantum: int = 256
 
+    #: True when the thread implements :meth:`fill_block`; the
+    #: macro-stepped scheduler then batches chunk generation instead of
+    #: resuming :meth:`chunks` once per chunk.
+    supports_fill_block: bool = False
+
     @abstractmethod
     def start(self, ctx: ThreadContext) -> None:
         """Allocate buffers / initialise state. Called exactly once."""
@@ -61,6 +66,22 @@ class SimThread(ABC):
         """Yield access chunks in program order. A finite iterator means
         the thread terminates; infinite means it runs until the scheduler
         stops it (interference threads)."""
+
+    def fill_block(self, writer) -> None:
+        """Vectorised block generation (optional fast path).
+
+        Stage up to ``writer.free_chunks`` chunks — ideally with a
+        single numpy call via
+        :meth:`~repro.engine.blockq.QueueWriter.push_uniform` — into the
+        thread's per-core queue. Must produce *exactly the same chunk
+        stream* as :meth:`chunks` (same lines, same RNG consumption,
+        same metadata), because the scheduler-equivalence suite holds
+        the two paths bit-identical. Staging zero chunks means the
+        workload is finished (the generator-path equivalent of
+        ``StopIteration``). Implementations set
+        :attr:`supports_fill_block` to True.
+        """
+        raise NotImplementedError
 
     def describe(self) -> str:
         """One-line description for experiment logs."""

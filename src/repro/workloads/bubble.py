@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+import numpy as np
+
 from ..engine.chunk import AccessChunk
 from ..engine.thread import SimThread, ThreadContext
 from ..errors import ConfigError
@@ -82,6 +84,9 @@ class BubbleProbe(SimThread):
             elem_bytes=INT_BYTES,
             label=f"{self.name}.stream",
         )
+        # fill_block stream position (chunks() keeps its own
+        # generator-local copy; the scheduler pins one path per run).
+        self._fb_pos = 0
 
     def chunks(self) -> Iterator[AccessChunk]:
         assert self._ctx is not None
@@ -108,6 +113,54 @@ class BubbleProbe(SimThread):
                 yield AccessChunk(
                     lines=lines, is_write=False, ops_per_access=4, stream_id=1
                 )
+
+    supports_fill_block = True
+
+    def fill_block(self, writer) -> None:
+        """Stage whole bubble cycles (resident + stream chunks) with one
+        batched RNG draw and a broadcast stream-line matrix.
+
+        Every chunk in a cycle has length ``q``, so the whole block is a
+        single ``push_uniform`` with tiled per-chunk metadata.
+        """
+        assert self._ctx is not None
+        q = self.quantum
+        n_res = self.resident.n_elems
+        stream_lines = self.stream.n_lines
+        stream_share = max(0, round(self.pressure * 4))
+        cpc = 1 + stream_share
+        # The scheduler guarantees blocks hold at least 8 chunks, so a
+        # fresh block always fits at least one whole cycle.
+        cycles = min(
+            writer.free_chunks // cpc, max(1, writer.free_lines // (cpc * q))
+        )
+        idx = self._ctx.rng.integers(0, n_res, size=(cycles, q))
+        res_lines = self.resident.lines_of_indices(idx.ravel()).reshape(cycles, q)
+        lines = np.empty((cycles, cpc, q), dtype=np.int64)
+        lines[:, 0, :] = res_lines
+        if stream_share:
+            j = np.arange(cycles * stream_share, dtype=np.int64)
+            lines[:, 1:, :] = (
+                self.stream.base_line
+                + (
+                    self._fb_pos
+                    + j[:, None] * q
+                    + np.arange(q, dtype=np.int64)[None, :]
+                )
+                % stream_lines
+            ).reshape(cycles, stream_share, q)
+        tile = lambda vals: np.tile(np.array(vals, dtype=np.int64), cycles)
+        writer.push_uniform(
+            lines.ravel(),
+            q,
+            is_write=tile([1] + [0] * stream_share),
+            ops_per_access=tile([6] + [4] * stream_share),
+            stream_id=tile([0] + [1] * stream_share),
+            prefetchable=tile([0] + [1] * stream_share),
+        )
+        self._fb_pos = int(
+            (self._fb_pos + cycles * stream_share * q) % stream_lines
+        )
 
     def describe(self) -> str:
         return f"{self.name}: pressure {self.pressure:.2f}"

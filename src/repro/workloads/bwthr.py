@@ -79,6 +79,12 @@ class BWThr(SimThread):
             )
             for i in range(self.n_buffers)
         ]
+        # fill_block sweep state (chunks() keeps its own generator-local
+        # copy; the scheduler pins one path per run).
+        self._fb_pos = np.zeros(self.n_buffers, dtype=np.int64)
+        self._fb_which = 0
+        self._fb_bases = np.array([b.base_line for b in self.buffers], dtype=np.int64)
+        self._fb_counts = np.array([b.n_lines for b in self.buffers], dtype=np.int64)
 
     def footprint_lines(self) -> int:
         """Total distinct cache lines the thread cycles through."""
@@ -107,6 +113,45 @@ class BWThr(SimThread):
             which += 1
             if which == self.n_buffers:
                 which = 0
+
+    supports_fill_block = True
+
+    def fill_block(self, writer) -> None:
+        """Stage a whole round-robin sweep segment in one numpy call.
+
+        Block chunk ``j`` visits buffer ``(which + j) % n_buffers``; its
+        prior visits within the block number ``j // n_buffers``, so each
+        chunk's sweep offset is closed-form and the full ``(B, q)`` line
+        matrix broadcasts in one expression — no per-chunk generator
+        resume, ndarray or modulo loop.
+        """
+        assert self._ctx is not None and self.buffers
+        q = self.quantum
+        nb = self.n_buffers
+        n_chunks = min(writer.free_chunks, max(1, writer.free_lines // q))
+        j = np.arange(n_chunks, dtype=np.int64)
+        which = (self._fb_which + j) % nb
+        stride_per_visit = LINE_STRIDE * q
+        start = self._fb_pos[which] + (j // nb) * stride_per_visit
+        step = LINE_STRIDE * np.arange(q, dtype=np.int64)
+        counts = self._fb_counts[which]
+        lines = self._fb_bases[which][:, None] + (
+            start[:, None] + step[None, :]
+        ) % counts[:, None]
+        writer.push_uniform(
+            lines.ravel(),
+            q,
+            is_write=True,
+            ops_per_access=self.overhead_ops,
+            stream_id=which,
+        )
+        # Advance per-buffer positions by the number of visits each
+        # buffer received, and the round-robin cursor by the block.
+        n_visits = np.bincount(which, minlength=nb)
+        self._fb_pos = (
+            self._fb_pos + n_visits * stride_per_visit
+        ) % self._fb_counts
+        self._fb_which = int((self._fb_which + n_chunks) % nb)
 
     def describe(self) -> str:
         return (

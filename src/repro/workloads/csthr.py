@@ -71,5 +71,27 @@ class CSThr(SimThread):
                 buf, idx, is_write=True, ops_per_access=ops, prefetchable=False
             )
 
+    supports_fill_block = True
+
+    def fill_block(self, writer) -> None:
+        """Stage a block of random-touch chunks with one RNG draw.
+
+        ``Generator.integers`` fills its output from one uninterrupted
+        bit stream, so a single ``B*q`` draw is element-for-element the
+        concatenation of ``B`` per-chunk draws — the generator path and
+        this one consume the RNG identically.
+        """
+        assert self._ctx is not None and self.buffer is not None
+        q = self.quantum
+        n_chunks = min(writer.free_chunks, max(1, writer.free_lines // q))
+        idx = self._ctx.rng.integers(0, self.buffer.n_elems, size=n_chunks * q)
+        writer.push_uniform(
+            self.buffer.lines_of_indices(idx),
+            q,
+            is_write=True,
+            ops_per_access=self.overhead_ops,
+            prefetchable=False,
+        )
+
     def describe(self) -> str:
         return f"{self.name}: {self.buffer_bytes} paper-bytes, uniform random RMW"

@@ -76,9 +76,27 @@ class IndexDistribution(ABC):
             take = min(len(ok), want)
             out[filled : filled + take] = (ok[:take] * n).astype(np.int64)
             filled += take
-        # Guard against float rounding u*n == n.
-        np.clip(out, 0, n - 1, out=out)
+        # Guard against float rounding u*n == n. Accepted draws are
+        # non-negative, so minimum() suffices (and skips np.clip's
+        # dispatch overhead — this runs once per simulated chunk).
+        np.minimum(out, n - 1, out=out)
         return out
+
+    def sample_block(
+        self, rng: np.random.Generator, count: int, size: int, n: int
+    ) -> np.ndarray:
+        """Draw ``count`` consecutive chunks of ``size`` indices each,
+        returned concatenated (``count * size`` entries).
+
+        Must consume the RNG exactly as ``count`` successive
+        :meth:`sample` calls would — callers rely on that to stage many
+        chunks per call without perturbing any simulated result.
+        Distributions whose draw count per chunk is deterministic can
+        override this with a single batched draw.
+        """
+        return np.concatenate(
+            [self.sample(rng, size, n) for _ in range(count)]
+        )
 
     def line_pmf(self, n_elems: int, elems_per_line: int) -> np.ndarray:
         """Probability that one access lands in each cache line of the
@@ -195,6 +213,38 @@ class UniformDist(IndexDistribution):
 
     def _raw_sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
         return rng.random(size)
+
+    def sample(self, rng: np.random.Generator, size: int, n: int) -> np.ndarray:
+        """Fast path: ``random()`` draws lie in [0, 1) by construction,
+        so every draw is accepted and the rejection mask of the base
+        implementation is provably all-true. Drawing the same
+        over-provisioned batch keeps the RNG stream (and therefore every
+        simulated result) identical to the generic path."""
+        if n <= 0:
+            raise ModelError("buffer must have at least one element")
+        draws = self._raw_sample(rng, int(size * 1.25) + 8)
+        out = (draws[:size] * n).astype(np.int64)
+        np.minimum(out, n - 1, out=out)
+        return out
+
+    def sample_block(
+        self, rng: np.random.Generator, count: int, size: int, n: int
+    ) -> np.ndarray:
+        """One batched draw for ``count`` chunks: every per-chunk draw
+        is the same deterministic ``int(size*1.25)+8`` floats (no
+        rejection loop), and ``Generator.random`` fills a large request
+        from the same uninterrupted bit stream as successive small ones,
+        so slicing rows out of one draw is bit-identical to ``count``
+        :meth:`sample` calls."""
+        if n <= 0:
+            raise ModelError("buffer must have at least one element")
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        per = int(size * 1.25) + 8
+        draws = self._raw_sample(rng, count * per).reshape(count, per)
+        out = (draws[:, :size] * n).astype(np.int64).ravel()
+        np.minimum(out, n - 1, out=out)
+        return out
 
 
 @dataclass(frozen=True)

@@ -69,6 +69,9 @@ class HotColdProbe(SimThread):
         self.hot = ctx.addrspace.alloc(hot_sim, elem_bytes=INT_BYTES, label=f"{self.name}.hot")
         cold_sim = ctx.scaled_bytes(COLD_BYTES) // line * line
         self.cold = ctx.addrspace.alloc(cold_sim, elem_bytes=INT_BYTES, label=f"{self.name}.cold")
+        # fill_block stream position (chunks() keeps its own
+        # generator-local copy; the scheduler pins one path per run).
+        self._fb_pos = 0
 
     def chunks(self) -> Iterator[AccessChunk]:
         assert self._ctx is not None
@@ -98,6 +101,58 @@ class HotColdProbe(SimThread):
                     ops_per_access=self.ops_per_access,
                     stream_id=1,
                 )
+
+    supports_fill_block = True
+
+    def fill_block(self, writer) -> None:
+        """Stage hot/cold cycles with one batched RNG draw.
+
+        The hot indices for every cycle in the block come from a single
+        ``integers`` call (bit-stream-identical to per-cycle draws); the
+        cold stream is a closed-form wrap. Hot and cold chunks differ in
+        length, so they are pushed per cycle rather than via one
+        ``push_uniform``.
+        """
+        assert self._ctx is not None
+        import numpy as np
+
+        q = self.quantum
+        hot_n = self.hot.n_elems
+        if self.hot_fraction >= 1.0:
+            n_chunks = min(writer.free_chunks, max(1, writer.free_lines // q))
+            idx = self._ctx.rng.integers(0, hot_n, size=n_chunks * q)
+            writer.push_uniform(
+                self.hot.lines_of_indices(idx),
+                q,
+                is_write=True,
+                ops_per_access=self.ops_per_access,
+                prefetchable=False,
+            )
+            return
+        cold_q = max(1, round(q * (1.0 - self.hot_fraction) / self.hot_fraction))
+        cold_lines = self.cold.n_lines
+        cold_base = self.cold.base_line
+        cycles = min(
+            writer.free_chunks // 2,
+            max(1, writer.free_lines // (q + cold_q)),
+        )
+        hot_idx = self._ctx.rng.integers(0, hot_n, size=(cycles, q))
+        hot_lines = self.hot.lines_of_indices(hot_idx.ravel()).reshape(cycles, q)
+        span = np.arange(cold_q, dtype=np.int64)
+        for j in range(cycles):
+            writer.push(
+                hot_lines[j],
+                is_write=True,
+                ops_per_access=self.ops_per_access,
+                prefetchable=False,
+            )
+            writer.push(
+                cold_base + (self._fb_pos + span) % cold_lines,
+                is_write=False,
+                ops_per_access=self.ops_per_access,
+                stream_id=1,
+            )
+            self._fb_pos = (self._fb_pos + cold_q) % cold_lines
 
     def describe(self) -> str:
         return (

@@ -63,6 +63,9 @@ class StreamTriad(SimThread):
             ctx.addrspace.alloc(sim_bytes, elem_bytes=DOUBLE_BYTES, label=f"{self.name}.{tag}")
             for tag in ("a", "b", "c")
         ]
+        # fill_block sweep position (chunks() keeps its own
+        # generator-local copy; the scheduler pins one path per run).
+        self._fb_pos = 0
 
     def chunks(self) -> Iterator[AccessChunk]:
         assert self._ctx is not None and self.arrays
@@ -96,6 +99,36 @@ class StreamTriad(SimThread):
                 stream_id=0,
             )
             pos = end % n_lines
+
+    supports_fill_block = True
+
+    def fill_block(self, writer) -> None:
+        """Stage whole triad cycles (b-read, c-read, a-write) with one
+        broadcast line matrix per block and per-chunk metadata arrays
+        carrying the rotating stream ids."""
+        assert self._ctx is not None and self.arrays
+        a, b, c = self.arrays
+        n_lines = min(x.n_lines for x in self.arrays)
+        q = self.quantum
+        # The scheduler guarantees blocks hold at least 8 chunks, so a
+        # fresh block always fits >= 2 whole cycles.
+        cycles = min(
+            writer.free_chunks // 3, max(1, writer.free_lines // (3 * q))
+        )
+        j = np.arange(cycles, dtype=np.int64)
+        # Same wrap behaviour as the generator: within a cycle the index
+        # run wraps at most once, and positions stay reduced mod n_lines.
+        idx = (self._fb_pos + j[:, None] * q + np.arange(q, dtype=np.int64)) % n_lines
+        bases = np.array([b.base_line, c.base_line, a.base_line], dtype=np.int64)
+        lines = bases[None, :, None] + idx[:, None, :]
+        writer.push_uniform(
+            lines.ravel(),
+            q,
+            is_write=np.tile(np.array([0, 0, 1], dtype=np.int64), cycles),
+            ops_per_access=OPS_PER_LINE_ACCESS,
+            stream_id=np.tile(np.array([1, 2, 0], dtype=np.int64), cycles),
+        )
+        self._fb_pos = int((self._fb_pos + cycles * q) % n_lines)
 
     def describe(self) -> str:
         return f"{self.name}: triad over 3 x {self.array_bytes} paper-bytes"

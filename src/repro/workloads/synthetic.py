@@ -73,6 +73,9 @@ class ProbabilisticBenchmark(SimThread):
         self.buffer = ctx.addrspace.alloc(
             max(sim_bytes, line), elem_bytes=INT_BYTES, label=self.name
         )
+        # fill_block progress (chunks() keeps its own generator-local
+        # countdown; the scheduler pins one path per run).
+        self._fb_remaining = self.n_accesses
 
     @property
     def elems_per_line(self) -> int:
@@ -100,6 +103,52 @@ class ProbabilisticBenchmark(SimThread):
             yield chunk
             if remaining is not None:
                 remaining -= size
+
+    supports_fill_block = True
+
+    def fill_block(self, writer) -> None:
+        """Stage a block of distribution-sampled chunks.
+
+        Full-quantum chunks batch through
+        :meth:`IndexDistribution.sample_block`, which is contractually
+        RNG-stream-identical to per-chunk :meth:`~IndexDistribution.sample`
+        calls (distributions with deterministic draw counts vectorize it;
+        rejection-sampling ones fall back to a per-chunk loop inside).
+        Only a final partial chunk (finite ``n_accesses`` not a multiple
+        of the quantum) goes through the single-chunk path.
+        """
+        assert self._ctx is not None and self.buffer is not None
+        rng = self._ctx.rng
+        total_ops = self.ops_per_access + LOOP_OVERHEAD_OPS
+        n = self.buffer.n_elems
+        q = self.quantum
+        n_full = min(writer.free_chunks, max(1, writer.free_lines // q))
+        if self._fb_remaining is not None:
+            n_full = min(n_full, self._fb_remaining // q)
+        if n_full > 0:
+            idx = self.distribution.sample_block(rng, n_full, q, n)
+            writer.push_uniform(
+                self.buffer.lines_of_indices(idx),
+                q,
+                is_write=False,
+                ops_per_access=total_ops,
+                prefetchable=False,
+            )
+            if self._fb_remaining is not None:
+                self._fb_remaining -= n_full * q
+        if (
+            self._fb_remaining is not None
+            and 0 < self._fb_remaining < q
+            and writer.free_chunks > 0
+        ):
+            idx = self.distribution.sample(rng, self._fb_remaining, n)
+            writer.push(
+                self.buffer.lines_of_indices(idx),
+                is_write=False,
+                ops_per_access=total_ops,
+                prefetchable=False,
+            )
+            self._fb_remaining = 0
 
     def describe(self) -> str:
         return (

@@ -1,0 +1,356 @@
+"""Scheduler-mode equivalence: macro-stepped vs chunk-at-a-time.
+
+The macro-stepped engine (C ``sched_step`` and its pure-Python mirror)
+must be *bit-identical* to the reference chunk-at-a-time scheduler:
+every event counter equal as integers, every clock and finish time equal
+as floats (hex-exact, not approx). This is the contract that lets the
+fast path be the default — any simulation result is reproducible under
+``REPRO_SCHED=chunk``.
+
+The suite drives all six workloads (the two paper interference threads,
+the probabilistic benchmark, STREAM triad, hot/cold probe and bubble)
+through warmup + measure windows on both the array and list kernels,
+then covers the macro-stepping edge cases: budget exhaustion mid-block,
+generator exhaustion mid-block, window reopen, runaway guards and the
+roster tie-break invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_socket, xeon20mb
+from repro.engine import (
+    AccessChunk,
+    CoreState,
+    FastSocket,
+    Scheduler,
+    make_socket_kernel,
+)
+from repro.engine.thread import SimThread, ThreadContext
+from repro.errors import SimulationError
+from repro.mem import AddressSpace
+from repro.workloads import BWThr, BubbleProbe, CSThr, HotColdProbe, StreamTriad
+from repro.workloads.distributions import UniformDist
+from repro.workloads.synthetic import ProbabilisticBenchmark
+
+INT_COUNTERS = (
+    "accesses", "l1_hits", "l2_hits", "l3_hits", "prefetch_hits",
+    "l3_misses", "prefetch_fills", "writebacks", "compute_ops",
+)
+NS_COUNTERS = ("compute_ns", "offsocket_ns", "stall_ns", "elapsed_ns")
+
+#: (mode label, env overrides). ``macro-py`` forces the pure-Python
+#: macro driver even when the C scheduler is compiled, closing the
+#: three-way triangle chunk == macro-C == macro-py in one process.
+MODES = (
+    ("chunk", {"REPRO_SCHED": "chunk"}),
+    ("macro", {"REPRO_SCHED": "macro"}),
+    ("macro-py", {"REPRO_SCHED": "macro", "REPRO_NO_CSCHED": "1"}),
+)
+
+SCHED_ENV_VARS = ("REPRO_SCHED", "REPRO_NO_CSCHED", "REPRO_SCHED_BLOCK")
+
+
+def _set_mode(monkeypatch, env):
+    for var in SCHED_ENV_VARS:
+        monkeypatch.delenv(var, raising=False)
+    for var, val in env.items():
+        monkeypatch.setenv(var, val)
+
+
+def build_sched(threads_and_flags, socket=None, kernel="arrays", seed0=7):
+    """Fresh kernel + scheduler over freshly started threads."""
+    if socket is None:
+        socket = tiny_socket(n_cores=8)
+    if kernel == "lists":
+        fast = FastSocket(socket)
+    else:
+        fast = make_socket_kernel(socket)
+    space = AddressSpace(line_bytes=socket.line_bytes)
+    cores = []
+    for idx, (thread, is_main) in enumerate(threads_and_flags):
+        ctx = ThreadContext(
+            socket=socket,
+            addrspace=space,
+            rng=np.random.default_rng(seed0 + idx),
+            core_id=idx,
+        )
+        thread.start(ctx)
+        cores.append(
+            CoreState(core_id=idx, thread=thread, gen=thread.chunks(), is_main=is_main)
+        )
+    return Scheduler(fast, cores)
+
+
+def fingerprint(sched, outcomes) -> Tuple:
+    """Hex-exact snapshot of every per-core and per-window observable."""
+    rows: List[Tuple] = []
+    for cs in sched.cores:
+        rows.append((
+            cs.core_id, cs.accesses, cs.done, float(cs.clock_ns).hex(),
+            None if cs.finish_ns is None else float(cs.finish_ns).hex(),
+        ))
+    for o in outcomes:
+        rows.append((
+            sorted((k, float(v).hex()) for k, v in o.main_finish_ns.items()),
+            float(o.start_ns).hex(), float(o.end_ns).hex(), o.total_accesses,
+        ))
+    for cid, c in enumerate(sched.fast.counters):
+        rows.append(
+            tuple(getattr(c, f) for f in INT_COUNTERS)
+            + tuple(float(getattr(c, f)).hex() for f in NS_COUNTERS)
+        )
+    return tuple(rows)
+
+
+class FixedThread(SimThread):
+    """Yields ``n_chunks`` chunks of ``size`` accesses (generator path)."""
+
+    def __init__(self, n_chunks=None, size=8, ops=1, name="fixed"):
+        self.n_chunks = n_chunks
+        self.size = size
+        self.ops = ops
+        self.name = name
+        self.base = 0
+
+    def start(self, ctx: ThreadContext) -> None:
+        buf = ctx.addrspace.alloc(64 * self.size * 4, elem_bytes=4)
+        self.base = buf.base_line
+
+    def chunks(self) -> Iterator[AccessChunk]:
+        i = 0
+        while self.n_chunks is None or i < self.n_chunks:
+            lines = [self.base + (j % 4) for j in range(self.size)]
+            yield AccessChunk(lines=lines, ops_per_access=self.ops)
+            i += 1
+
+
+def all_workloads():
+    """All six workloads: four mains + the two paper interference threads."""
+    return [
+        (ProbabilisticBenchmark(UniformDist(), 4 * 1024 * 1024), True),
+        (HotColdProbe(2 * 1024 * 1024, hot_fraction=0.9), True),
+        (StreamTriad(array_bytes=8 * 1024 * 1024), True),
+        (BubbleProbe(0.75), True),
+        (CSThr(buffer_bytes=2 * 1024 * 1024), False),
+        (BWThr(n_buffers=7), False),
+    ]
+
+
+def run_windows(sched, budgets):
+    outcomes = [sched.run(main_access_budget=budgets[0])]
+    for b in budgets[1:]:
+        sched.reopen_mains()
+        outcomes.append(sched.run(main_access_budget=b))
+    return outcomes
+
+
+class TestModeEquivalence:
+    @pytest.mark.parametrize("kernel", ["arrays", "lists"])
+    def test_all_six_workloads_bit_identical(self, monkeypatch, kernel):
+        """chunk == macro-C == macro-py over two windows, both kernels."""
+        prints = {}
+        for label, env in MODES:
+            _set_mode(monkeypatch, env)
+            sched = build_sched(all_workloads(), socket=xeon20mb(), kernel=kernel)
+            outcomes = run_windows(sched, [6_000, 8_000])
+            prints[label] = fingerprint(sched, outcomes)
+        assert prints["macro"] == prints["chunk"]
+        assert prints["macro-py"] == prints["chunk"]
+
+    def test_exotic_shapes_bit_identical(self, monkeypatch):
+        """Pure-hot probe (uniform-block path), zero-pressure bubble (no
+        stream chunks) and a finite fill_block main that exhausts
+        mid-window all agree across modes."""
+        def shape():
+            return [
+                (HotColdProbe(1024 * 1024, hot_fraction=1.0), True),
+                (BubbleProbe(0.0), True),
+                (ProbabilisticBenchmark(
+                    UniformDist(), 1024 * 1024, n_accesses=3_777), True),
+                (CSThr(buffer_bytes=1024 * 1024), False),
+            ]
+
+        prints = {}
+        for label, env in MODES:
+            _set_mode(monkeypatch, env)
+            sched = build_sched(shape(), socket=xeon20mb())
+            outcomes = run_windows(sched, [2_500, 3_000])
+            prints[label] = fingerprint(sched, outcomes)
+        assert prints["macro"] == prints["chunk"]
+        assert prints["macro-py"] == prints["chunk"]
+
+    def test_generator_fallback_bit_identical(self, monkeypatch):
+        """Threads without fill_block ride the generator refill path and
+        still match chunk-at-a-time exactly."""
+        def shape():
+            return [
+                (FixedThread(n_chunks=None, size=10, ops=3, name="m"), True),
+                (FixedThread(n_chunks=None, size=7, ops=1, name="i"), False),
+            ]
+
+        prints = {}
+        for label, env in MODES:
+            _set_mode(monkeypatch, env)
+            sched = build_sched(shape())
+            outcomes = run_windows(sched, [500, 700])
+            prints[label] = fingerprint(sched, outcomes)
+        assert prints["macro"] == prints["chunk"]
+        assert prints["macro-py"] == prints["chunk"]
+
+    def test_small_block_size_bit_identical(self, monkeypatch):
+        """REPRO_SCHED_BLOCK is clamped so multi-chunk cycles always fit;
+        even the smallest block produces identical results."""
+        _set_mode(monkeypatch, {"REPRO_SCHED": "chunk"})
+        ref_sched = build_sched(all_workloads(), socket=xeon20mb())
+        ref = fingerprint(ref_sched, run_windows(ref_sched, [3_000]))
+        _set_mode(
+            monkeypatch, {"REPRO_SCHED": "macro", "REPRO_SCHED_BLOCK": "1"}
+        )
+        small = build_sched(all_workloads(), socket=xeon20mb())
+        assert fingerprint(small, run_windows(small, [3_000])) == ref
+
+
+class TestMacroEdgeCases:
+    def test_budget_exhausts_mid_block(self, monkeypatch):
+        """A window budget far smaller than one staged block stops at the
+        same access count as the chunk path (chunk granularity)."""
+        counts = {}
+        for label, env in MODES:
+            _set_mode(monkeypatch, env)
+            sched = build_sched([(FixedThread(n_chunks=None, size=10), True)])
+            sched.run(main_access_budget=95)
+            counts[label] = sched.cores[0].accesses
+        assert counts["chunk"] == 100  # 10 chunks of 10; >= budget after 10th
+        assert counts["macro"] == counts["chunk"]
+        assert counts["macro-py"] == counts["chunk"]
+
+    def test_generator_exhausts_mid_block(self, monkeypatch):
+        """A finite generator shorter than one block finishes with the
+        exact chunk-path finish time."""
+        prints = {}
+        for label, env in MODES:
+            _set_mode(monkeypatch, env)
+            sched = build_sched([(FixedThread(n_chunks=10, size=9), True)])
+            outcomes = run_windows(sched, [None])
+            assert sched.cores[0].accesses == 90
+            prints[label] = fingerprint(sched, outcomes)
+        assert prints["macro"] == prints["chunk"]
+        assert prints["macro-py"] == prints["chunk"]
+
+    def test_reopen_after_exhaustion_completes_immediately(self, monkeypatch):
+        """A main whose generator ran dry stays finished when the window
+        reopens — same as calling next() on a spent generator."""
+        for label, env in MODES:
+            _set_mode(monkeypatch, env)
+            sched = build_sched([
+                (FixedThread(n_chunks=5, size=10, name="spent"), True),
+                (FixedThread(n_chunks=None, size=10, name="intf"), False),
+            ])
+            sched.run()
+            first = sched.cores[0].accesses
+            sched.reopen_mains()
+            outcome = sched.run(main_access_budget=1_000)
+            assert sched.cores[0].accesses == first == 50, label
+            assert sched.cores[0].done, label
+            assert 0 in outcome.main_finish_ns, label
+
+    def test_interference_runaway_names_offending_core(self, monkeypatch):
+        """The pre-dispatch safety limit fires before the crossing chunk
+        executes and the error names the interference core, in every
+        scheduler mode."""
+        for label, env in MODES:
+            _set_mode(monkeypatch, env)
+            # Main's first chunk costs ~5000 ops, so after the t=0
+            # tie-break the interference core (100-access chunks) is
+            # always least-advanced and crosses max_total first.
+            sched = build_sched([
+                (FixedThread(n_chunks=None, size=1, ops=5000, name="main"), True),
+                (FixedThread(n_chunks=None, size=100, ops=1, name="intf"), False),
+            ])
+            with pytest.raises(SimulationError, match=r"core 1 \('intf'\)"):
+                sched.run(main_access_budget=10_000, max_total_accesses=250)
+            assert sched.fast.counters[1].accesses <= 250, label
+
+    def test_runaway_total_never_overshoots(self, monkeypatch):
+        for label, env in MODES:
+            _set_mode(monkeypatch, env)
+            sched = build_sched([(FixedThread(n_chunks=None, size=10), True)])
+            with pytest.raises(SimulationError, match="exceeded"):
+                sched.run(main_access_budget=10_000, max_total_accesses=95)
+            assert sched.cores[0].accesses <= 95, label
+
+
+class TestModePinning:
+    def test_mode_is_pinned_across_windows(self, monkeypatch):
+        _set_mode(monkeypatch, {"REPRO_SCHED": "macro"})
+        sched = build_sched([(FixedThread(n_chunks=None, size=10), True)])
+        sched.run(main_access_budget=100)
+        sched.reopen_mains()
+        monkeypatch.setenv("REPRO_SCHED", "chunk")
+        with pytest.raises(SimulationError, match="pinned"):
+            sched.run(main_access_budget=100)
+
+    def test_unknown_mode_rejected(self, monkeypatch):
+        _set_mode(monkeypatch, {"REPRO_SCHED": "warp"})
+        sched = build_sched([(FixedThread(n_chunks=1), True)])
+        with pytest.raises(SimulationError, match="REPRO_SCHED"):
+            sched.run()
+
+    def test_bad_block_size_rejected(self, monkeypatch):
+        for bad in ("0", "-4", "lots"):
+            _set_mode(
+                monkeypatch, {"REPRO_SCHED": "macro", "REPRO_SCHED_BLOCK": bad}
+            )
+            sched = build_sched([(FixedThread(n_chunks=1), True)])
+            with pytest.raises(SimulationError, match="REPRO_SCHED_BLOCK"):
+                sched.run()
+
+
+class TestRosterTieBreak:
+    def test_roster_sorted_by_core_id(self):
+        socket = tiny_socket(n_cores=8)
+        fast = FastSocket(socket)
+        space = AddressSpace(line_bytes=socket.line_bytes)
+        cores = []
+        for cid in (5, 1, 3):
+            t = FixedThread(n_chunks=None, size=10, name=f"t{cid}")
+            t.start(ThreadContext(
+                socket=socket, addrspace=space,
+                rng=np.random.default_rng(cid), core_id=cid,
+            ))
+            cores.append(
+                CoreState(core_id=cid, thread=t, gen=t.chunks(), is_main=True)
+            )
+        sched = Scheduler(fast, cores)
+        assert [c.core_id for c in sched.cores] == [1, 3, 5]
+
+    @pytest.mark.parametrize("env", [e for _, e in MODES],
+                             ids=[l for l, _ in MODES])
+    def test_construction_order_does_not_change_results(self, monkeypatch, env):
+        """The t=0 tie-break goes to the lowest core id regardless of the
+        order CoreStates were handed to the Scheduler."""
+        _set_mode(monkeypatch, env)
+
+        def run_order(order):
+            socket = tiny_socket(n_cores=8)
+            fast = FastSocket(socket)
+            space = AddressSpace(line_bytes=socket.line_bytes)
+            cores = {}
+            for cid in sorted(order):
+                t = FixedThread(n_chunks=None, size=10 + cid, name=f"t{cid}")
+                t.start(ThreadContext(
+                    socket=socket, addrspace=space,
+                    rng=np.random.default_rng(cid), core_id=cid,
+                ))
+                cores[cid] = CoreState(
+                    core_id=cid, thread=t, gen=t.chunks(), is_main=True
+                )
+            sched = Scheduler(fast, [cores[c] for c in order])
+            return fingerprint(sched, run_windows(sched, [400]))
+
+        assert run_order([2, 0, 1]) == run_order([0, 1, 2])

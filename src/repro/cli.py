@@ -68,6 +68,7 @@ def _registry() -> Dict[str, Tuple[str, Callable, Optional[Callable]]]:
     from .experiments import fig9 as fig9_mod
     from .experiments import fig10_fig12 as fig1012_mod
     from .experiments import fig11 as fig11_mod
+    from .experiments import numa as numa_mod
     from .experiments import robustness as robustness_mod
 
     return {
@@ -127,6 +128,10 @@ def _registry() -> Dict[str, Tuple[str, Callable, Optional[Callable]]]:
         "robustness": (
             "Extension: statistical vs fixed-threshold onset",
             ex.run_robustness, robustness_mod.render,
+        ),
+        "numa": (
+            "Extension: 2-socket local/remote asymmetry",
+            ex.run_numa, numa_mod.render,
         ),
     }
 

@@ -107,14 +107,33 @@ class ProcessMapping:
             counts[self.distance(rank, n)] += 1
         return counts
 
-    def remote_fraction_ring(self) -> float:
+    def remote_fraction_ring(self, wrap: bool = True) -> float:
         """Fraction of ring-exchange (rank +/- 1) messages leaving the
-        socket under block placement: each socket's p ranks exchange
-        2p messages of which 2 cross the boundary."""
+        socket under block placement.
+
+        ``wrap=True`` models a wrapping ring (rank ``n-1`` exchanges with
+        rank 0): every socket's ``p`` ranks send ``2p`` directed messages
+        of which 2 cross a socket boundary, so the fraction is ``1/p``.
+        ``wrap=False`` models an open chain: the endpoint ranks have one
+        neighbour each, giving ``2(n-1)`` directed messages of which
+        ``2(S-1)`` cross the ``S-1`` interior boundaries — the ``1/p``
+        formula over-counts the missing wrap edge.
+
+        "Leaving the socket" counts every socket crossing; a crossing to
+        the *other socket of the same node* rides the inter-socket (QPI)
+        link and the node's memory system (:class:`Distance.NODE`), while
+        only node crossings are truly remote network traffic
+        (:class:`Distance.REMOTE`). Use :meth:`distance` /
+        :meth:`neighbor_distance_profile` to split the two.
+        """
         p = self.procs_per_socket
-        if self.n_ranks <= p:
+        n = self.n_ranks
+        if n <= p:
             return 0.0
-        return 1.0 / p
+        if wrap:
+            return 1.0 / p
+        sockets = self.sockets_used
+        return (sockets - 1) / (n - 1)
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.n_ranks:

@@ -7,7 +7,8 @@ Public surface:
 - :class:`SocketConfig`, :class:`NodeConfig`, :class:`ClusterConfig`,
   :class:`NetworkConfig` — the machine object graph.
 - Presets: :func:`xeon20mb`, :func:`xeon20mb_node`,
-  :func:`xeon20mb_cluster`, :func:`exascale_node`, :func:`tiny_socket`.
+  :func:`xeon20mb_cluster`, :func:`exascale_node`, :func:`tiny_socket`,
+  :func:`tiny_node`.
 """
 
 from .geometry import CacheGeometry
@@ -22,6 +23,7 @@ from .machine import (
 from .presets import (
     DEFAULT_SCALE,
     exascale_node,
+    tiny_node,
     tiny_socket,
     xeon20mb,
     xeon20mb_cluster,
@@ -37,6 +39,7 @@ __all__ = [
     "ClusterConfig",
     "NetworkConfig",
     "DEFAULT_SCALE",
+    "tiny_node",
     "xeon20mb",
     "xeon20mb_node",
     "xeon20mb_cluster",

@@ -191,19 +191,71 @@ class NetworkConfig:
 
 @dataclass(frozen=True)
 class NodeConfig:
-    """A compute node: ``n_sockets`` identical sockets and node DRAM."""
+    """A compute node: ``n_sockets`` identical sockets and node DRAM.
+
+    Each socket owns its DRAM channels (its ``dram_bandwidth_Bps``); the
+    sockets are joined by a QPI-style inter-socket link. A demand fill
+    whose line is homed on another socket crosses that link: it pays
+    ``remote_penalty_ns`` extra latency (the QPI hop plus the remote
+    memory controller) and occupies ``link_bandwidth_Bps`` of link
+    capacity. ``page_bytes`` is the granularity of the page-placement
+    policies in :class:`~repro.mem.addrspace.AddressSpace`.
+    """
 
     socket: SocketConfig
     n_sockets: int = 2
     dram_bytes: int = 32 * 1024**3
+    #: Extra latency for a fill served by a remote socket's DRAM, ns.
+    #: ~60 ns matches the local/remote asymmetry STREAM-style NUMA
+    #: measurements report on 2-socket Sandy Bridge (remote ~1.7x local).
+    remote_penalty_ns: float = 60.0
+    #: Sustainable data bandwidth of the inter-socket link, bytes/s
+    #: (QPI 8 GT/s on the paper's E5-2670; effective remote STREAM
+    #: bandwidth is well below the local 17 GB/s).
+    link_bandwidth_Bps: float = 12.8e9
+    #: Page size for NUMA placement policies.
+    page_bytes: int = 4096
 
     def __post_init__(self) -> None:
         if self.n_sockets <= 0 or self.dram_bytes <= 0:
             raise ConfigError("node: invalid parameters")
+        if self.remote_penalty_ns < 0:
+            raise ConfigError("node: remote_penalty_ns must be non-negative")
+        if self.link_bandwidth_Bps <= 0:
+            raise ConfigError("node: link bandwidth must be positive")
+        if (
+            self.page_bytes & (self.page_bytes - 1)
+            or self.page_bytes < self.socket.line_bytes
+        ):
+            raise ConfigError(
+                "node: page_bytes must be a power of two >= the line size"
+            )
 
     @property
     def cores_per_node(self) -> int:
         return self.n_sockets * self.socket.n_cores
+
+    def core_of(self, socket_idx: int, local_core: int) -> int:
+        """Global (node-wide) core id of ``local_core`` on ``socket_idx``."""
+        if not 0 <= socket_idx < self.n_sockets:
+            raise ConfigError(f"socket {socket_idx} out of range")
+        if not 0 <= local_core < self.socket.n_cores:
+            raise ConfigError(f"local core {local_core} out of range")
+        return socket_idx * self.socket.n_cores + local_core
+
+    def socket_of_core(self, core: int) -> int:
+        """Socket index owning global core id ``core``."""
+        if not 0 <= core < self.cores_per_node:
+            raise ConfigError(f"core {core} out of range")
+        return core // self.socket.n_cores
+
+    def describe(self) -> str:
+        return (
+            f"node: {self.n_sockets} x [{self.socket.name}], "
+            f"link {as_GBps(self.link_bandwidth_Bps):.3g} GB/s, "
+            f"remote +{self.remote_penalty_ns:.0f} ns, "
+            f"pages {fmt_bytes(self.page_bytes)}"
+        )
 
 
 @dataclass(frozen=True)

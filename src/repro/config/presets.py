@@ -48,8 +48,32 @@ def xeon20mb(scale: int = DEFAULT_SCALE) -> SocketConfig:
 
 
 def xeon20mb_node(scale: int = DEFAULT_SCALE) -> NodeConfig:
-    """A 2-socket Xeon20MB node with 32 GB of RAM (Section IV)."""
-    return NodeConfig(socket=xeon20mb(scale), n_sockets=2, dram_bytes=32 * GiB)
+    """A 2-socket Xeon20MB node with 32 GB of RAM (Section IV).
+
+    QPI 8 GT/s between the sockets: ~12.8 GB/s effective data bandwidth
+    and ~60 ns extra latency for remote-homed fills, the local/remote
+    asymmetry STREAM-style NUMA measurements report on this generation.
+    """
+    return NodeConfig(
+        socket=xeon20mb(scale),
+        n_sockets=2,
+        dram_bytes=32 * GiB,
+        remote_penalty_ns=60.0,
+        link_bandwidth_Bps=GBps(12.8),
+    )
+
+
+def tiny_node(n_sockets: int = 2, n_cores: int = 4) -> NodeConfig:
+    """A miniature multi-socket node for unit tests (tiny sockets, small
+    pages so placement boundaries are easy to hit)."""
+    return NodeConfig(
+        socket=tiny_socket(n_cores=n_cores),
+        n_sockets=n_sockets,
+        dram_bytes=GiB,
+        remote_penalty_ns=60.0,
+        link_bandwidth_Bps=GBps(0.75),
+        page_bytes=1024,
+    )
 
 
 def xeon20mb_cluster(n_nodes: int, scale: int = DEFAULT_SCALE) -> ClusterConfig:

@@ -11,14 +11,16 @@ Public surface:
 - :class:`Scheduler`, :class:`CoreState`, :class:`ScheduleOutcome`
 - :class:`BlockQueues`, :class:`QueueWriter` — macro-step block staging
 - :class:`SocketSimulator` — the facade experiments use
-- :class:`MeasureResult`
+- :class:`NodeSimulator`, :class:`NodeKernel` — multi-socket NUMA node
+- :class:`MeasureResult`, :class:`NodeMeasureResult`
 """
 
 from .arraypath import ArraySocket, make_socket_kernel, resolve_kernel_name
 from .blockq import BlockQueues, QueueWriter
 from .chunk import AccessChunk
 from .fastpath import FastSocket
-from .results import MeasureResult
+from .node import NodeKernel, NodeSimulator
+from .results import MeasureResult, NodeMeasureResult
 from .scheduler import CoreState, ScheduleOutcome, Scheduler
 from .socket_sim import SocketSimulator
 from .thread import SimThread, ThreadContext
@@ -37,5 +39,8 @@ __all__ = [
     "BlockQueues",
     "QueueWriter",
     "SocketSimulator",
+    "NodeSimulator",
+    "NodeKernel",
     "MeasureResult",
+    "NodeMeasureResult",
 ]

@@ -154,7 +154,9 @@ class _ArbiterView:
         return float(self._a[_A_DELAY]) + float(self._a[_A_KNEE])
 
     def utilization(self, window_ns: float) -> float:
-        return min(1.0, self.busy_ns / window_ns) if window_ns > 0 else 0.0
+        # Unclamped, matching BandwidthArbiter (DESIGN decision 10):
+        # over-unity busy fractions are accounting errors and must show.
+        return self.busy_ns / window_ns if window_ns > 0 else 0.0
 
     def reset_counters(self) -> None:
         self._a[_A_BUSY] = 0.0

@@ -63,7 +63,7 @@ class MeasureResult:
             f"window: {self.elapsed_ns / 1e6:.3f} ms simulated, "
             f"makespan {self.makespan_ns / 1e6:.3f} ms, "
             f"link {as_GBps(self.total_bandwidth_Bps()):.2f} GB/s "
-            f"({self.socket.link_utilization() * 100:.0f}% busy)"
+            f"({_utilization_pct(self.socket.link_utilization())} busy)"
         ]
         for core, c in sorted(self.core_counters.items()):
             if c.accesses == 0:
@@ -75,4 +75,66 @@ class MeasureResult:
                 f"L3miss {c.l3_miss_rate * 100:.1f}% | "
                 f"BW {as_GBps(self.bandwidth_Bps(core)):.2f} GB/s"
             )
+        return "\n".join(lines)
+
+
+def _utilization_pct(util: float) -> str:
+    """Render a busy fraction; over-unity values are accounting bugs and
+    must be loud, never clamped (DESIGN decision 10)."""
+    text = f"{util * 100:.0f}%"
+    if util > 1.0:
+        text += (
+            " [ACCOUNTING ERROR: link busy time exceeds the window — "
+            "utilization accounting is over-counting]"
+        )
+    return text
+
+
+@dataclass
+class NodeMeasureResult(MeasureResult):
+    """A :class:`MeasureResult` over a multi-socket node.
+
+    ``core_counters`` are keyed by *global* core id (socket-major:
+    ``socket_idx * n_cores + local_core``); ``socket`` aggregates every
+    socket's traffic. The node-specific extras break the aggregate back
+    down per socket and expose the inter-socket link.
+    """
+
+    #: Per-socket counter snapshots (index = socket id).
+    per_socket: List[SocketCounters] = field(default_factory=list)
+    #: Traffic over the inter-socket (QPI-style) link.
+    xlink_fill_bytes: int = 0
+    xlink_busy_ns: float = 0.0
+    #: The node's configured remote-access penalty (for reports).
+    remote_penalty_ns: float = 0.0
+
+    def xlink_bandwidth_Bps(self) -> float:
+        """Average inter-socket link bandwidth over the window."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.xlink_fill_bytes / (self.elapsed_ns * 1e-9)
+
+    def xlink_utilization(self) -> float:
+        """Inter-socket link busy fraction (unclamped, like every other
+        utilization figure)."""
+        return self.xlink_busy_ns / self.elapsed_ns if self.elapsed_ns > 0 else 0.0
+
+    def remote_fraction(self, core: int) -> float:
+        """Fraction of a core's accesses that touched remote-homed lines."""
+        return self.counters_of(core).remote_fraction
+
+    def summary(self) -> str:
+        lines = [super().summary()]
+        for s, sc in enumerate(self.per_socket):
+            lines.append(
+                f"  socket {s}: link "
+                f"{as_GBps(sc.total_bandwidth_Bps(self.line_bytes)):.2f} GB/s "
+                f"({_utilization_pct(sc.link_utilization())} busy), "
+                f"{sc.total_l3_misses} L3 misses"
+            )
+        lines.append(
+            f"  x-link: {as_GBps(self.xlink_bandwidth_Bps()):.2f} GB/s "
+            f"({_utilization_pct(self.xlink_utilization())} busy), "
+            f"remote penalty {self.remote_penalty_ns:.0f} ns"
+        )
         return "\n".join(lines)

@@ -179,11 +179,14 @@ class Scheduler:
         ids = [c.core_id for c in self.cores]
         if len(set(ids)) != len(ids):
             raise SimulationError(f"duplicate core ids: {ids}")
-        n = fast.socket.n_cores
+        # Node kernels expose the node-wide core count directly (global,
+        # socket-major core ids); plain socket kernels fall back to the
+        # socket geometry.
+        n = getattr(fast, "n_cores", None) or fast.socket.n_cores
         for c in self.cores:
             if not 0 <= c.core_id < n:
                 raise SimulationError(
-                    f"core id {c.core_id} out of range for {n}-core socket"
+                    f"core id {c.core_id} out of range for {n}-core kernel"
                 )
         self._macro: Optional[_MacroState] = None
         self._mode: Optional[str] = None

@@ -13,6 +13,11 @@ Typical use (this is the shape every experiment driver follows)::
 Thread placement follows the paper's protocol: the measured application
 occupies the first cores of the socket and interference threads the
 remaining ones, so they only share the L3 and the DRAM link.
+
+For multi-socket scenarios (socket pinning, NUMA page placement, the
+inter-socket link) use :class:`~repro.engine.node.NodeSimulator`; its
+1-socket configuration is bit-identical to this class
+(``tests/engine/test_node_equivalence.py``).
 """
 
 from __future__ import annotations

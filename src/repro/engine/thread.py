@@ -34,6 +34,9 @@ class ThreadContext:
     addrspace: AddressSpace
     rng: np.random.Generator
     core_id: int
+    #: Socket the core belongs to on a multi-socket node (0 on plain
+    #: single-socket simulations). ``core_id`` is node-global there.
+    socket_id: int = 0
 
     def scaled_bytes(self, physical_bytes: int) -> int:
         """Scale a paper-units size down to simulator units (pass-through

@@ -13,7 +13,7 @@ Fig. 11           :func:`run_fig11`
 Fig. 12           :func:`run_fig12`
 Sec. V            :func:`run_bubble_comparison`
 extension         :func:`run_detection_accuracy`, :func:`run_colocation`,
-                  :func:`run_robustness`
+                  :func:`run_robustness`, :func:`run_numa`
 ablations         :mod:`repro.experiments.ablations`
 ================  ==========================================
 
@@ -31,6 +31,7 @@ from .fig10_fig12 import run_fig10, run_fig12
 from .fig11 import run_fig11
 from .colocation import run_colocation
 from .detection import run_detection_accuracy
+from .numa import run_numa
 from .related_work import run_bubble_comparison
 from .robustness import run_robustness
 from . import ablations, common, related_work
@@ -47,6 +48,7 @@ __all__ = [
     "run_bubble_comparison",
     "run_detection_accuracy",
     "run_colocation",
+    "run_numa",
     "run_robustness",
     "related_work",
     "ablations",

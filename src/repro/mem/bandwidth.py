@@ -26,11 +26,18 @@ the ablation bench quantifies the difference).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..config import SocketConfig
 
 
 class BandwidthArbiter:
-    """Rate-matching DRAM-link arbiter.
+    """Rate-matching link arbiter.
+
+    Built either from a :class:`~repro.config.SocketConfig` (the
+    L3<->DRAM link) or from explicit ``line_bytes``/``bandwidth_Bps``
+    (any other finite link — the node layer uses one per QPI-style
+    inter-socket link).
 
     All fills (demand and prefetch) feed the rate estimate and the
     traffic counters; the returned delay is applied by the engine to
@@ -52,12 +59,28 @@ class BandwidthArbiter:
     #: freezing a thread for an unphysical span).
     MAX_DELAY_SERVICES = 512.0
 
-    def __init__(self, socket: SocketConfig):
-        self.line_bytes = socket.line_bytes
-        self.capacity_Bps = socket.dram_bandwidth_Bps
-        self._throttle_writebacks = socket.throttle_writebacks
+    def __init__(
+        self,
+        socket: Optional[SocketConfig] = None,
+        *,
+        line_bytes: Optional[int] = None,
+        bandwidth_Bps: Optional[float] = None,
+        throttle_writebacks: bool = False,
+    ):
+        if socket is not None:
+            line_bytes = socket.line_bytes
+            bandwidth_Bps = socket.dram_bandwidth_Bps
+            throttle_writebacks = socket.throttle_writebacks
+        if line_bytes is None or bandwidth_Bps is None or bandwidth_Bps <= 0:
+            raise ValueError(
+                "BandwidthArbiter needs a SocketConfig or explicit "
+                "line_bytes and positive bandwidth_Bps"
+            )
+        self.line_bytes = line_bytes
+        self.capacity_Bps = bandwidth_Bps
+        self._throttle_writebacks = throttle_writebacks
         #: Service time for one line transfer, ns.
-        self.service_ns = socket.line_bytes / socket.dram_bandwidth_Bps * 1e9
+        self.service_ns = line_bytes / bandwidth_Bps * 1e9
         #: Monotone high-water mark of request times.
         self._hwm_ns = 0.0
         self._window_start_ns = 0.0
@@ -153,8 +176,14 @@ class BandwidthArbiter:
             self.busy_ns += self.service_ns
 
     def utilization(self, window_ns: float) -> float:
-        """Busy fraction over a window (for reports)."""
-        return min(1.0, self.busy_ns / window_ns) if window_ns > 0 else 0.0
+        """Busy fraction over a window (for reports).
+
+        Deliberately *unclamped* (DESIGN decision 10): a value above 1.0
+        means busy time exceeds the window — an accounting bug that a
+        ``min(1.0, ...)`` would silently paper over. Summaries surface
+        over-unity values as a loud ACCOUNTING ERROR instead.
+        """
+        return self.busy_ns / window_ns if window_ns > 0 else 0.0
 
     def reset_counters(self) -> None:
         """Zero the traffic counters; the rate estimate and controller

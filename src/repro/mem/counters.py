@@ -29,9 +29,18 @@ class CoreCounters:
     prefetch_fills: int = 0
     writebacks: int = 0
     compute_ops: int = 0
+    #: Accesses whose line is homed on another socket of the node
+    #: (page-placement accounting; 0 on single-socket simulations).
+    remote_accesses: int = 0
+    #: DRAM fills served by a remote socket — each crossed the
+    #: inter-socket link and paid the node's remote-access penalty.
+    remote_fills: int = 0
     #: Simulated time attributed to memory stalls / compute, in ns.
     stall_ns: float = 0.0
     compute_ns: float = 0.0
+    #: Time spent on cross-socket transfers (remote penalty + inter-
+    #: socket link queueing); a subset of ``stall_ns``.
+    remote_ns: float = 0.0
     #: Off-socket time (network waits, injected noise) spliced into the
     #: core's timeline by the cluster layer.
     offsocket_ns: float = 0.0
@@ -67,13 +76,20 @@ class CoreCounters:
         fills = self.l3_misses + self.prefetch_fills
         return fills * line_bytes / (self.elapsed_ns * 1e-9)
 
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of accesses that touched remote-homed lines."""
+        return self.remote_accesses / self.accesses if self.accesses else 0.0
+
     def reset(self) -> None:
         self.accesses = 0
         self.l1_hits = self.l2_hits = self.l3_hits = 0
         self.prefetch_hits = self.l3_misses = self.prefetch_fills = 0
         self.writebacks = 0
         self.compute_ops = 0
+        self.remote_accesses = self.remote_fills = 0
         self.stall_ns = self.compute_ns = 0.0
+        self.remote_ns = 0.0
         self.offsocket_ns = 0.0
         self.elapsed_ns = 0.0
 

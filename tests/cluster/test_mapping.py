@@ -80,3 +80,37 @@ class TestValidation:
     def test_describe(self, cluster):
         m = ProcessMapping(cluster, n_ranks=24, procs_per_socket=2)
         assert "24 ranks" in m.describe()
+
+
+class TestRemoteFractionOpenChain:
+    """Regression: ``remote_fraction_ring`` assumed a wrapping ring; an
+    open chain (no rank n-1 <-> 0 edge) has one fewer crossing."""
+
+    def test_open_chain_counts_interior_boundaries(self, cluster):
+        m = ProcessMapping(cluster, n_ranks=24, procs_per_socket=4)
+        # 6 sockets -> 5 interior boundaries; 23 undirected chain edges.
+        assert m.remote_fraction_ring(wrap=False) == pytest.approx(5 / 23)
+        assert m.remote_fraction_ring(wrap=True) == pytest.approx(1 / 4)
+
+    def test_open_chain_never_above_wrapped(self, cluster):
+        """(S-1)/(n-1) <= S/n, equal only at p=1 where every edge
+        crosses either way."""
+        for p in (1, 2, 4):
+            m = ProcessMapping(cluster, n_ranks=24, procs_per_socket=p)
+            open_frac = m.remote_fraction_ring(wrap=False)
+            if p == 1:
+                assert open_frac == m.remote_fraction_ring() == 1.0
+            else:
+                assert open_frac < m.remote_fraction_ring()
+
+    def test_single_socket_zero_both_ways(self, cluster):
+        m = ProcessMapping(cluster, n_ranks=4, procs_per_socket=4)
+        assert m.remote_fraction_ring(wrap=True) == 0.0
+        assert m.remote_fraction_ring(wrap=False) == 0.0
+
+    def test_two_ranks_no_wrap_edge(self, cluster):
+        """2 ranks on 2 sockets: the chain's single edge crosses; the
+        'ring' is the same two directed messages, also crossing."""
+        m = ProcessMapping(cluster, n_ranks=2, procs_per_socket=1)
+        assert m.remote_fraction_ring(wrap=False) == pytest.approx(1.0)
+        assert m.remote_fraction_ring(wrap=True) == pytest.approx(1.0)

@@ -1,0 +1,204 @@
+"""Multi-socket NodeSimulator behaviour: placement, the remote penalty,
+the inter-socket link and cross-socket interference asymmetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ProcessMapping
+from repro.config import tiny_node, xeon20mb_cluster
+from repro.engine import NodeSimulator
+from repro.errors import SimulationError
+from repro.workloads import BWThr, CSThr, PointerChase, UniformDist
+from repro.workloads.synthetic import ProbabilisticBenchmark
+
+
+def bench(n_accesses=None):
+    """DRAM-heavy measured workload (working set >> tiny L3)."""
+    return ProbabilisticBenchmark(UniformDist(), 64 * 1024, n_accesses=n_accesses)
+
+
+class TestPlacementAndPinning:
+    def test_socket_major_core_ids(self):
+        node = tiny_node(n_sockets=2, n_cores=4)
+        sim = NodeSimulator(node, seed=0)
+        assert sim.add_thread(bench(), socket=0, main=True) == 0
+        assert sim.add_thread(CSThr(buffer_bytes=4096), socket=1) == 4
+        assert sim.add_thread(CSThr(buffer_bytes=4096), socket=1) == 5
+        assert sim.add_thread(CSThr(buffer_bytes=4096), socket=0) == 1
+        assert sim.socket_of_core(5) == 1
+
+    def test_socket_full_raises(self):
+        sim = NodeSimulator(tiny_node(n_sockets=2, n_cores=2), seed=0)
+        sim.add_thread(bench(), socket=0, main=True)
+        sim.add_thread(CSThr(buffer_bytes=4096), socket=0)
+        with pytest.raises(SimulationError, match="no free cores"):
+            sim.add_thread(CSThr(buffer_bytes=4096), socket=0)
+
+    def test_bad_socket_and_core_rejected(self):
+        sim = NodeSimulator(tiny_node(n_sockets=2, n_cores=2), seed=0)
+        with pytest.raises(SimulationError, match="socket 2 out of range"):
+            sim.add_thread(bench(), socket=2)
+        with pytest.raises(SimulationError, match="core 4 out of range"):
+            sim.add_thread(bench(), core=4)
+        with pytest.raises(SimulationError, match="home socket"):
+            sim.add_thread(bench(), home_socket=7)
+
+    def test_first_touch_homes_pages_on_running_socket(self):
+        node = tiny_node(n_sockets=2, n_cores=4)
+        sim = NodeSimulator(node, seed=0)
+        c0 = sim.add_thread(bench(), socket=0, main=True)
+        c1 = sim.add_thread(bench(), socket=1, main=True)
+        sim.measure(2_000)
+        # Neither thread touches the other's pages, so all accesses are
+        # local on both sockets.
+        res = sim.measure(2_000)
+        assert res.counters_of(c0).remote_accesses == 0
+        assert res.counters_of(c1).remote_accesses == 0
+        assert res.xlink_fill_bytes == 0
+
+    def test_home_socket_override_makes_everything_remote(self):
+        node = tiny_node(n_sockets=2, n_cores=4)
+        sim = NodeSimulator(node, seed=0)
+        core = sim.add_thread(bench(), socket=0, main=True, home_socket=1)
+        sim.warmup(2_000)
+        res = sim.measure(4_000)
+        c = res.counters_of(core)
+        assert c.remote_accesses == c.accesses
+        assert c.remote_fills > 0
+        assert res.xlink_fill_bytes == c.remote_fills * node.socket.line_bytes
+
+    def test_interleave_placement_splits_traffic(self):
+        node = tiny_node(n_sockets=2, n_cores=4)
+        sim = NodeSimulator(node, seed=0, placement="interleave")
+        core = sim.add_thread(bench(), socket=0, main=True)
+        sim.warmup(2_000)
+        res = sim.measure(4_000)
+        # Pages alternate homes, so roughly half the accesses are remote.
+        assert 0.3 < res.remote_fraction(core) < 0.7
+
+
+class TestRemotePenalty:
+    def test_remote_fills_pay_at_least_the_penalty(self):
+        node = tiny_node(n_sockets=2, n_cores=4)
+        sim = NodeSimulator(node, seed=1)
+        core = sim.add_thread(bench(), socket=0, main=True, home_socket=1)
+        sim.warmup(2_000)
+        res = sim.measure(4_000)
+        c = res.counters_of(core)
+        assert c.remote_fills > 0
+        # remote_ns = fills * penalty + xlink queueing >= fills * penalty.
+        assert c.remote_ns >= c.remote_fills * node.remote_penalty_ns
+        # And it is genuine stall time, inside the core's elapsed time.
+        assert c.remote_ns <= c.stall_ns <= c.elapsed_ns
+
+    def test_remote_latency_exceeds_local(self):
+        node = tiny_node(n_sockets=2, n_cores=4)
+        per_access = {}
+        for tag, home in (("local", None), ("remote", 1)):
+            sim = NodeSimulator(node, seed=1)
+            core = sim.add_thread(
+                PointerChase(8 * node.socket.l3.capacity_bytes),
+                socket=0, main=True, home_socket=home,
+            )
+            sim.warmup(2_000)
+            res = sim.measure(4_000)
+            c = res.counters_of(core)
+            per_access[tag] = c.elapsed_ns / c.accesses
+        # DRAM-resident dependent loads: the remote run pays the QPI
+        # penalty on (nearly) every fill.
+        assert per_access["remote"] > per_access["local"] + 0.5 * node.remote_penalty_ns
+
+    def test_remote_demand_occupies_home_socket_link(self):
+        node = tiny_node(n_sockets=2, n_cores=4)
+        sim = NodeSimulator(node, seed=1)
+        sim.add_thread(bench(), socket=0, main=True, home_socket=1)
+        sim.warmup(2_000)
+        res = sim.measure(4_000)
+        # The requestor's socket serves the misses (caches are requestor
+        # side) AND the home socket's DRAM link carries the same lines.
+        assert res.per_socket[0].link_busy_ns > 0
+        assert res.per_socket[1].link_busy_ns > 0
+
+
+class TestInterferenceAsymmetry:
+    def test_local_bwthr_hurts_more_than_remote_socket_bwthr(self):
+        """The acceptance scenario: k BWThrs sharing the app's socket
+        degrade it strictly more than the same BWThrs on the other
+        socket (own L3, own DRAM link, locally-homed buffers)."""
+        node = tiny_node(n_sockets=2, n_cores=4)
+
+        def run(intf_socket):
+            sim = NodeSimulator(node, seed=2)
+            core = sim.add_thread(bench(), socket=0, main=True)
+            for _ in range(2):
+                sim.add_thread(
+                    BWThr(buffer_bytes=8 * 1024, n_buffers=4),
+                    socket=intf_socket,
+                )
+            sim.warmup(4_000)
+            res = sim.measure(6_000)
+            c = res.counters_of(core)
+            return c.elapsed_ns / c.accesses
+
+        solo_sim = NodeSimulator(node, seed=2)
+        solo_core = solo_sim.add_thread(bench(), socket=0, main=True)
+        solo_sim.warmup(4_000)
+        solo = solo_sim.measure(6_000)
+        base = solo.counters_of(solo_core).elapsed_ns / solo.counters_of(solo_core).accesses
+
+        local = run(intf_socket=0) / base
+        remote = run(intf_socket=1) / base
+        assert local > remote
+        assert local > 1.05  # same-socket BWThrs visibly degrade the app
+        assert remote == pytest.approx(1.0, abs=0.05)  # isolation
+
+    def test_app_spanning_both_sockets_runs(self):
+        """An app with ranks on both sockets: both make progress and the
+        result carries a per-socket breakdown."""
+        node = tiny_node(n_sockets=2, n_cores=4)
+        sim = NodeSimulator(node, seed=3)
+        c0 = sim.add_thread(bench(), socket=0, main=True)
+        c1 = sim.add_thread(bench(), socket=1, main=True)
+        sim.warmup(2_000)
+        res = sim.measure(4_000)
+        assert res.counters_of(c0).accesses > 0
+        assert res.counters_of(c1).accesses > 0
+        assert len(res.per_socket) == 2
+        assert res.per_socket[0].total_accesses > 0
+        assert res.per_socket[1].total_accesses > 0
+
+
+class TestProcessMappingIntegration:
+    def test_add_ranks_block_placement(self):
+        node = tiny_node(n_sockets=2, n_cores=4)
+        cluster = xeon20mb_cluster(n_nodes=1)
+        # 4 ranks, 2 per socket -> sockets 0,0,1,1.
+        mapping = ProcessMapping(cluster, n_ranks=4, procs_per_socket=2)
+        sim = NodeSimulator(node, seed=4)
+        cores = sim.add_ranks(mapping, lambda rank: bench())
+        assert cores == [0, 1, 4, 5]
+        res = sim.measure(1_000)
+        assert sorted(res.main_cores) == [0, 1, 4, 5]
+
+    def test_mapping_wider_than_node_rejected(self):
+        node = tiny_node(n_sockets=2, n_cores=4)
+        cluster = xeon20mb_cluster(n_nodes=2)
+        mapping = ProcessMapping(cluster, n_ranks=4, procs_per_socket=1)
+        sim = NodeSimulator(node, seed=0)
+        with pytest.raises(SimulationError, match="sockets"):
+            sim.add_ranks(mapping, lambda rank: bench())
+
+
+class TestNodeResultSummary:
+    def test_summary_lists_sockets_and_xlink(self):
+        node = tiny_node(n_sockets=2, n_cores=4)
+        sim = NodeSimulator(node, seed=5)
+        sim.add_thread(bench(), socket=0, main=True, home_socket=1)
+        sim.warmup(1_000)
+        res = sim.measure(2_000)
+        text = res.summary()
+        assert "socket 0" in text and "socket 1" in text
+        assert "x-link" in text
+        assert res.xlink_utilization() > 0.0
+        assert res.xlink_bandwidth_Bps() > 0.0

@@ -1,0 +1,38 @@
+"""The numa driver's acceptance behaviours (smoke geometry)."""
+
+import pytest
+
+from repro.analysis import ExperimentRecord
+from repro.experiments import run_numa
+from repro.experiments import numa as numa_mod
+
+
+@pytest.mark.slow
+class TestNumaDriver:
+    def test_acceptance_asymmetries(self):
+        rec = run_numa(mode="smoke")
+        assert isinstance(rec, ExperimentRecord)
+        d = rec.data
+
+        # STREAM-style placement asymmetry: remote-homed pages cost
+        # bandwidth and latency.
+        assert 0.0 < d["stream_remote_ratio"] < 1.0
+        assert d["chase_remote_extra_ns"] > 0.0
+        # Remote fills pay at least the configured penalty apiece.
+        stats = d["remote_fill_stats"]
+        assert stats["remote_fills"] > 0
+        assert stats["ns_per_remote_fill"] >= rec.params["remote_penalty_ns"]
+        assert stats["remote_fraction"] == pytest.approx(1.0)
+
+        # Acceptance: local BWThrs degrade the first-touch app strictly
+        # more than the same BWThrs pinned to the other socket.
+        for k, row in d["interference_slowdown"].items():
+            assert row["local"] > row["remote"], f"k={k}"
+            assert row["isolation_gain"] > 1.0
+
+        # Spanning ranks: the spread mapping keeps traffic local under
+        # first-touch, so remote fractions stay negligible.
+        for row in d["rank_spanning"].values():
+            assert row["remote_fraction"] < 0.05
+
+        assert numa_mod.render(rec)

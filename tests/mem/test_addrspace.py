@@ -102,3 +102,104 @@ def test_property_no_line_sharing_ever(sizes):
         lines = set(range(buf.base_line, buf.base_line + buf.n_lines))
         assert not (lines & seen_lines)
         seen_lines |= lines
+
+
+class TestFailedAllocLeavesStateIntact:
+    """Regression: a failed alloc must not move the bump pointer (the
+    capacity check used to run *after* committing ``_next``)."""
+
+    def test_used_bytes_unchanged_after_failure(self):
+        space = AddressSpace(line_bytes=64, capacity_bytes=4096)
+        space.alloc(1024)
+        used = space.used_bytes
+        n_allocs = len(space.allocations())
+        with pytest.raises(AllocationError, match="exhausted"):
+            space.alloc(1 << 20)
+        assert space.used_bytes == used
+        assert len(space.allocations()) == n_allocs
+
+    def test_allocator_usable_after_failure(self):
+        space = AddressSpace(line_bytes=64, capacity_bytes=4096)
+        with pytest.raises(AllocationError):
+            space.alloc(1 << 20)
+        b = space.alloc(512)  # plenty of room left: must succeed
+        assert b.size_bytes == 512
+        # And the buffer sits exactly where it would have without the
+        # failed attempt in between.
+        fresh = AddressSpace(line_bytes=64, capacity_bytes=4096).alloc(512)
+        assert b.base == fresh.base
+
+
+class TestPagePlacement:
+    def test_single_domain_homes_everything_on_zero(self):
+        space = AddressSpace(line_bytes=64)
+        b = space.alloc(4096)
+        homes = space.homes_of_lines(b.sequential_lines())
+        assert (homes == 0).all()
+
+    def test_first_touch_follows_touch_socket(self):
+        space = AddressSpace(line_bytes=64, n_domains=2, page_bytes=1024)
+        a = space.alloc(4096)
+        space.set_touch_socket(1)
+        b = space.alloc(4096)
+        assert (space.homes_of_lines(a.sequential_lines()) == 0).all()
+        homes_b = space.homes_of_lines(b.sequential_lines())
+        # All of b's pages except possibly the first (which can straddle
+        # a's last, already-homed page) belong to socket 1.
+        assert (homes_b[space.page_bytes // 64:] == 1).all()
+        assert homes_b.max() == 1
+
+    def test_straddling_page_keeps_first_home(self):
+        """First-touch is per *page*: the second allocation cannot
+        re-home a page the first already touched."""
+        space = AddressSpace(line_bytes=64, n_domains=2, page_bytes=1024)
+        a = space.alloc(256)  # well inside page 0
+        space.set_touch_socket(1)
+        b = space.alloc(256)  # also page 0
+        assert space.home_of_line(b.base_line) == 0
+
+    def test_interleave_round_robins_pages(self):
+        space = AddressSpace(
+            line_bytes=64, n_domains=2, placement="interleave", page_bytes=1024
+        )
+        b = space.alloc(8 * 1024)
+        lines = b.sequential_lines()
+        pages = lines >> (10 - 6)  # page_shift - line_shift
+        homes = space.homes_of_lines(lines)
+        assert (homes == pages % 2).all()
+        assert set(homes.tolist()) == {0, 1}
+
+    def test_explicit_home_overrides_policy(self):
+        space = AddressSpace(line_bytes=64, n_domains=4, page_bytes=1024)
+        b = space.alloc(4096, home=3)
+        homes = space.homes_of_lines(b.sequential_lines())
+        assert (homes == 3).all()
+
+    def test_never_allocated_pages_home_zero(self):
+        space = AddressSpace(line_bytes=64, n_domains=2, page_bytes=1024)
+        assert space.home_of_line(1 << 40) == 0
+        far = np.array([1 << 40, 1 << 41], dtype=np.int64)
+        assert (space.homes_of_lines(far) == 0).all()
+
+    def test_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            AddressSpace(n_domains=0)
+        with pytest.raises(ConfigError):
+            AddressSpace(placement="random")
+        with pytest.raises(ConfigError):
+            AddressSpace(line_bytes=64, page_bytes=32)  # page < line
+        with pytest.raises(ConfigError):
+            AddressSpace(page_bytes=3000)  # not a power of two
+        space = AddressSpace(n_domains=2)
+        with pytest.raises(ConfigError):
+            space.set_touch_socket(2)
+        with pytest.raises(ConfigError):
+            space.alloc(64, home=5)
+
+    def test_page_table_grows_on_demand(self):
+        space = AddressSpace(line_bytes=64, n_domains=2, page_bytes=1024)
+        space.set_touch_socket(1)
+        big = space.alloc(16 * 1024 * 1024)  # far beyond the initial table
+        assert space.home_of_line(big.base_line + big.n_lines - 1) == 1

@@ -144,3 +144,34 @@ class TestWritebackThrottling:
             arb.note_writeback(t)  # doubles the traffic -> ~100% load
         assert arb.offered_rho() > 0.8
         assert arb.busy_ns > 0.0
+
+
+class TestUtilizationUnclamped:
+    """Regression (DESIGN decision 10): utilization used to be clamped
+    with ``min(1.0, ...)``, silently hiding over-counting bugs."""
+
+    def test_reports_over_unity(self):
+        arb = make()
+        for _ in range(100):
+            arb.request_fill(0.0)
+        window = 10 * arb.service_ns  # busy = 100 services >> window
+        assert arb.utilization(window) == pytest.approx(10.0)
+
+    def test_zero_window_is_zero(self):
+        assert make().utilization(0.0) == 0.0
+
+    def test_explicit_link_constructor(self):
+        """The node layer builds arbiters without a SocketConfig."""
+        arb = BandwidthArbiter(line_bytes=64, bandwidth_Bps=1e9)
+        assert arb.service_ns == pytest.approx(64.0)
+        with pytest.raises(ValueError):
+            BandwidthArbiter()
+        with pytest.raises(ValueError):
+            BandwidthArbiter(line_bytes=64, bandwidth_Bps=0.0)
+
+    def test_summary_flags_accounting_error(self):
+        from repro.engine.results import _utilization_pct
+
+        assert "ACCOUNTING ERROR" in _utilization_pct(1.2)
+        assert "ACCOUNTING ERROR" not in _utilization_pct(1.0)
+        assert _utilization_pct(0.5) == "50%"

@@ -158,3 +158,39 @@ def test_bench_multicore_macro_speedup(benchmark, shape):
         f"{shape}: macro scheduler is only {speedup:.2f}x chunk-at-a-time "
         f"(floor {MIN_MACRO_SPEEDUP}x)"
     )
+
+
+#: Batched sweeps must never be slower than per-point macro sweeps.
+#: The honest margin here is deliberately thin: PR 5's macro scheduler
+#: already amortised the per-chunk ctypes crossings, so what batching
+#: removes is per-point session overhead (simulator construction,
+#: window setup, one C call per scheduling round instead of one per
+#: point-round). On the 9-point bench campaign that is ~1.2-1.4x —
+#: the remaining floor (arena/RNG/workload construction, chunk
+#: generation, the C step itself) is pinned by the bit-identity
+#: contract and paid equally by both modes. 1.05x is a regression
+#: gate, not a marketing number.
+MIN_SWEEP_SPEEDUP = 1.05
+
+SWEEP_GATE_ROUNDS = 3
+
+
+def test_bench_sweep_batched_speedup(benchmark):
+    """Batched campaign >= 1.05x the per-point macro campaign."""
+    from repro.bench import run_sweep_bench
+
+    rates = run_sweep_bench(rounds=SWEEP_GATE_ROUNDS)
+    per_point = rates["per-point-macro"]
+    batched = rates["batched"]
+
+    def report():
+        return batched
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+    speedup = batched / per_point
+    print(f"\nsweep: per-point {per_point:,.0f} acc/s, "
+          f"batched {batched:,.0f} acc/s ({speedup:.2f}x)")
+    assert speedup >= MIN_SWEEP_SPEEDUP, (
+        f"sweep: batched backend is only {speedup:.2f}x per-point macro "
+        f"(floor {MIN_SWEEP_SPEEDUP}x)"
+    )

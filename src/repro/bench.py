@@ -36,6 +36,15 @@ shapes that dominate campaign wall time:
 ``mc_mixed``
     1 x probabilistic benchmark + 2 x CSThr + 2 x BWThr + 1 x STREAM
     triad (the colocation-campaign regime).
+
+The ``sweep`` shape (schema v3) benchmarks whole-campaign orchestration:
+a 9-point mixed-kind interference campaign (cs k=0..4 + bw k=0..3)
+measured once per point (``per-point-macro``) and once through the
+sweep-batched engine (``batched`` — every point advancing in lockstep
+inside one kernel session, see :mod:`repro.engine.sweeppath`). The
+recorded ``speedup_batched_vs_macro`` documents what batching buys in
+the short-window, fine-quantum regime where per-point Python
+orchestration dominates campaign wall time.
 """
 
 from __future__ import annotations
@@ -67,7 +76,7 @@ from .obs.tracer import tracer as current_tracer
 DEFAULT_N_ACCESSES = 200_000
 DEFAULT_ROUNDS = 3
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def _random_chunks(n: int, quantum: int = 256) -> list:
@@ -152,6 +161,78 @@ MC_SHAPES: Dict[str, Callable[[], List[Tuple[SimThread, bool]]]] = {
     "mc_bwthr": _mc_bwthr,
     "mc_mixed": _mc_mixed,
 }
+
+#: The sweep shape: a 9-point mixed-kind campaign in the short-window,
+#: fine-quantum regime. Full-size campaign windows are kernel-bound
+#: (~80% of wall time inside the compiled step), which caps any
+#: orchestration win; short windows at a fine quantum are where
+#: per-point Python overhead — task/payload construction, window
+#: setup, per-point scheduler loops — dominates, and that is exactly
+#: the overhead sweep batching amortises.
+SWEEP_SHAPE = "sweep"
+SWEEP_POINTS: List[Tuple[str, int]] = (
+    [("cs", k) for k in range(5)] + [("bw", k) for k in range(4)]
+)
+SWEEP_WARMUP = 512
+SWEEP_MEASURE = 1024
+SWEEP_QUANTUM = 16
+
+
+def _sweep_campaign(socket: SocketConfig):
+    from .core.parallel import PointRunner
+    from .core.sweep import ActiveMeasurement
+    from .workloads.distributions import UniformDist
+    from .workloads.synthetic import ProbabilisticBenchmark
+
+    return ActiveMeasurement(
+        socket,
+        lambda: ProbabilisticBenchmark(
+            UniformDist(), 8 * 1024 * 1024, quantum=SWEEP_QUANTUM
+        ),
+        seed=11,
+        warmup_accesses=SWEEP_WARMUP,
+        measure_accesses=SWEEP_MEASURE,
+        runner=PointRunner(backend="serial", retries=0),
+    )
+
+
+def run_sweep_bench(
+    socket: Optional[SocketConfig] = None, rounds: int = DEFAULT_ROUNDS
+) -> Dict[str, float]:
+    """Time the 9-point sweep campaign per-point and batched.
+
+    Both modes run the same campaign through the same
+    :class:`~repro.core.parallel.PointRunner` machinery (uncached, so
+    every point simulates); the batched mode folds all 9 points —
+    mixed kinds included — into one sweep-batched kernel session. The
+    rate denominator is the campaign's total main-thread access budget,
+    identical across modes, so the ratio is a pure wall-time ratio.
+    """
+    if socket is None:
+        socket = xeon20mb()
+    total_main = len(SWEEP_POINTS) * (SWEEP_WARMUP + SWEEP_MEASURE)
+    rates: Dict[str, float] = {}
+    # Batching rides the macro scheduler; pin it (and the compiled step,
+    # when available) regardless of ambient REPRO_SCHED overrides.
+    with _sched_env({}):
+        for mode in ("per-point-macro", "batched"):
+            batched = mode == "batched"
+            best = float("inf")
+            for rnd in range(rounds):
+                am = _sweep_campaign(socket)
+                runner = am._batched_runner() if batched else am.runner
+                tasks = [
+                    am.point_task(kind, k, batch=batched)
+                    for kind, k in SWEEP_POINTS
+                ]
+                with trace_span(f"sweep/{mode}", cat="bench.round",
+                                mode=mode, round=rnd):
+                    t0 = time.perf_counter()
+                    runner.run(tasks)
+                    best = min(best, time.perf_counter() - t0)
+            rates[mode] = total_main / best
+    return rates
+
 
 _SCHED_ENV_VARS = ("REPRO_SCHED", "REPRO_NO_CSCHED", "REPRO_SCHED_BLOCK")
 
@@ -245,18 +326,27 @@ def run_engine_bench(
     """
     if socket is None:
         socket = xeon20mb()
+    known = f"{sorted(SHAPES)} + {sorted(MC_SHAPES)} + [{SWEEP_SHAPE!r}]"
     if shapes is None:
         sc_shapes = dict(SHAPES)
         mc_shapes = list(MC_SHAPES)
+        run_sweep = True
     else:
-        unknown = [s for s in shapes if s not in SHAPES and s not in MC_SHAPES]
+        unknown = [
+            s for s in shapes
+            if s not in SHAPES and s not in MC_SHAPES and s != SWEEP_SHAPE
+        ]
         if unknown:
             raise ValueError(
-                f"unknown bench shape(s) {unknown!r}; known: "
-                f"{sorted(SHAPES)} + {sorted(MC_SHAPES)}"
+                f"unknown bench shape(s) {unknown!r}; known: {known}"
             )
         sc_shapes = {s: SHAPES[s] for s in shapes if s in SHAPES}
         mc_shapes = [s for s in shapes if s in MC_SHAPES]
+        run_sweep = SWEEP_SHAPE in shapes
+        if not sc_shapes and not mc_shapes and not run_sweep:
+            # An empty selection (e.g. ``--shapes ""``) used to "run"
+            # nothing and write an empty baseline; fail loudly instead.
+            raise ValueError(f"no bench shapes selected; known: {known}")
     results: Dict[str, Dict[str, float]] = {}
     mc_results: Dict[str, Dict[str, float]] = {}
     # Tracing sits at (shape, kernel, round) granularity — never inside
@@ -295,12 +385,16 @@ def run_engine_bench(
                             best = min(best, time.perf_counter() - t0)
                     total = outcome.total_accesses
                 mc_results[shape][mode] = total / best
+        sweep_results: Dict[str, Dict[str, float]] = {}
+        if run_sweep:
+            sweep_results[SWEEP_SHAPE] = run_sweep_bench(socket, rounds)
         tracer = current_tracer()
         if tracer.enabled:
             tracer.record_counters("bench.engine", {
                 f"{shape}.{kname}": rate
                 for shape, by_kernel in
                 list(results.items()) + list(mc_results.items())
+                + list(sweep_results.items())
                 for kname, rate in by_kernel.items()
             })
     out: Dict[str, object] = {
@@ -319,6 +413,11 @@ def run_engine_bench(
         "speedup_macro_vs_chunk": {
             shape: mc_results[shape]["sched-macro"] / mc_results[shape]["sched-chunk"]
             for shape in mc_results
+        },
+        "sweep_accesses_per_sec": sweep_results,
+        "speedup_batched_vs_macro": {
+            shape: rates["batched"] / rates["per-point-macro"]
+            for shape, rates in sweep_results.items()
         },
     }
     return out
@@ -361,6 +460,12 @@ def format_engine_bench(baseline: Dict[str, object]) -> str:
             "multicore scheduler throughput (total accesses/sec):", mc_rates,
             "macro/chunk", baseline["speedup_macro_vs_chunk"],
         )
+    sweep_rates = baseline.get("sweep_accesses_per_sec", {})
+    if sweep_rates:
+        lines += _format_rate_table(
+            "sweep campaign throughput (main accesses/sec):", sweep_rates,
+            "batched/macro", baseline["speedup_batched_vs_macro"],
+        )
     return "\n".join(lines)
 
 
@@ -372,7 +477,8 @@ def compare_engine_bench(
     Never raises on regressions — machines differ; this exists so CI logs
     show the delta."""
     lines = ["change vs stored baseline (informational):"]
-    for section in ("accesses_per_sec", "multicore_accesses_per_sec"):
+    for section in ("accesses_per_sec", "multicore_accesses_per_sec",
+                    "sweep_accesses_per_sec"):
         ref_rates = reference.get(section, {})
         for shape, by_kernel in baseline.get(section, {}).items():
             for kname, rate in by_kernel.items():

@@ -11,18 +11,24 @@ Public surface:
 - :class:`Scheduler`, :class:`CoreState`, :class:`ScheduleOutcome`
 - :class:`BlockQueues`, :class:`QueueWriter` — macro-step block staging
 - :class:`SocketSimulator` — the facade experiments use
+- :class:`SweepSession`, :class:`SweepArena` — sweep-batched execution
+  (N points per kernel session, ``REPRO_SWEEP``)
 - :class:`NodeSimulator`, :class:`NodeKernel` — multi-socket NUMA node
 - :class:`MeasureResult`, :class:`NodeMeasureResult`
+- :func:`env_choice`, :func:`env_positive_int` — validated env-knob
+  parsing shared by every engine module
 """
 
 from .arraypath import ArraySocket, make_socket_kernel, resolve_kernel_name
 from .blockq import BlockQueues, QueueWriter
 from .chunk import AccessChunk
+from .envconf import env_choice, env_positive_int
 from .fastpath import FastSocket
 from .node import NodeKernel, NodeSimulator
 from .results import MeasureResult, NodeMeasureResult
 from .scheduler import CoreState, ScheduleOutcome, Scheduler
 from .socket_sim import SocketSimulator
+from .sweeppath import SweepArena, SweepSession, resolve_sweep_mode, sweep_supported
 from .thread import SimThread, ThreadContext
 
 __all__ = [
@@ -39,6 +45,12 @@ __all__ = [
     "BlockQueues",
     "QueueWriter",
     "SocketSimulator",
+    "SweepSession",
+    "SweepArena",
+    "resolve_sweep_mode",
+    "sweep_supported",
+    "env_choice",
+    "env_positive_int",
     "NodeSimulator",
     "NodeKernel",
     "MeasureResult",

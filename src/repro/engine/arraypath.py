@@ -47,6 +47,7 @@ from __future__ import annotations
 import ctypes
 import os
 import warnings
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 import numpy as np
@@ -56,6 +57,7 @@ from ..errors import ConfigError
 from ..mem.counters import CoreCounters, SocketCounters
 from . import _ckernel
 from .chunk import AccessChunk
+from .envconf import env_choice
 from .fastpath import FastSocket
 
 EMPTY_TAG = _ckernel.EMPTY_TAG
@@ -182,6 +184,72 @@ class _PrefetcherView:
         self._owner._pf_issued[self._core] = 0
 
 
+@dataclass
+class SocketArrays:
+    """One simulation point's mutable kernel state as plain arrays.
+
+    :class:`ArraySocket` adopts whatever arrays it is handed — normally a
+    fresh single-point allocation from :meth:`allocate`, but equally rows
+    of a batch allocation with a per-point leading axis
+    (:class:`repro.engine.sweeppath.SweepArena`), which is how N sweep
+    points share one structure-of-arrays layout while each kernel sees
+    ordinary C-contiguous 1-D views.
+    """
+
+    tags1: np.ndarray
+    ages1: np.ndarray
+    tags2: np.ndarray
+    ages2: np.ndarray
+    tags3: np.ndarray
+    ages3: np.ndarray
+    owner3: Optional[np.ndarray]
+    arrival3: np.ndarray
+    dirty: np.ndarray
+    iregs: np.ndarray
+    aregs: np.ndarray
+    airegs: np.ndarray
+    pf_sid: np.ndarray
+    pf_last: np.ndarray
+    pf_stride: np.ndarray
+    pf_streak: np.ndarray
+    pf_expected: np.ndarray
+    pf_order: np.ndarray
+    pf_count: np.ndarray
+    pf_issued: np.ndarray
+
+    @classmethod
+    def allocate(cls, socket: SocketConfig, track_owner: bool = False) -> "SocketArrays":
+        n = socket.n_cores
+        s1, w1 = socket.l1.n_sets, socket.l1.ways
+        s2, w2 = socket.l2.n_sets, socket.l2.ways
+        s3, w3 = socket.l3.n_sets, socket.l3.ways
+        ns = socket.prefetch.n_streams
+        return cls(
+            tags1=np.full(n * s1 * w1, EMPTY_TAG, dtype=np.int64),
+            ages1=np.zeros(n * s1 * w1, dtype=np.int64),
+            tags2=np.full(n * s2 * w2, EMPTY_TAG, dtype=np.int64),
+            ages2=np.zeros(n * s2 * w2, dtype=np.int64),
+            tags3=np.full(s3 * w3, EMPTY_TAG, dtype=np.int64),
+            ages3=np.zeros(s3 * w3, dtype=np.int64),
+            owner3=np.full(s3 * w3, -1, dtype=np.int64) if track_owner else None,
+            arrival3=np.full(s3 * w3, -1.0, dtype=np.float64),
+            dirty=np.zeros(_DIRTY_CAP0, dtype=np.uint8),
+            # [0]=L3 age counter, [1]=pending staged-line count,
+            # [2+2c]/[3+2c]=core c's L1/L2 age counters.
+            iregs=np.zeros(2 + 2 * n, dtype=np.int64),
+            aregs=np.zeros(7, dtype=np.float64),
+            airegs=np.zeros(4, dtype=np.int64),
+            pf_sid=np.zeros(n * ns, dtype=np.int64),
+            pf_last=np.zeros(n * ns, dtype=np.int64),
+            pf_stride=np.zeros(n * ns, dtype=np.int64),
+            pf_streak=np.zeros(n * ns, dtype=np.int64),
+            pf_expected=np.zeros(n * ns, dtype=np.int64),
+            pf_order=np.zeros(n * ns, dtype=np.int64),
+            pf_count=np.zeros(n, dtype=np.int64),
+            pf_issued=np.zeros(n, dtype=np.int64),
+        )
+
+
 class ArraySocket:
     """Array-native socket kernel; public API matches ``FastSocket``.
 
@@ -196,6 +264,11 @@ class ArraySocket:
         ``"c"`` (compiled hot loop), ``"py"`` (pure-Python loop over the
         same arrays), or ``None`` to pick ``"c"`` when a compiler is
         available and ``"py"`` otherwise.
+    arrays:
+        Externally-allocated kernel state (must match ``socket``'s
+        geometry and be freshly initialised); ``None`` allocates a
+        private :class:`SocketArrays`. Batch sessions pass per-point rows
+        of one :class:`~repro.engine.sweeppath.SweepArena` here.
     """
 
     def __init__(
@@ -203,6 +276,7 @@ class ArraySocket:
         socket: SocketConfig,
         track_owner: bool = False,
         backend: Optional[str] = None,
+        arrays: Optional[SocketArrays] = None,
     ):
         self.socket = socket
         n = socket.n_cores
@@ -223,34 +297,35 @@ class ArraySocket:
         self._w1, self._w2, self._w3 = w1, w2, w3
         self._blk1, self._blk2 = s1 * w1, s2 * w2
 
-        self._tags1 = np.full(n * s1 * w1, EMPTY_TAG, dtype=np.int64)
-        self._ages1 = np.zeros(n * s1 * w1, dtype=np.int64)
-        self._tags2 = np.full(n * s2 * w2, EMPTY_TAG, dtype=np.int64)
-        self._ages2 = np.zeros(n * s2 * w2, dtype=np.int64)
-        self._tags3 = np.full(s3 * w3, EMPTY_TAG, dtype=np.int64)
-        self._ages3 = np.zeros(s3 * w3, dtype=np.int64)
-        self._owner3: Optional[np.ndarray] = (
-            np.full(s3 * w3, -1, dtype=np.int64) if track_owner else None
-        )
-        self._arrival3 = np.full(s3 * w3, -1.0, dtype=np.float64)
-        self._dirty = np.zeros(_DIRTY_CAP0, dtype=np.uint8)
-        self._dirty_cap = _DIRTY_CAP0
+        if arrays is None:
+            arrays = SocketArrays.allocate(socket, track_owner=track_owner)
+        elif track_owner and arrays.owner3 is None:
+            raise ConfigError(
+                "track_owner=True but the supplied SocketArrays has no owner3"
+            )
+        self._tags1 = arrays.tags1
+        self._ages1 = arrays.ages1
+        self._tags2 = arrays.tags2
+        self._ages2 = arrays.ages2
+        self._tags3 = arrays.tags3
+        self._ages3 = arrays.ages3
+        self._owner3: Optional[np.ndarray] = arrays.owner3 if track_owner else None
+        self._arrival3 = arrays.arrival3
+        self._dirty = arrays.dirty
+        self._dirty_cap = int(arrays.dirty.size)
 
-        # [0]=L3 age counter, [1]=pending staged-line count,
-        # [2+2c]/[3+2c]=core c's L1/L2 age counters.
-        self._iregs = np.zeros(2 + 2 * n, dtype=np.int64)
-        self._aregs = np.zeros(7, dtype=np.float64)
-        self._airegs = np.zeros(4, dtype=np.int64)
+        self._iregs = arrays.iregs
+        self._aregs = arrays.aregs
+        self._airegs = arrays.airegs
 
-        ns = socket.prefetch.n_streams
-        self._pf_sid = np.zeros(n * ns, dtype=np.int64)
-        self._pf_last = np.zeros(n * ns, dtype=np.int64)
-        self._pf_stride = np.zeros(n * ns, dtype=np.int64)
-        self._pf_streak = np.zeros(n * ns, dtype=np.int64)
-        self._pf_expected = np.zeros(n * ns, dtype=np.int64)
-        self._pf_order = np.zeros(n * ns, dtype=np.int64)
-        self._pf_count = np.zeros(n, dtype=np.int64)
-        self._pf_issued = np.zeros(n, dtype=np.int64)
+        self._pf_sid = arrays.pf_sid
+        self._pf_last = arrays.pf_last
+        self._pf_stride = arrays.pf_stride
+        self._pf_streak = arrays.pf_streak
+        self._pf_expected = arrays.pf_expected
+        self._pf_order = arrays.pf_order
+        self._pf_count = arrays.pf_count
+        self._pf_issued = arrays.pf_issued
 
         self.arbiter = _ArbiterView(socket, self._aregs, self._airegs)
         self.prefetchers = [_PrefetcherView(self, c) for c in range(n)]
@@ -728,81 +803,123 @@ class ArraySocket:
 SocketKernel = Union[FastSocket, ArraySocket]
 
 
-def bind_sched_step(fast: SocketKernel, st) -> Optional[object]:
-    """Bind the compiled ``sched_step`` to ``fast`` and a scheduler
-    macro-state ``st`` (see :class:`repro.engine.scheduler._MacroState`).
+class _SchedBinding:
+    """The compiled scheduler's SCH struct bound to one kernel and one
+    macro-state. Built once per macro-state (the arrays it points at
+    never move) and reused for every window; only the queue line arena —
+    reallocated by ``grow_lines`` — and the Python-side scalar mirrors
+    need refreshing around each crossing.
 
-    Returns a ``step(max_steps) -> status`` callable, or ``None`` when
-    the macro loop must run in pure Python: list kernel, pure-Python
-    array backend, or ``REPRO_NO_CSCHED=1`` (which forces the Python
-    macro-step while keeping the compiled per-chunk loop — the
-    differential-testing knob for the scheduler port).
+    The sweep-batch driver (:mod:`repro.engine.sweeppath`) uses
+    :meth:`sync_in`/:meth:`sync_out` directly around a many-point
+    ``sweep_step`` call; the per-point path wraps both in :meth:`step`.
     """
+
+    def __init__(self, fast: "ArraySocket", st):
+        self.fast = fast
+        self.st = st
+        lib = fast._lib
+        assert lib is not None
+        self._lib = lib
+        q = st.q
+        self._q = q
+        sch = _ckernel.SCHStruct()
+        sch.core_ids = st.core_ids.ctypes.data
+        sch.clock = st.clock.ctypes.data
+        sch.accesses = st.accesses.ctypes.data
+        sch.flags = st.flags.ctypes.data
+        sch.finish = st.finish.ctypes.data
+        sch.goal = st.goal.ctypes.data
+        sch.head = q.head.ctypes.data
+        sch.count = q.count.ctypes.data
+        sch.qoff = q.off.ctypes.data
+        sch.qlen = q.clen.ctypes.data
+        sch.qwrite = q.cwrite.ctypes.data
+        sch.qops = q.cops.ctypes.data
+        sch.qsid = q.csid.ctypes.data
+        sch.qser = q.cser.ctypes.data
+        sch.qpf = q.cpf.ctypes.data
+        sch.qextra = q.cextra.ctypes.data
+        sch.cnt = st.cnt.ctypes.data
+        sch.fcnt = st.fcnt.ctypes.data
+        sch.n = q.n_slots
+        sch.chunk_cap = q.chunk_cap
+        sch.ns_per_op = fast._ns_per_op
+        sch.dram_mlp_ns = fast._dram_ns
+        sch.dram_serial_ns = fast._dram_serial_ns
+        self.sch = sch
+        self._schp = ctypes.byref(sch)
+        self._bound_generation = -1  # force a qlines refresh on first call
+
+    def sync_in(self) -> None:
+        """Mirror Python-side scheduling scalars into the struct (and
+        rebind the line arena if a refill reallocated it)."""
+        sch, q, st = self.sch, self._q, self.st
+        if self._bound_generation != q.generation:
+            sch.qlines = q.lines.ctypes.data
+            sch.line_cap = q.line_cap
+            self._bound_generation = q.generation
+        sch.max_total = st.max_total
+        sch.total = st.total
+        sch.active_mains = st.active_mains
+
+    def sync_out(self) -> None:
+        """Mirror the struct's scalars back after a compiled crossing."""
+        sch, st = self.sch, self.st
+        st.total = int(sch.total)
+        st.active_mains = int(sch.active_mains)
+        st.event = int(sch.event)
+
+    def step(self, max_steps: int) -> int:
+        self.sync_in()
+        status = int(
+            self._lib.sched_step(
+                self.fast._ksp, self._schp, max_steps, self.fast._outp
+            )
+        )
+        self.sync_out()
+        return status
+
+
+def get_sched_binding(fast: SocketKernel, st) -> Optional[_SchedBinding]:
+    """Return the (cached) compiled-scheduler binding for ``fast`` and
+    macro-state ``st``, or ``None`` when the macro loop must run in pure
+    Python: list kernel, pure-Python array backend, or
+    ``REPRO_NO_CSCHED=1`` (which forces the Python macro-step while
+    keeping the compiled per-chunk loop — the differential-testing knob
+    for the scheduler port)."""
     if not isinstance(fast, ArraySocket) or fast._lib is None:
         return None
     if os.environ.get("REPRO_NO_CSCHED"):
         return None
-    lib = fast._lib
-    q = st.q
-    sch = _ckernel.SCHStruct()
-    sch.core_ids = st.core_ids.ctypes.data
-    sch.clock = st.clock.ctypes.data
-    sch.accesses = st.accesses.ctypes.data
-    sch.flags = st.flags.ctypes.data
-    sch.finish = st.finish.ctypes.data
-    sch.goal = st.goal.ctypes.data
-    sch.head = q.head.ctypes.data
-    sch.count = q.count.ctypes.data
-    sch.qoff = q.off.ctypes.data
-    sch.qlen = q.clen.ctypes.data
-    sch.qwrite = q.cwrite.ctypes.data
-    sch.qops = q.cops.ctypes.data
-    sch.qsid = q.csid.ctypes.data
-    sch.qser = q.cser.ctypes.data
-    sch.qpf = q.cpf.ctypes.data
-    sch.qextra = q.cextra.ctypes.data
-    sch.cnt = st.cnt.ctypes.data
-    sch.fcnt = st.fcnt.ctypes.data
-    sch.n = q.n_slots
-    sch.chunk_cap = q.chunk_cap
-    sch.ns_per_op = fast._ns_per_op
-    sch.dram_mlp_ns = fast._dram_ns
-    sch.dram_serial_ns = fast._dram_serial_ns
-    schp = ctypes.byref(sch)
-    bound_generation = -1  # force a qlines refresh on first call
+    binding = getattr(st, "binding", None)
+    if binding is None or binding.fast is not fast:
+        binding = _SchedBinding(fast, st)
+        st.binding = binding
+    return binding
 
-    def step(max_steps: int) -> int:
-        nonlocal bound_generation
-        if bound_generation != q.generation:
-            # The line arena was reallocated by a refill; rebind.
-            sch.qlines = q.lines.ctypes.data
-            sch.line_cap = q.line_cap
-            bound_generation = q.generation
-        sch.max_total = st.max_total
-        sch.total = st.total
-        sch.active_mains = st.active_mains
-        status = int(lib.sched_step(fast._ksp, schp, max_steps, fast._outp))
-        st.total = int(sch.total)
-        st.active_mains = int(sch.active_mains)
-        st.event = int(sch.event)
-        return status
 
-    return step
+def bind_sched_step(fast: SocketKernel, st) -> Optional[object]:
+    """Bind the compiled ``sched_step`` to ``fast`` and a scheduler
+    macro-state ``st`` (see :class:`repro.engine.scheduler._MacroState`).
+
+    Returns a ``step(max_steps) -> status`` callable, or ``None`` under
+    the conditions documented on :func:`get_sched_binding`.
+    """
+    binding = get_sched_binding(fast, st)
+    return binding.step if binding is not None else None
 
 _warned_fallback = False
 
 
 def resolve_kernel_name(socket: SocketConfig) -> str:
     """Kernel choice: ``REPRO_KERNEL`` env var, else ``socket.kernel``."""
-    name = os.environ.get("REPRO_KERNEL", "").strip() or getattr(
-        socket, "kernel", "arrays"
+    return env_choice(
+        "REPRO_KERNEL",
+        ("arrays", "lists"),
+        getattr(socket, "kernel", "arrays"),
+        label="REPRO_KERNEL/SocketConfig.kernel",
     )
-    if name not in ("arrays", "lists"):
-        raise ConfigError(
-            f"unknown kernel {name!r} (REPRO_KERNEL/SocketConfig.kernel "
-            "must be 'arrays' or 'lists')"
-        )
-    return name
 
 
 def make_socket_kernel(socket: SocketConfig, track_owner: bool = False) -> SocketKernel:

@@ -1,0 +1,64 @@
+"""Validated parsing for the engine's environment knobs.
+
+Every engine-selection variable — ``REPRO_KERNEL``, ``REPRO_SCHED``,
+``REPRO_SCHED_BLOCK``, ``REPRO_SWEEP`` — goes through the two helpers
+here, so an invalid value always raises the same error shape: a
+:class:`~repro.errors.ConfigError` naming the variable, the offending
+value, and the accepted ones.  (Historically ``scheduler.py`` and
+``arraypath.py`` each rolled their own parser with different error
+classes; this module is the single replacement.)
+
+Unset or blank variables fall back to the caller's default without
+validation *of the variable* — but ``env_choice`` still validates the
+default itself, which lets ``resolve_kernel_name`` funnel the
+``SocketConfig.kernel`` fallback through the same check.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+from ..errors import ConfigError
+
+__all__ = ["env_choice", "env_positive_int"]
+
+
+def env_choice(
+    var: str,
+    choices: Sequence[str],
+    default: str,
+    label: Optional[str] = None,
+) -> str:
+    """Return ``$var`` constrained to ``choices``.
+
+    Blank/unset falls back to ``default`` — which is validated too, so a
+    bad programmatic default (e.g. a config-file field routed through
+    here) fails identically to a bad env value.  ``label`` overrides the
+    name used in the error message when the value can come from more than
+    one place.
+    """
+    value = os.environ.get(var, "").strip() or default
+    if value not in choices:
+        opts = " or ".join(repr(c) for c in choices)
+        raise ConfigError(
+            f"unknown value {value!r} for {label or var}: must be {opts}"
+        )
+    return value
+
+
+def env_positive_int(var: str, default: int) -> int:
+    """Return ``$var`` as a strictly positive integer, or ``default``
+    when unset/blank."""
+    raw = os.environ.get(var, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{var} must be a positive integer, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ConfigError(f"{var} must be a positive integer, got {raw!r}")
+    return value

@@ -36,7 +36,6 @@ access safety limit trips.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
 
@@ -47,6 +46,7 @@ from ..obs import span
 from . import _ckernel as _ck
 from .blockq import DEFAULT_CHUNK_CAP, BlockQueues, QueueWriter
 from .chunk import AccessChunk
+from .envconf import env_choice, env_positive_int
 from .thread import SimThread
 
 if TYPE_CHECKING:  # avoid an import cycle with arraypath/socket_sim
@@ -113,9 +113,17 @@ class _MacroState:
     measurement windows: leftover queued chunks carry over, exactly
     where the thread's stream left off."""
 
-    def __init__(self, cores: Sequence[CoreState], chunk_cap: int):
+    def __init__(
+        self,
+        cores: Sequence[CoreState],
+        chunk_cap: int,
+        line_cap: Optional[int] = None,
+    ):
         n = len(cores)
-        self.q = BlockQueues(n, chunk_cap=chunk_cap)
+        if line_cap is None:
+            self.q = BlockQueues(n, chunk_cap=chunk_cap)
+        else:
+            self.q = BlockQueues(n, chunk_cap=chunk_cap, line_cap=line_cap)
         self.writers = [QueueWriter(self.q, i) for i in range(n)]
         #: True once a thread's stream ended (generator exhausted or
         #: ``fill_block`` produced nothing). Sticky across windows, so a
@@ -134,35 +142,40 @@ class _MacroState:
         self.total = 0
         self.active_mains = 0
         self.event = -1
+        #: Cached compiled-step binding (``arraypath._SchedBinding``).
+        #: The SCH struct points at the arrays above, which never move,
+        #: so it is built once per macro state and reused every window.
+        self.binding = None
 
 
 def _resolve_sched_mode() -> str:
-    mode = os.environ.get("REPRO_SCHED", "").strip() or "macro"
-    if mode not in ("macro", "chunk"):
-        raise SimulationError(
-            f"unknown scheduler mode {mode!r} "
-            "(REPRO_SCHED must be 'macro' or 'chunk')"
-        )
-    return mode
+    return env_choice("REPRO_SCHED", ("macro", "chunk"), "macro")
 
 
 def _resolve_block_chunks() -> int:
-    raw = os.environ.get("REPRO_SCHED_BLOCK", "").strip()
-    if not raw:
-        return DEFAULT_CHUNK_CAP
-    try:
-        cap = int(raw)
-    except ValueError:
-        raise SimulationError(
-            f"REPRO_SCHED_BLOCK must be a positive integer, got {raw!r}"
-        ) from None
-    if cap <= 0:
-        raise SimulationError(
-            f"REPRO_SCHED_BLOCK must be a positive integer, got {raw!r}"
-        )
     # fill_block implementations stage whole workload cycles (triad's 3
     # chunks, the bubble's 1 + up-to-4); a block must always hold one.
-    return max(cap, 8)
+    return max(env_positive_int("REPRO_SCHED_BLOCK", DEFAULT_CHUNK_CAP), 8)
+
+
+@dataclass
+class _MacroWindow:
+    """An in-flight macro measurement window, produced by
+    :meth:`Scheduler.begin_macro_window` and retired by
+    :meth:`Scheduler.end_macro_window`. Exists so the sweep-batch driver
+    (:mod:`repro.engine.sweeppath`) can interleave crossings of many
+    schedulers while sharing the exact per-window setup/teardown of the
+    per-point path."""
+
+    outcome: ScheduleOutcome
+    #: Slot indices of mains runnable in this window (their finishes are
+    #: this window's completion times).
+    window_slots: set
+    #: Bound compiled-step closure, or None for the pure-Python mirror.
+    step: Optional[object] = None
+    #: Counter arrays were seeded for the compiled step and must be
+    #: flushed back on exit.
+    seeded: bool = False
 
 
 class Scheduler:
@@ -190,6 +203,15 @@ class Scheduler:
                 )
         self._macro: Optional[_MacroState] = None
         self._mode: Optional[str] = None
+        #: Macro block-staging overrides (set before the first window).
+        #: The sweep-batch driver stages larger blocks than the
+        #: env-resolved default — block size never affects results (see
+        #: tests/engine/test_sched_equivalence.py), only refill cadence —
+        #: and bounds the line arena to ``block_chunks *
+        #: block_lines_per_chunk`` so N batched points stay memory-frugal
+        #: (``grow_lines`` recovers if a workload's chunks run longer).
+        self.block_chunks: Optional[int] = None
+        self.block_lines_per_chunk: Optional[int] = None
 
     def run(
         self,
@@ -301,10 +323,51 @@ class Scheduler:
         main_access_budget: Optional[int],
         max_total_accesses: int,
     ) -> ScheduleOutcome:
+        win = self.begin_macro_window(main_access_budget, max_total_accesses)
+        st = self._macro
+        assert st is not None
+        step = win.step
+        try:
+            with span(
+                "engine.schedule",
+                cat="engine",
+                mode="macro-c" if step is not None else "macro-py",
+            ):
+                while st.active_mains > 0:
+                    if step is not None:
+                        status = step(_MAX_STEPS)
+                    else:
+                        status = self._py_macro_step(st, _MAX_STEPS)
+                    if status == _ck.STEP_DONE:
+                        break
+                    self.macro_window_event(status)
+                    # STEP_MAXSTEPS: backstop tripped, just re-enter.
+        finally:
+            self.end_macro_window(win)
+        return self.finalize_macro_window(win)
+
+    def begin_macro_window(
+        self,
+        main_access_budget: Optional[int] = None,
+        max_total_accesses: int = 500_000_000,
+    ) -> _MacroWindow:
+        """Open a macro window: align clocks, mirror CoreStates into the
+        flat scheduling arrays, set per-main access goals, and bind the
+        compiled step (seeding its counter accumulators). The caller owns
+        the step loop — :meth:`_run_macro` for one scheduler, the
+        sweep-batch driver for many — and must retire the window with
+        :meth:`end_macro_window` / :meth:`finalize_macro_window`."""
         mains, outcome = self._open_window()
         st = self._macro
         if st is None:
-            st = self._macro = _MacroState(self.cores, _resolve_block_chunks())
+            chunk_cap = self.block_chunks or _resolve_block_chunks()
+            chunk_cap = max(chunk_cap, 8)
+            line_cap = (
+                chunk_cap * self.block_lines_per_chunk
+                if self.block_lines_per_chunk
+                else None
+            )
+            st = self._macro = _MacroState(self.cores, chunk_cap, line_cap)
 
         st.max_total = int(max_total_accesses)
         st.total = 0
@@ -333,6 +396,7 @@ class Scheduler:
         from .arraypath import bind_sched_step
 
         step = bind_sched_step(self.fast, st)
+        win = _MacroWindow(outcome=outcome, window_slots=window_slots, step=step)
         # The compiled step accumulates counters in SCH-side arrays (the
         # per-chunk Python `+=` order replicated in C); seed them from
         # the live CoreCounters so flushing back is a plain assignment
@@ -340,48 +404,52 @@ class Scheduler:
         # through fast.run_chunk, which updates counters itself.
         if step is not None:
             self._seed_counters(st)
-        try:
-            with span(
-                "engine.schedule",
-                cat="engine",
-                mode="macro-c" if step is not None else "macro-py",
-            ):
-                while st.active_mains > 0:
-                    if step is not None:
-                        status = step(_MAX_STEPS)
-                    else:
-                        status = self._py_macro_step(st, _MAX_STEPS)
-                    if status == _ck.STEP_DONE:
-                        break
-                    if status == _ck.STEP_REFILL:
-                        self._refill(st, st.event)
-                    elif status == _ck.STEP_LIMIT:
-                        slot = st.event
-                        cs = self.cores[slot]
-                        clen = int(st.q.clen[slot, st.q.head[slot]])
-                        raise SimulationError(
-                            f"simulation would have exceeded "
-                            f"{max_total_accesses} accesses dispatching a "
-                            f"{clen}-access chunk on core {cs.core_id} "
-                            f"({cs.thread.name!r}) at {st.total} total; "
-                            "likely a runaway interference-only configuration"
-                        )
-                    # STEP_MAXSTEPS: backstop tripped, just re-enter.
-        finally:
-            if step is not None:
-                self._flush_counters(st)
-            for i, cs in enumerate(self.cores):
-                cs.clock_ns = float(st.clock[i])
-                cs.accesses = int(st.accesses[i])
-                if (st.flags[i] & _ck.F_DONE) and not cs.done:
-                    cs.done = True
-                    cs.finish_ns = float(st.finish[i])
-                if cs.done and i in window_slots:
-                    outcome.main_finish_ns[cs.core_id] = float(st.finish[i])
+            win.seeded = True
+        return win
 
-        outcome.end_ns = max(outcome.main_finish_ns.values())
-        outcome.total_accesses = st.total
-        return outcome
+    def macro_window_event(self, status: int) -> None:
+        """Service a non-terminal step status: refill the drained slot,
+        or raise on the pre-dispatch safety limit."""
+        st = self._macro
+        assert st is not None
+        if status == _ck.STEP_REFILL:
+            self._refill(st, st.event)
+        elif status == _ck.STEP_LIMIT:
+            slot = st.event
+            cs = self.cores[slot]
+            clen = int(st.q.clen[slot, st.q.head[slot]])
+            raise SimulationError(
+                f"simulation would have exceeded "
+                f"{st.max_total} accesses dispatching a "
+                f"{clen}-access chunk on core {cs.core_id} "
+                f"({cs.thread.name!r}) at {st.total} total; "
+                "likely a runaway interference-only configuration"
+            )
+
+    def end_macro_window(self, win: _MacroWindow) -> None:
+        """Flush compiled-step counters and write scheduling-array state
+        back into the CoreStates. Safe to run after a mid-window error
+        (called from ``finally`` blocks): it records whatever progress
+        the window made."""
+        st = self._macro
+        assert st is not None
+        if win.seeded:
+            self._flush_counters(st)
+        for i, cs in enumerate(self.cores):
+            cs.clock_ns = float(st.clock[i])
+            cs.accesses = int(st.accesses[i])
+            if (st.flags[i] & _ck.F_DONE) and not cs.done:
+                cs.done = True
+                cs.finish_ns = float(st.finish[i])
+            if cs.done and i in win.window_slots:
+                win.outcome.main_finish_ns[cs.core_id] = float(st.finish[i])
+
+    def finalize_macro_window(self, win: _MacroWindow) -> ScheduleOutcome:
+        st = self._macro
+        assert st is not None
+        win.outcome.end_ns = max(win.outcome.main_finish_ns.values())
+        win.outcome.total_accesses = st.total
+        return win.outcome
 
     def _py_macro_step(self, st: _MacroState, max_steps: int) -> int:
         """Pure-Python mirror of the compiled ``sched_step`` (same

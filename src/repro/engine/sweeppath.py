@@ -1,0 +1,371 @@
+"""Sweep-batched execution: N independent sweep points in one kernel session.
+
+A k-sweep (the paper's core loop) runs near-identical socket simulations
+that differ only in interference thread count. Per-point execution pays
+the full Python stack once per point: kernel allocation, scheduler
+setup, a ctypes crossing per refill round, counter seed/flush, result
+assembly. This module batches all of that across points:
+
+- :class:`SweepArena` lays the points' mutable kernel state out as one
+  structure-of-arrays allocation with a per-point leading axis —
+  ``(N, n*sets*ways)`` tag stores, ``(N, ...)`` age counters, arbiter
+  registers, prefetch tables — and hands each point a row view, so every
+  per-point kernel is an ordinary :class:`~repro.engine.arraypath.ArraySocket`
+  over shared storage (the refactor that also unlocks numba/GPU backends
+  later: one pointer + stride addresses every point's state).
+- :class:`SweepSession` owns N :class:`~repro.engine.socket_sim.SocketSimulator`
+  rosters and drives their measurement windows in lockstep. With the
+  compiled kernel, every scheduling round crosses into C **once** for all
+  points (``sweep_step`` in :mod:`repro.engine._ckernel`); Python is
+  re-entered only to service per-point block refills. Without it
+  (``REPRO_NO_CKERNEL`` / ``REPRO_NO_CSCHED`` / the list kernel), a
+  bit-identical pure-Python driver steps each point through the same
+  scheduler phases.
+
+Equivalence contract (tests/engine/test_sweep_equivalence.py): sweep
+points are fully independent simulations — per-point seeds derive RNG
+streams, address spaces and kernel state that never interact — so the
+batched schedule is *the same computation* as per-point execution, and
+every counter is bit-identical, every finish time hex-equal, on both
+kernels.
+
+Block staging: batched sessions stage larger refill blocks than the
+per-point default (``SWEEP_BLOCK_CHUNKS`` chunks, with a frugal
+``SWEEP_LINES_PER_CHUNK``-lines-per-chunk arena so N points stay small).
+Block size affects only refill cadence, never results — the invariance
+the scheduler equivalence suite pins.
+
+The orchestration layer (``ActiveMeasurement.sweep(backend="batched")``)
+selects this path; ``REPRO_SWEEP=batched|per-point`` flips the default.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..config import SocketConfig
+from ..errors import ConfigError
+from ..obs import span
+from . import _ckernel
+from .arraypath import (
+    _DIRTY_CAP0,
+    EMPTY_TAG,
+    ArraySocket,
+    SocketArrays,
+    resolve_kernel_name,
+)
+from .envconf import env_choice
+from .fastpath import FastSocket
+from .results import MeasureResult
+from .scheduler import _MAX_STEPS, ScheduleOutcome, _resolve_sched_mode
+from .socket_sim import SocketSimulator
+
+__all__ = [
+    "SweepArena",
+    "SweepSession",
+    "resolve_sweep_mode",
+    "sweep_supported",
+]
+
+#: Chunks staged per refill block in a batched session (vs. the
+#: per-point default of 64): one refill round then serves ~4x the
+#: simulated time, so the Python-side refill overhead — the only reason
+#: the batched driver leaves C — amortises further.
+SWEEP_BLOCK_CHUNKS = 256
+
+#: Line-arena budget per chunk for batched sessions. The per-point
+#: default (512 lines/chunk) is sized for worst-case generator chunks;
+#: multiplied by N points and SWEEP_BLOCK_CHUNKS it would allocate tens
+#: of MB per slot, so batched queues start frugal and let ``grow_lines``
+#: recover on workloads with long chunks.
+SWEEP_LINES_PER_CHUNK = 64
+
+
+def resolve_sweep_mode() -> str:
+    """Sweep execution backend: ``REPRO_SWEEP`` env var (``batched`` |
+    ``per-point``), defaulting to ``per-point``."""
+    return env_choice("REPRO_SWEEP", ("batched", "per-point"), "per-point")
+
+
+def sweep_supported() -> bool:
+    """Whether batched sweep execution is available in this
+    configuration. The batch driver is macro-scheduler-only;
+    ``REPRO_SCHED=chunk`` callers fall back to per-point execution."""
+    return _resolve_sched_mode() == "macro"
+
+
+class SweepArena:
+    """Structure-of-arrays kernel state for ``n_points`` same-geometry
+    sweep points: every :class:`~repro.engine.arraypath.SocketArrays`
+    field as one allocation with a per-point leading axis. Row ``i`` is
+    point ``i``'s complete mutable state, C-contiguous, handed to its
+    kernel via :meth:`point`."""
+
+    def __init__(
+        self, socket: SocketConfig, n_points: int, track_owner: bool = False
+    ):
+        if n_points <= 0:
+            raise ConfigError("SweepArena needs at least one point")
+        self.socket = socket
+        self.n_points = n_points
+        n = socket.n_cores
+        s1, w1 = socket.l1.n_sets, socket.l1.ways
+        s2, w2 = socket.l2.n_sets, socket.l2.ways
+        s3, w3 = socket.l3.n_sets, socket.l3.ways
+        ns = socket.prefetch.n_streams
+        N = n_points
+        self.tags1 = np.full((N, n * s1 * w1), EMPTY_TAG, dtype=np.int64)
+        self.ages1 = np.zeros((N, n * s1 * w1), dtype=np.int64)
+        self.tags2 = np.full((N, n * s2 * w2), EMPTY_TAG, dtype=np.int64)
+        self.ages2 = np.zeros((N, n * s2 * w2), dtype=np.int64)
+        self.tags3 = np.full((N, s3 * w3), EMPTY_TAG, dtype=np.int64)
+        self.ages3 = np.zeros((N, s3 * w3), dtype=np.int64)
+        self.owner3 = (
+            np.full((N, s3 * w3), -1, dtype=np.int64) if track_owner else None
+        )
+        self.arrival3 = np.full((N, s3 * w3), -1.0, dtype=np.float64)
+        self.dirty = np.zeros((N, _DIRTY_CAP0), dtype=np.uint8)
+        self.iregs = np.zeros((N, 2 + 2 * n), dtype=np.int64)
+        self.aregs = np.zeros((N, 7), dtype=np.float64)
+        self.airegs = np.zeros((N, 4), dtype=np.int64)
+        self.pf_sid = np.zeros((N, n * ns), dtype=np.int64)
+        self.pf_last = np.zeros((N, n * ns), dtype=np.int64)
+        self.pf_stride = np.zeros((N, n * ns), dtype=np.int64)
+        self.pf_streak = np.zeros((N, n * ns), dtype=np.int64)
+        self.pf_expected = np.zeros((N, n * ns), dtype=np.int64)
+        self.pf_order = np.zeros((N, n * ns), dtype=np.int64)
+        self.pf_count = np.zeros((N, n), dtype=np.int64)
+        self.pf_issued = np.zeros((N, n), dtype=np.int64)
+
+    def point(self, i: int) -> SocketArrays:
+        """Point ``i``'s state as 1-D row views (zero-copy)."""
+        return SocketArrays(
+            tags1=self.tags1[i],
+            ages1=self.ages1[i],
+            tags2=self.tags2[i],
+            ages2=self.ages2[i],
+            tags3=self.tags3[i],
+            ages3=self.ages3[i],
+            owner3=self.owner3[i] if self.owner3 is not None else None,
+            arrival3=self.arrival3[i],
+            dirty=self.dirty[i],
+            iregs=self.iregs[i],
+            aregs=self.aregs[i],
+            airegs=self.airegs[i],
+            pf_sid=self.pf_sid[i],
+            pf_last=self.pf_last[i],
+            pf_stride=self.pf_stride[i],
+            pf_streak=self.pf_streak[i],
+            pf_expected=self.pf_expected[i],
+            pf_order=self.pf_order[i],
+            pf_count=self.pf_count[i],
+            pf_issued=self.pf_issued[i],
+        )
+
+
+class SweepSession:
+    """N independent single-socket simulations driven in lockstep.
+
+    Construct with one seed per point, build each point's roster through
+    ``session.sims[i].add_thread(...)`` exactly as for a standalone
+    :class:`~repro.engine.socket_sim.SocketSimulator`, then call
+    :meth:`warmup` / :meth:`measure` — the batch counterparts of the
+    per-point methods, returning one outcome/result per point in order.
+
+    Kernel selection follows :func:`~repro.engine.arraypath.make_socket_kernel`
+    semantics; with the compiled array kernel all points share one
+    :class:`SweepArena` and each scheduling round is a single
+    ``sweep_step`` call.
+    """
+
+    def __init__(
+        self,
+        socket: SocketConfig,
+        seeds: Sequence[int],
+        track_owner: bool = False,
+        block_chunks: int = SWEEP_BLOCK_CHUNKS,
+        lines_per_chunk: int = SWEEP_LINES_PER_CHUNK,
+    ):
+        if not sweep_supported():
+            raise ConfigError(
+                "sweep batching requires the macro scheduler "
+                "(REPRO_SCHED=chunk is per-point only)"
+            )
+        self.socket = socket
+        self.n_points = len(seeds)
+        if self.n_points == 0:
+            raise ConfigError("SweepSession needs at least one seed")
+        self._block_chunks = block_chunks
+        self._lines_per_chunk = lines_per_chunk
+
+        # Mirror make_socket_kernel's choice exactly (including the
+        # implicit fall-back to the list kernel when no compiler is
+        # available), so a batched run always uses the same kernel the
+        # per-point path would.
+        name = resolve_kernel_name(socket)
+        if (
+            name == "arrays"
+            and _ckernel.load() is None
+            and os.environ.get("REPRO_KERNEL", "").strip() != "arrays"
+        ):
+            name = "lists"
+        self.arena: Optional[SweepArena] = None
+        kernels: List[object]
+        if name == "arrays":
+            lib = _ckernel.load()
+            backend = "c" if lib is not None else "py"
+            self.arena = SweepArena(socket, self.n_points, track_owner)
+            kernels = [
+                ArraySocket(
+                    socket,
+                    track_owner=track_owner,
+                    backend=backend,
+                    arrays=self.arena.point(i),
+                )
+                for i in range(self.n_points)
+            ]
+        else:
+            kernels = [
+                FastSocket(socket, track_owner=track_owner)
+                for _ in range(self.n_points)
+            ]
+        self.sims = [
+            SocketSimulator(socket, seed=int(seed), kernel=kernels[i])
+            for i, seed in enumerate(seeds)
+        ]
+
+    # -- lockstep window driver ------------------------------------------------
+
+    def _run_all(self, budget: Optional[int]) -> List[ScheduleOutcome]:
+        scheds = []
+        for sim in self.sims:
+            sim._start()
+            sched = sim._scheduler
+            assert sched is not None
+            if sched.block_chunks is None:
+                sched.block_chunks = self._block_chunks
+                sched.block_lines_per_chunk = self._lines_per_chunk
+            sched.reopen_mains()
+            scheds.append(sched)
+        wins = []
+        try:
+            for sched in scheds:
+                wins.append(sched.begin_macro_window(budget))
+            use_c = all(w.step is not None for w in wins)
+            with span(
+                "engine.schedule",
+                cat="engine",
+                mode="sweep-c" if use_c else "sweep-py",
+                points=self.n_points,
+            ):
+                if use_c:
+                    self._drive_c(scheds)
+                else:
+                    self._drive_py(scheds, wins)
+        finally:
+            for sched, win in zip(scheds, wins):
+                sched.end_macro_window(win)
+        outcomes = [
+            sched.finalize_macro_window(win)
+            for sched, win in zip(scheds, wins)
+        ]
+        for sim, out in zip(self.sims, outcomes):
+            sim._clock_ns = out.end_ns
+        return outcomes
+
+    def _drive_c(self, scheds) -> None:
+        """One compiled crossing per scheduling round for all points:
+        mark every unfinished point run-me, call ``sweep_step``, service
+        the points that stopped for a refill, repeat."""
+        lib = _ckernel.load()
+        assert lib is not None
+        n = len(scheds)
+        sts = [sched._macro for sched in scheds]
+        bindings = [st.binding for st in sts]
+        ks_arr = (ctypes.POINTER(_ckernel.KStruct) * n)(
+            *[sim.fast._ksp for sim in self.sims]
+        )
+        sch_arr = (ctypes.POINTER(_ckernel.SCHStruct) * n)(
+            *[ctypes.pointer(b.sch) for b in bindings]
+        )
+        status = np.zeros(n, dtype=np.int64)
+        scratch = np.zeros(7, dtype=np.int64)
+        scratch_p = scratch.ctypes.data
+        status_p = status.ctypes.data
+        # Between crossings the compiled structs are self-consistent:
+        # the SCH struct carries its own total/active_mains, and the
+        # arrays it points at are shared memory. Only serviced points
+        # need mirroring — sync_out to read the event, sync_in to
+        # rebind a grown line arena — so each crossing costs Python
+        # time proportional to the points that *stopped*, not to the
+        # batch size.
+        running = []
+        for p in range(n):
+            if sts[p].active_mains > 0:
+                bindings[p].sync_in()
+                status[p] = _ckernel.SWEEP_RUN
+                running.append(p)
+        while running:
+            lib.sweep_step(ks_arr, sch_arr, status_p, n, _MAX_STEPS, scratch_p)
+            still = []
+            for p in running:
+                s = int(status[p])
+                if s == _ckernel.STEP_DONE:
+                    # Window complete: mirror the final scalars once.
+                    bindings[p].sync_out()
+                    continue
+                if s != _ckernel.STEP_MAXSTEPS:
+                    # REFILL: restock the drained slot. LIMIT: raises.
+                    bindings[p].sync_out()
+                    scheds[p].macro_window_event(s)
+                    bindings[p].sync_in()
+                status[p] = _ckernel.SWEEP_RUN
+                still.append(p)
+            running = still
+
+    def _drive_py(self, scheds, wins) -> None:
+        """Bit-identical pure-Python driver: each point steps through the
+        same scheduler phases via ``_py_macro_step`` (or a per-point
+        compiled step if one bound). Points are independent, so the
+        interleave order across points cannot affect any result."""
+        n = len(scheds)
+        sts = [sched._macro for sched in scheds]
+        active = [p for p in range(n) if sts[p].active_mains > 0]
+        while active:
+            still = []
+            for p in active:
+                sched, st, win = scheds[p], sts[p], wins[p]
+                if win.step is not None:
+                    s = win.step(_MAX_STEPS)
+                else:
+                    s = sched._py_macro_step(st, _MAX_STEPS)
+                if s != _ckernel.STEP_DONE:
+                    sched.macro_window_event(s)
+                if st.active_mains > 0:
+                    still.append(p)
+            active = still
+
+    # -- batch windows ---------------------------------------------------------
+
+    def warmup(self, accesses: int) -> List[ScheduleOutcome]:
+        """Every point's warm-up window (mains run ``accesses`` each,
+        counters discarded), in one batched session."""
+        outcomes = self._run_all(accesses)
+        for sim in self.sims:
+            sim.fast.reset_counters()
+        return outcomes
+
+    def measure(self, accesses: Optional[int] = None) -> List[MeasureResult]:
+        """Every point's measurement window; returns per-point results
+        identical to ``SocketSimulator.measure`` on the same roster and
+        seed."""
+        for sim in self.sims:
+            sim.fast.reset_counters()
+        outcomes = self._run_all(accesses)
+        return [
+            sim._collect(out) for sim, out in zip(self.sims, outcomes)
+        ]

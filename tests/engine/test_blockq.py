@@ -1,0 +1,137 @@
+"""Property-style check: ``BlockQueues.grow_lines`` mid-stream.
+
+The line arena may be reallocated at any moment — between pushes,
+between consumes, even while several slots hold partially-drained
+blocks (that is exactly what happens when one oversized generator chunk
+lands while other cores are mid-block). The test drives random
+interleavings of push / consume / explicit-grow / refill against a
+pure-Python model and asserts after every step that no queued chunk's
+lines or metadata moved, cursors stayed consistent, and the
+``generation`` counter ticked exactly when the arena was reallocated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.blockq import BlockQueues, QueueWriter
+
+
+def read_chunk(q: BlockQueues, slot: int, c: int):
+    """What the (C or Python) scheduler would consume for chunk ``c``."""
+    off = int(q.off[slot, c])
+    n = int(q.clen[slot, c])
+    return (
+        tuple(int(x) for x in q.lines[slot, off:off + n]),
+        int(q.cwrite[slot, c]),
+        int(q.cops[slot, c]),
+        int(q.csid[slot, c]),
+        int(q.cser[slot, c]),
+        int(q.cpf[slot, c]),
+        float(q.cextra[slot, c]),
+    )
+
+
+def check_against_model(q: BlockQueues, model):
+    """Every not-yet-consumed chunk of every slot matches the model."""
+    for slot, chunks in enumerate(model):
+        head, count = int(q.head[slot]), int(q.count[slot])
+        assert count - head == len(chunks) - head
+        for c in range(head, count):
+            assert read_chunk(q, slot, c) == chunks[c], (
+                f"slot {slot} chunk {c} corrupted "
+                f"(line_cap={q.line_cap}, generation={q.generation})"
+            )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+def test_grow_lines_mid_stream_preserves_queues(seed):
+    rng = np.random.default_rng(seed)
+    n_slots = int(rng.integers(1, 5))
+    chunk_cap = int(rng.integers(4, 12))
+    # Tiny initial arena so organic growth (push overflowing line_cap)
+    # happens constantly, not just on the explicit grow op.
+    q = BlockQueues(n_slots, chunk_cap=chunk_cap, line_cap=8)
+    writers = [QueueWriter(q, s) for s in range(n_slots)]
+    model = [[] for _ in range(n_slots)]  # per-slot list of chunk tuples
+
+    for step in range(400):
+        op = rng.choice(("push", "consume", "grow", "refill"))
+        slot = int(rng.integers(n_slots))
+        gen_before = q.generation
+        cap_before = q.line_cap
+
+        if op == "push":
+            if len(model[slot]) >= chunk_cap:
+                assert writers[slot].push([1]) is False  # full block rejected
+            else:
+                n = int(rng.integers(1, 40))
+                lines = rng.integers(0, 1 << 40, size=n)
+                meta = dict(
+                    is_write=bool(rng.integers(2)),
+                    ops_per_access=int(rng.integers(0, 4)),
+                    stream_id=int(rng.integers(8)),
+                    serialize=bool(rng.integers(2)),
+                    extra_ns=float(rng.integers(100)),
+                    prefetchable=bool(rng.integers(2)),
+                )
+                assert writers[slot].push(lines, **meta) is True
+                model[slot].append((
+                    tuple(int(x) for x in lines),
+                    int(meta["is_write"]), meta["ops_per_access"],
+                    meta["stream_id"], int(meta["serialize"]),
+                    int(meta["prefetchable"]), meta["extra_ns"],
+                ))
+        elif op == "consume":
+            if q.pending(slot):
+                head = int(q.head[slot])
+                assert read_chunk(q, slot, head) == model[slot][head]
+                q.head[slot] = head + 1
+        elif op == "grow":
+            # Bounded target: growth doubles until it fits, and an
+            # unbounded random walk would compound geometrically.
+            target = int(rng.integers(1, 4096))
+            q.grow_lines(target)
+            assert q.line_cap >= target
+        else:  # refill: writers are only handed over when fully drained
+            if q.pending(slot) == 0:
+                writers[slot].begin()
+                model[slot] = []
+
+        # Growth is observable exactly through (generation, line_cap):
+        # they move together, and the arena never shrinks.
+        assert (q.generation > gen_before) == (q.line_cap > cap_before)
+        assert q.line_cap >= cap_before
+        check_against_model(q, model)
+
+    # The queues stay usable after all that churn: drain and refill all.
+    for slot in range(n_slots):
+        q.head[slot] = q.count[slot]
+        writers[slot].begin()
+        assert writers[slot].push(np.arange(5)) is True
+        assert read_chunk(q, slot, 0)[0] == (0, 1, 2, 3, 4)
+
+
+def test_grow_preserves_partially_consumed_rows():
+    """Directed version: consume half a block, force a realloc via a
+    neighbour's oversized push, finish consuming — bytes identical."""
+    q = BlockQueues(2, chunk_cap=4, line_cap=16)
+    a, b = QueueWriter(q, 0), QueueWriter(q, 1)
+    chunks = [np.arange(4) + 10 * i for i in range(4)]
+    for ch in chunks:
+        assert a.push(ch)
+    q.head[0] = 2  # half-drained when the neighbour grows the arena
+
+    assert b.push(np.arange(64))  # 64 > 16 free lines: reallocates
+    assert q.generation == 1 and q.line_cap >= 64
+
+    for c in (2, 3):
+        assert read_chunk(q, 0, c)[0] == tuple(int(x) for x in chunks[c])
+    assert read_chunk(q, 1, 0)[0] == tuple(range(64))
+
+
+def test_grow_lines_noop_below_capacity():
+    q = BlockQueues(1, chunk_cap=4, line_cap=64)
+    q.grow_lines(32)
+    assert q.line_cap == 64 and q.generation == 0

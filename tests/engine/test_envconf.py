@@ -1,0 +1,112 @@
+"""Engine env-knob parsing: one helper, one error shape.
+
+``REPRO_KERNEL``, ``REPRO_SCHED``, ``REPRO_SCHED_BLOCK`` and
+``REPRO_SWEEP`` all funnel through :mod:`repro.engine.envconf`, so a
+typo'd value always produces a :class:`ConfigError` that names the
+variable, the offending value, and the accepted ones — no matter which
+subsystem reads the knob.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import xeon20mb
+from repro.engine import env_choice, env_positive_int, resolve_sweep_mode
+from repro.engine.arraypath import resolve_kernel_name
+from repro.engine.scheduler import _resolve_block_chunks, _resolve_sched_mode
+from repro.errors import ConfigError
+
+ALL_VARS = ("REPRO_KERNEL", "REPRO_SCHED", "REPRO_SCHED_BLOCK", "REPRO_SWEEP")
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    for var in ALL_VARS:
+        monkeypatch.delenv(var, raising=False)
+
+
+class TestEnvChoice:
+    def test_unset_returns_default(self):
+        assert env_choice("REPRO_TEST_KNOB", ("a", "b"), "a") == "a"
+
+    def test_blank_returns_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "   ")
+        assert env_choice("REPRO_TEST_KNOB", ("a", "b"), "a") == "a"
+
+    def test_set_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "b")
+        assert env_choice("REPRO_TEST_KNOB", ("a", "b"), "a") == "b"
+
+    def test_invalid_value_names_variable_and_choices(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "c")
+        with pytest.raises(ConfigError, match=r"REPRO_TEST_KNOB.*'a' or 'b'"):
+            env_choice("REPRO_TEST_KNOB", ("a", "b"), "a")
+
+    def test_invalid_default_rejected_too(self):
+        # A bad programmatic default (e.g. a config-file field routed
+        # through the same helper) fails identically to a bad env value.
+        with pytest.raises(ConfigError, match="'c'"):
+            env_choice("REPRO_TEST_KNOB", ("a", "b"), "c")
+
+    def test_label_overrides_variable_name(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "c")
+        with pytest.raises(ConfigError, match="knob/field"):
+            env_choice("REPRO_TEST_KNOB", ("a", "b"), "a", label="knob/field")
+
+
+class TestEnvPositiveInt:
+    def test_unset_and_blank_return_default(self, monkeypatch):
+        assert env_positive_int("REPRO_TEST_INT", 64) == 64
+        monkeypatch.setenv("REPRO_TEST_INT", "")
+        assert env_positive_int("REPRO_TEST_INT", 64) == 64
+
+    def test_set_value_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "128")
+        assert env_positive_int("REPRO_TEST_INT", 64) == 128
+
+    @pytest.mark.parametrize("bad", ["zero", "1.5", "0", "-8"])
+    def test_invalid_values_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_TEST_INT", bad)
+        with pytest.raises(ConfigError, match="REPRO_TEST_INT"):
+            env_positive_int("REPRO_TEST_INT", 64)
+
+
+class TestEachKnob:
+    """The four real variables, each through its resolver."""
+
+    def test_repro_kernel(self, monkeypatch):
+        xeon = xeon20mb()
+        assert resolve_kernel_name(xeon) == "arrays"
+        monkeypatch.setenv("REPRO_KERNEL", "lists")
+        assert resolve_kernel_name(xeon) == "lists"
+        monkeypatch.setenv("REPRO_KERNEL", "simd")
+        with pytest.raises(ConfigError, match="REPRO_KERNEL"):
+            resolve_kernel_name(xeon)
+
+    def test_repro_sched(self, monkeypatch):
+        assert _resolve_sched_mode() == "macro"
+        monkeypatch.setenv("REPRO_SCHED", "chunk")
+        assert _resolve_sched_mode() == "chunk"
+        monkeypatch.setenv("REPRO_SCHED", "turbo")
+        with pytest.raises(ConfigError, match="REPRO_SCHED"):
+            _resolve_sched_mode()
+
+    def test_repro_sched_block(self, monkeypatch):
+        default = _resolve_block_chunks()
+        assert default >= 8
+        monkeypatch.setenv("REPRO_SCHED_BLOCK", "512")
+        assert _resolve_block_chunks() == 512
+        monkeypatch.setenv("REPRO_SCHED_BLOCK", "2")
+        assert _resolve_block_chunks() == 8  # floor: one workload cycle
+        monkeypatch.setenv("REPRO_SCHED_BLOCK", "lots")
+        with pytest.raises(ConfigError, match="REPRO_SCHED_BLOCK"):
+            _resolve_block_chunks()
+
+    def test_repro_sweep(self, monkeypatch):
+        assert resolve_sweep_mode() == "per-point"
+        monkeypatch.setenv("REPRO_SWEEP", "batched")
+        assert resolve_sweep_mode() == "batched"
+        monkeypatch.setenv("REPRO_SWEEP", "vector")
+        with pytest.raises(ConfigError, match="REPRO_SWEEP"):
+            resolve_sweep_mode()

@@ -31,7 +31,7 @@ from repro.engine import (
     make_socket_kernel,
 )
 from repro.engine.thread import SimThread, ThreadContext
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.mem import AddressSpace
 from repro.workloads import BWThr, BubbleProbe, CSThr, HotColdProbe, StreamTriad
 from repro.workloads.distributions import UniformDist
@@ -296,9 +296,11 @@ class TestModePinning:
             sched.run(main_access_budget=100)
 
     def test_unknown_mode_rejected(self, monkeypatch):
+        # Env-knob validation errors are ConfigError everywhere
+        # (repro.engine.envconf), not SimulationError.
         _set_mode(monkeypatch, {"REPRO_SCHED": "warp"})
         sched = build_sched([(FixedThread(n_chunks=1), True)])
-        with pytest.raises(SimulationError, match="REPRO_SCHED"):
+        with pytest.raises(ConfigError, match="REPRO_SCHED"):
             sched.run()
 
     def test_bad_block_size_rejected(self, monkeypatch):
@@ -307,7 +309,7 @@ class TestModePinning:
                 monkeypatch, {"REPRO_SCHED": "macro", "REPRO_SCHED_BLOCK": bad}
             )
             sched = build_sched([(FixedThread(n_chunks=1), True)])
-            with pytest.raises(SimulationError, match="REPRO_SCHED_BLOCK"):
+            with pytest.raises(ConfigError, match="REPRO_SCHED_BLOCK"):
                 sched.run()
 
 

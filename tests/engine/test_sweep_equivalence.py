@@ -1,0 +1,234 @@
+"""Sweep-batch equivalence: ``backend="batched"`` vs per-point macro.
+
+The sweep-batched engine (``repro.engine.sweeppath``) runs every
+interference point of a campaign inside one kernel session, crossing
+into C once per scheduling round for *all* points instead of once per
+point. That is only allowed to be a performance change: for every point
+the batched path must reproduce the per-point macro path **bit for
+bit** — every event counter equal as an integer, every clock, finish
+time and derived observable equal as a float (hex-exact, not approx).
+
+The suite closes that contract on the Xeon20MB socket across the
+kernel/scheduler matrix (macro-C, macro-py via ``REPRO_NO_CSCHED``, the
+list-based reference kernel via ``REPRO_KERNEL=lists``; CI re-runs the
+whole file under ``REPRO_NO_CKERNEL=1``), then covers the orchestration
+seams: caching still hits per point, a journaled campaign resumes
+mid-batch by serving recorded points and batching only the rest, the
+``REPRO_SWEEP`` knob and explicit ``backend=`` argument validate their
+inputs, and unsupported scheduler modes degrade to the per-point path
+rather than erroring.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+import pytest
+
+from repro.config import xeon20mb
+from repro.core import (
+    ActiveMeasurement,
+    CampaignJournal,
+    PointRunner,
+    ResultCache,
+)
+from repro.core.sweep import BW, CS
+from repro.engine import resolve_sweep_mode, sweep_supported
+from repro.errors import ConfigError, MeasurementError
+from repro.units import MiB
+from repro.workloads import ProbabilisticBenchmark, UniformDist
+
+#: Every env knob that changes which engine services a sweep. Cleared
+#: before each test so the ambient CI environment (e.g. the
+#: ``REPRO_NO_CKERNEL=1`` leg) is the only thing that varies.
+ENGINE_ENV_VARS = (
+    "REPRO_KERNEL",
+    "REPRO_SCHED",
+    "REPRO_NO_CSCHED",
+    "REPRO_SCHED_BLOCK",
+    "REPRO_SWEEP",
+)
+
+#: (label, env overrides) — the in-process corner of the mode matrix.
+#: ``REPRO_NO_CKERNEL`` cannot be toggled mid-process (the C library is
+#: loaded once and cached), so the no-C column runs as a separate CI
+#: leg over this same file.
+MODES = (
+    ("macro-c", {}),
+    ("macro-py", {"REPRO_NO_CSCHED": "1"}),
+    ("lists", {"REPRO_KERNEL": "lists"}),
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_engine_env(monkeypatch):
+    for var in ENGINE_ENV_VARS:
+        monkeypatch.delenv(var, raising=False)
+
+
+def _set_mode(monkeypatch, env):
+    for var, val in env.items():
+        monkeypatch.setenv(var, val)
+
+
+def make_am(xeon, **kw):
+    defaults = dict(
+        warmup_accesses=1_500,
+        measure_accesses=2_000,
+        seed=321,
+        workload_spec="sweep-eq-uniform-4M",
+        runner=PointRunner(backend="serial", retries=0),
+    )
+    defaults.update(kw)
+    return ActiveMeasurement(
+        xeon, lambda: ProbabilisticBenchmark(UniformDist(), 4 * MiB), **defaults
+    )
+
+
+def _hexify(value):
+    """Floats to hex (exact), containers recursively, ints untouched."""
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, dict):
+        return sorted((k, _hexify(v)) for k, v in value.items())
+    if isinstance(value, (list, tuple)):
+        return [_hexify(v) for v in value]
+    return value
+
+
+def fingerprint(point) -> Tuple:
+    """Bit-exact snapshot of a point: derived observables *and* the raw
+    ``MeasureResult`` payload (all counters, clocks, finish times)."""
+    return (
+        point.kind,
+        point.k,
+        tuple(point.main_cores),
+        float(point.makespan_ns).hex(),
+        _hexify(point.l3_miss_rates),
+        _hexify(point.bandwidths_Bps),
+        float(point.time_per_access_ns).hex(),
+        _hexify(dataclasses.asdict(point.require_result())),
+    )
+
+
+def fingerprints(points) -> List[Tuple]:
+    return [fingerprint(p) for p in points]
+
+
+KS = list(range(6))  # >= 6-point sweep per the acceptance gate
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("label,env", MODES, ids=[m[0] for m in MODES])
+    def test_capacity_sweep_bit_identical(self, xeon, monkeypatch, label, env):
+        _set_mode(monkeypatch, env)
+        am = make_am(xeon)
+        ref = am.sweep(CS, KS, backend="per-point")
+        got = am.sweep(CS, KS, backend="batched")
+        assert fingerprints(got.points) == fingerprints(ref.points)
+
+    def test_bandwidth_sweep_bit_identical(self, xeon):
+        am = make_am(xeon)
+        ref = am.sweep(BW, [0, 1, 2, 3], backend="per-point")
+        got = am.sweep(BW, [0, 1, 2, 3], backend="batched")
+        assert fingerprints(got.points) == fingerprints(ref.points)
+
+    def test_mixed_kind_batch(self, xeon):
+        """One batch may mix CSThr and BWThr points; order is preserved."""
+        am = make_am(xeon)
+        specs = [(CS, 2, 0), (BW, 1, 0), (CS, 0, 0), (BW, 3, 0)]
+        ref = [am.run_point(kind, k, trial=t) for kind, k, t in specs]
+        got = am.run_point_batch(specs)
+        assert fingerprints(got) == fingerprints(ref)
+        assert [(p.kind, p.k) for p in got] == [(s[0], s[1]) for s in specs]
+
+    def test_batched_is_one_runner_batch(self, xeon):
+        am = make_am(xeon)
+        am.sweep(CS, KS, backend="batched")
+        tele = am.runner.last_telemetry
+        assert tele is not None
+        assert tele.batches == 1
+        assert tele.points_done == len(KS)
+
+
+class TestOrchestrationSeams:
+    def test_cache_hits_per_point(self, xeon, tmp_path):
+        """A batched campaign caches per point: a rerun (even per-point)
+        serves every point from cache without touching the engine."""
+        runner = PointRunner(
+            backend="serial", retries=0, cache=ResultCache(tmp_path / "c")
+        )
+        am = make_am(xeon, runner=runner)
+        first = am.sweep(CS, KS, backend="batched")
+        assert runner.last_telemetry.cache_hits == 0
+        assert runner.last_telemetry.batches == 1
+
+        again = am.sweep(CS, KS, backend="batched")
+        assert runner.last_telemetry.cache_hits == len(KS)
+        assert runner.last_telemetry.batches == 0
+        assert fingerprints(again.points) == fingerprints(first.points)
+
+        per_point = am.sweep(CS, KS, backend="per-point")
+        assert runner.last_telemetry.cache_hits == len(KS)
+        assert fingerprints(per_point.points) == fingerprints(first.points)
+
+    def test_journal_resume_mid_batch(self, xeon, tmp_path):
+        """Resuming a journaled campaign mid-batch serves the recorded
+        points and batches only the remainder — results unchanged."""
+        am_ref = make_am(xeon)
+        ref = am_ref.sweep(CS, KS, backend="per-point")
+
+        path = tmp_path / "journal.jsonl"
+        first = make_am(
+            xeon,
+            runner=PointRunner(
+                backend="serial", retries=0, journal=CampaignJournal(path)
+            ),
+        )
+        first.sweep(CS, KS[:2], backend="batched")  # "crashed" after 2 points
+
+        resumed = make_am(
+            xeon,
+            runner=PointRunner(
+                backend="serial", retries=0, journal=CampaignJournal(path)
+            ),
+        )
+        got = resumed.sweep(CS, KS, backend="batched")
+        tele = resumed.runner.last_telemetry
+        assert tele.journal_hits == 2
+        assert tele.batches == 1  # the four remaining points, one batch
+        assert tele.points_done == len(KS)
+        assert fingerprints(got.points) == fingerprints(ref.points)
+
+    def test_unsupported_sched_mode_falls_back(self, xeon, monkeypatch):
+        """Under the chunk-at-a-time scheduler there is no batch kernel;
+        ``backend="batched"`` degrades to per-point, same results."""
+        monkeypatch.setenv("REPRO_SCHED", "chunk")
+        assert not sweep_supported()
+        am = make_am(xeon)
+        ref = am.sweep(CS, [0, 1, 2], backend="per-point")
+        got = am.sweep(CS, [0, 1, 2], backend="batched")
+        assert fingerprints(got.points) == fingerprints(ref.points)
+
+
+class TestSweepKnob:
+    def test_default_is_per_point(self):
+        assert resolve_sweep_mode() == "per-point"
+
+    def test_env_selects_batched(self, xeon, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP", "batched")
+        assert resolve_sweep_mode() == "batched"
+        am = make_am(xeon)
+        am.sweep(CS, [0, 1, 2])  # backend=None -> env decides
+        assert am.runner.last_telemetry.batches == 1
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP", "vectorised")
+        with pytest.raises(ConfigError, match="REPRO_SWEEP"):
+            resolve_sweep_mode()
+
+    def test_invalid_backend_argument_rejected(self, xeon):
+        am = make_am(xeon)
+        with pytest.raises(MeasurementError, match="unknown sweep backend"):
+            am.sweep(CS, [0, 1], backend="bogus")

@@ -162,3 +162,30 @@ class TestTraceAndTelemetry:
     def test_trace_command_missing_file(self, capsys, tmp_path):
         assert main(["trace", str(tmp_path / "nope.json")]) == 1
         assert "not found" in capsys.readouterr().err
+
+
+class TestBenchShapes:
+    def test_unknown_shape_rejected_with_list(self, capsys, tmp_path):
+        rc = main(["bench", "engine", "--shapes", "rnd,sweep",
+                   "--out", str(tmp_path / "b.json")])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "unknown bench shape(s) ['rnd']" in err
+        for known in ("'random'", "'mc_csthr'", "'sweep'"):
+            assert known in err
+
+    def test_empty_selection_rejected(self, capsys, tmp_path):
+        rc = main(["bench", "engine", "--shapes", " , ",
+                   "--out", str(tmp_path / "b.json")])
+        assert rc == 1
+        assert "no bench shapes selected" in capsys.readouterr().err
+
+    def test_valid_subset_runs_and_writes_baseline(self, capsys, tmp_path):
+        out = tmp_path / "b.json"
+        rc = main(["bench", "engine", "--shapes", "random",
+                   "--accesses", "4000", "--rounds", "1",
+                   "--out", str(out)])
+        assert rc == 0
+        baseline = json.loads(out.read_text())
+        assert "random" in baseline["accesses_per_sec"]
+        assert baseline["schema_version"] == 3

@@ -1,0 +1,188 @@
+"""Service chaos drill: SIGKILL agents mid-campaign, lose nothing.
+
+The measurement service's whole promise in one executable check:
+
+1. run every job spec serially in-process (no service, no cache, no
+   journal) -> per-job reference JSON;
+2. submit the same specs to a fresh service root and drain them with a
+   supervised fleet of three agents on a short lease;
+3. once the fleet has journaled a few points, SIGKILL two of the three
+   agents; the supervisor must requeue their expired leases, restart
+   the slots, and finish the drain;
+4. assert: every job completed (none dead-lettered), every result is
+   **byte-identical** to its serial reference, the broker log holds
+   **exactly one completion per job**, and every requeued job's
+   completing attempt reports at least as many journal hits as the dead
+   agent had journaled — the killed work was *resumed*, not redone
+   (no point executed its side effects twice).
+
+Exit status 0 = the promise holds. Used by the ``chaos`` CI job and
+runnable locally: ``PYTHONPATH=src python scripts/service_chaos_check.py``.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.service import JobSpec, Supervisor  # noqa: E402
+from repro.service.agent import sweep_payload  # noqa: E402
+from repro.service.broker import DONE  # noqa: E402
+
+#: The drill's workload mix: enough points per job that two SIGKILLs
+#: reliably land mid-campaign, varied enough to exercise distinct specs.
+def drill_specs(points: int, warmup: int, measure: int):
+    common = dict(preset="tiny", kind="cs", ks=tuple(range(points)),
+                  warmup_accesses=warmup, measure_accesses=measure)
+    return [
+        JobSpec(app="probe", seed=7, **common),
+        JobSpec(app="probe", seed=8, app_params={"dist": "zipf"}, **common),
+        JobSpec(app="stream", seed=9, **common),
+        JobSpec(app="hotcold", seed=10, **common),
+    ]
+
+
+def reference_payloads(specs) -> list:
+    """Serial, service-free ground truth for each spec."""
+    out = []
+    for spec in specs:
+        sweep = spec.build_measurement().sweep(spec.kind, spec.ks)
+        out.append(json.dumps(sweep_payload(sweep), sort_keys=True, indent=1))
+    return out
+
+
+def journaled_points(root: Path) -> dict:
+    """job id -> durably journaled point count right now."""
+    counts = {}
+    jdir = root / "journals"
+    if not jdir.is_dir():
+        return counts
+    for path in jdir.glob("*.jsonl"):
+        counts[path.stem] = sum(
+            1 for line in path.read_bytes().splitlines()
+            if b'"event":"point"' in line
+        )
+    return counts
+
+
+def completions_per_job(root: Path) -> dict:
+    counts = {}
+    for line in (root / "queue.jsonl").read_bytes().splitlines():
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if event.get("event") == "complete":
+            counts[event["id"]] = counts.get(event["id"], 0) + 1
+    return counts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=4,
+                        help="interference points per job (the tiny "
+                        "preset's 4 cores cap k at 3)")
+    parser.add_argument("--warmup", type=int, default=1_500_000)
+    parser.add_argument("--measure", type=int, default=1_000_000)
+    parser.add_argument("--kill-after-points", type=int, default=2,
+                        help="SIGKILL two agents once this many points "
+                        "are journaled fleet-wide")
+    parser.add_argument("--lease-s", type=float, default=1.5)
+    parser.add_argument("--timeout-s", type=float, default=600.0)
+    args = parser.parse_args(argv)
+
+    specs = drill_specs(args.points, args.warmup, args.measure)
+
+    print(f"[1/4] serial reference run ({len(specs)} jobs x "
+          f"{args.points} points) ...", flush=True)
+    refs = reference_payloads(specs)
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-chaos-") as tmp:
+        root = Path(tmp)
+        print("[2/4] submitting to a fresh service root ...", flush=True)
+        sup = Supervisor(root, n_agents=3, lease_s=args.lease_s,
+                         retry_budget=5, poll_s=0.05)
+        job_ids = [sup.broker.submit(s, tenant="chaos") for s in specs]
+
+        print("[3/4] draining with 3 agents, killing 2 mid-campaign ...",
+              flush=True)
+        sup.start()
+        deadline = time.monotonic() + args.timeout_s
+        killed = False
+        at_kill: dict = {}
+        while time.monotonic() < deadline:
+            sup.step()
+            if sup.broker.drained():
+                break
+            if not killed:
+                counts = journaled_points(root)
+                if sum(counts.values()) >= args.kill_after_points:
+                    at_kill = counts
+                    pids = [sup.kill_agent(0), sup.kill_agent(1)]
+                    print(f"  SIGKILLed agents {pids} with "
+                          f"{sum(counts.values())} points journaled",
+                          flush=True)
+                    killed = True
+            time.sleep(0.02)
+        drained = sup.broker.drained()
+        sup.stop()
+        if not drained:
+            print("FAIL: queue not drained before the deadline",
+                  file=sys.stderr)
+            return 1
+        if not killed:
+            print("  note: fleet drained before the kill threshold; "
+                  "rerun with more --points for a sharper drill",
+                  flush=True)
+
+        print("[4/4] verifying exactly-once completion ...", flush=True)
+        failures = []
+        completions = completions_per_job(root)
+        requeued = 0
+        for spec, job_id, ref in zip(specs, job_ids, refs):
+            job = sup.broker.job(job_id)
+            if job.state != DONE:
+                failures.append(f"{job_id}: state={job.state}, "
+                                f"errors={job.errors}")
+                continue
+            if completions.get(job_id) != 1:
+                failures.append(f"{job_id}: {completions.get(job_id, 0)} "
+                                "completion events (want exactly 1)")
+            got = Path(job.result_path).read_text()
+            if got != ref:
+                failures.append(f"{job_id}: result differs from the "
+                                "serial reference")
+            if job.attempts > 1:
+                requeued += 1
+                hits = job.telemetry.get("journal_hits", 0)
+                floor = at_kill.get(job_id, 0)
+                if hits < floor:
+                    failures.append(
+                        f"{job_id}: resumed attempt reports {hits} journal "
+                        f"hits < {floor} points the dead agent journaled "
+                        "(work was redone, not resumed)"
+                    )
+        if killed and requeued == 0:
+            print("  note: kills landed between leases (no job requeued); "
+                  "exactly-once still verified via completion counts",
+                  flush=True)
+        if failures:
+            for f in failures:
+                print(f"FAIL: {f}", file=sys.stderr)
+            return 1
+        stats = sup.fleet_stats()
+        print(f"OK: {len(specs)} jobs bit-identical to the serial "
+              f"reference, exactly one completion each "
+              f"(kill {'exercised' if killed else 'not reached'}, "
+              f"{requeued} requeued, {stats['restarts']} agent restarts)")
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,21 @@ Commands
     ``--trace`` or its crash-safe ``.jsonl`` event log): per-phase time,
     point-latency percentiles, cache/journal hit timelines, and a
     worker-utilization Gantt.
+``submit --root DIR --app NAME --preset NAME --kind cs|bw --ks 0,1,2
+[--tenant T] [--param k=v ...]``
+    Submit one measurement job to the durable service queue rooted at
+    DIR. Admission control answers immediately: past the queue bound or
+    the tenant quota the submission is *rejected* (exit 1) rather than
+    queued unboundedly.
+``serve --root DIR [--agents N] [--inline] [--lease-s S]
+[--retry-budget N] [--timeout-s S]``
+    Drain the queue: supervise a fleet of N agent processes (restarting
+    crashed ones, requeuing expired leases) until every job is done or
+    dead-lettered. ``--inline`` runs a single in-process agent instead
+    — same broker, journals and fences, no subprocesses.
+``queue --root DIR [--job ID]``
+    Show queue statistics, the per-job table, and the dead-letter list;
+    with ``--job`` print one job's full state.
 ``version``
     Print the package version.
 
@@ -252,7 +267,191 @@ def _build_parser() -> argparse.ArgumentParser:
         help="trace file: the Chrome JSON exported by --trace, or its "
         "crash-safe .jsonl event log",
     )
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a measurement job to the service queue",
+    )
+    submit_p.add_argument("--root", required=True, metavar="DIR",
+                          help="service root directory (shared with serve)")
+    submit_p.add_argument("--app", default="probe",
+                          help="app profile (see repro.service.APP_PROFILES)")
+    submit_p.add_argument("--preset", default="xeon20mb",
+                          help="socket preset (xeon20mb, exascale, tiny)")
+    submit_p.add_argument("--kind", choices=("cs", "bw"), default="cs",
+                          help="sweep kind: capacity (cs) or bandwidth (bw)")
+    submit_p.add_argument("--ks", default="0,1,2,3,4,5", metavar="K,K,...",
+                          help="comma-separated interference levels")
+    submit_p.add_argument("--seed", type=int, default=0)
+    submit_p.add_argument("--warmup", type=int, default=25_000,
+                          metavar="N", help="warmup accesses per point")
+    submit_p.add_argument("--measure", type=int, default=15_000,
+                          metavar="N", help="measured accesses per point")
+    submit_p.add_argument("--tenant", default="anonymous",
+                          help="tenant identity for per-tenant quotas")
+    submit_p.add_argument(
+        "--param", action="append", default=[], metavar="K=V",
+        help="app-profile parameter (repeatable), e.g. "
+        "--param buffer_bytes=52428800 --param dist=zipf",
+    )
+    submit_p.add_argument("--max-active", type=int, default=None,
+                          help="queue bound when creating a new queue")
+    submit_p.add_argument("--max-per-tenant", type=int, default=None,
+                          help="per-tenant quota when creating a new queue")
+
+    serve_p = sub.add_parser(
+        "serve", help="drain the service queue with a supervised fleet",
+    )
+    serve_p.add_argument("--root", required=True, metavar="DIR")
+    serve_p.add_argument("--agents", type=int, default=2, metavar="N",
+                         help="agent processes to supervise (default: 2)")
+    serve_p.add_argument(
+        "--inline", action="store_true",
+        help="run one in-process agent instead of a subprocess fleet",
+    )
+    serve_p.add_argument("--lease-s", type=float, default=30.0,
+                         help="lease duration / heartbeat window (s)")
+    serve_p.add_argument("--retry-budget", type=int, default=3,
+                         help="attempts before a job is dead-lettered")
+    serve_p.add_argument("--timeout-s", type=float, default=600.0,
+                         help="give up draining after this long")
+    serve_p.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a span trace of the serve run (see 'run --trace')",
+    )
+
+    queue_p = sub.add_parser(
+        "queue", help="inspect the service queue",
+    )
+    queue_p.add_argument("--root", required=True, metavar="DIR")
+    queue_p.add_argument("--job", default=None, metavar="ID",
+                         help="print one job's full state")
     return parser
+
+
+def _parse_app_params(pairs: list) -> Dict[str, object]:
+    """``--param k=v`` values with scalar coercion (int, float, bool,
+    else string) — mirrors what JobSpec accepts."""
+    params: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param needs K=V, got {pair!r}")
+        value: object
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        params[key] = value
+    return params
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import AdmissionPolicy, DurableBroker, JobSpec
+
+    admission = None
+    if args.max_active is not None or args.max_per_tenant is not None:
+        admission = AdmissionPolicy(
+            max_active=args.max_active or 64,
+            max_active_per_tenant=args.max_per_tenant or 16,
+        )
+    try:
+        ks = tuple(int(k) for k in args.ks.split(",") if k.strip())
+    except ValueError:
+        raise SystemExit(f"--ks must be comma-separated integers, got {args.ks!r}")
+    spec = JobSpec(
+        app=args.app, preset=args.preset, kind=args.kind, ks=ks,
+        seed=args.seed, warmup_accesses=args.warmup,
+        measure_accesses=args.measure,
+        app_params=_parse_app_params(args.param),
+    )
+    broker = DurableBroker(args.root, admission=admission)
+    job_id = broker.submit(spec, tenant=args.tenant)
+    print(job_id)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    trace_path = _start_trace(args)
+    try:
+        if args.inline:
+            from .service import ServiceClient
+
+            client = ServiceClient(
+                args.root, lease_s=args.lease_s,
+                retry_budget=args.retry_budget,
+            )
+            n = client.drain()
+            print(f"inline agent drained {n} job(s)", file=sys.stderr)
+            stats = client.broker.stats()
+            drained = True
+        else:
+            from .service import Supervisor
+
+            sup = Supervisor(
+                args.root, n_agents=args.agents, lease_s=args.lease_s,
+                retry_budget=args.retry_budget,
+            )
+            drained = sup.drain(timeout_s=args.timeout_s)
+            stats = sup.broker.stats()
+            print(f"fleet: {sup.fleet_stats()}", file=sys.stderr)
+    finally:
+        _finish_trace(trace_path)
+    by_state = stats["by_state"]
+    print(f"queue: {by_state}", file=sys.stderr)
+    if not drained:
+        print(f"error: queue not drained within {args.timeout_s}s",
+              file=sys.stderr)
+        return 1
+    if by_state.get("dead"):
+        print(f"warning: {by_state['dead']} job(s) in the dead-letter "
+              "queue; inspect with 'repro queue'", file=sys.stderr)
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    from .service import DurableBroker
+
+    broker = DurableBroker(args.root)
+    if args.job is not None:
+        job = broker.job(args.job)
+        if job is None:
+            print(f"unknown job {args.job!r}", file=sys.stderr)
+            return 1
+        print(f"{job.id}  state={job.state} tenant={job.tenant} "
+              f"attempts={job.attempts} failures={job.failures}")
+        print(f"  spec: {job.spec.to_dict()}")
+        if job.result_path:
+            print(f"  result: {job.result_path}")
+        if job.telemetry:
+            hits = job.telemetry.get("cache_hits", 0)
+            jhits = job.telemetry.get("journal_hits", 0)
+            print(f"  telemetry: {jhits} journal hits, {hits} cache hits, "
+                  f"{job.telemetry.get('points_done', 0)} points")
+        for err in job.errors:
+            print(f"  error: {err}")
+        return 0
+    stats = broker.stats()
+    print(f"jobs: {stats['jobs']}  by state: {stats['by_state']}")
+    print(f"active by tenant: {stats['active_by_tenant']}")
+    print(f"admission: {stats['admission']}")
+    for job in broker.jobs():
+        line = (f"  {job.id}  {job.state:7s} tenant={job.tenant} "
+                f"attempts={job.attempts}")
+        if job.errors:
+            line += f" last_error={job.errors[-1]!r}"
+        print(line)
+    dead = broker.dead_letter()
+    if dead:
+        print(f"dead-letter ({len(dead)}):")
+        for job in dead:
+            print(f"  {job.id}: {job.errors[-1] if job.errors else '?'}")
+    return 0
 
 
 def _apply_runner_options(args: argparse.Namespace) -> None:
@@ -348,6 +547,17 @@ def main(argv: Optional[list] = None) -> int:
         socket = xeon20mb() if args.scale is None else xeon20mb(scale=args.scale)
         print(socket.describe())
         return 0
+
+    if args.command in ("submit", "serve", "queue"):
+        from .errors import ServiceError
+
+        handler = {"submit": _cmd_submit, "serve": _cmd_serve,
+                   "queue": _cmd_queue}[args.command]
+        try:
+            return handler(args)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     if args.command == "trace":
         from .obs.summary import summarize_trace

@@ -29,6 +29,7 @@ import base64
 import json
 import os
 import pickle
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
 
@@ -36,6 +37,33 @@ from ..errors import MeasurementError
 
 #: Bump when the journal line layout changes.
 JOURNAL_FORMAT = 1
+
+
+def truncate_torn_tail(path: Path) -> int:
+    """Repair a JSONL file whose final line was torn by a mid-append
+    crash: truncate the file back to its last newline.
+
+    A torn tail is not just unreadable — left in place, the *next*
+    atomic append would concatenate onto the partial line and corrupt a
+    brand-new record too. Returns the number of bytes dropped (0 when
+    the file is absent, empty, or ends cleanly); the caller decides how
+    loudly to report it.
+    """
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return 0
+    if size == 0:
+        return 0
+    with open(path, "rb+") as fh:
+        fh.seek(size - 1)
+        if fh.read(1) == b"\n":
+            return 0
+        fh.seek(0)
+        data = fh.read()
+        keep = data.rfind(b"\n") + 1  # 0 when no complete line survives
+        fh.truncate(keep)
+    return size - keep
 
 
 def append_jsonl(path: Path, record: Dict[str, Any]) -> None:
@@ -53,19 +81,44 @@ def append_jsonl(path: Path, record: Dict[str, Any]) -> None:
 
 
 def iter_jsonl(path: Path) -> Iterator[Dict[str, Any]]:
-    """Yield intact records, silently skipping a truncated/corrupt tail
-    (the expected state after a mid-append kill)."""
+    """Yield intact records, tolerating a truncated/corrupt tail (the
+    expected state after a mid-append kill).
+
+    Unreadable lines are *skipped with a loud warning*, never raised:
+    a torn trailing line is the normal post-crash state and must not
+    block resume, but losing data silently would hide real corruption
+    from the operator. The warning names the file and line number so a
+    chaos drill's log shows exactly what was dropped.
+    """
     try:
         raw = path.read_bytes()
     except FileNotFoundError:
         return
-    for line in raw.splitlines():
+    lines = raw.splitlines()
+    torn_tail = bool(raw) and not raw.endswith(b"\n")
+    for lineno, line in enumerate(lines, start=1):
         if not line.strip():
             continue
         try:
             record = json.loads(line.decode())
         except (ValueError, UnicodeDecodeError):
-            continue  # torn tail or bit-rot: not a completed record
+            if torn_tail and lineno == len(lines):
+                warnings.warn(
+                    f"{path}: dropping torn trailing line {lineno} "
+                    f"({len(line)} bytes) — expected after a crash "
+                    "mid-append; the record was never durable",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                warnings.warn(
+                    f"{path}: skipping corrupt JSONL line {lineno} "
+                    f"({len(line)} bytes) — not a torn tail, possible "
+                    "bit-rot",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            continue
         if isinstance(record, dict):
             yield record
 
@@ -105,6 +158,20 @@ class CampaignJournal:
                     "config_key": self.config_key,
                 })
             return
+        # A crash mid-append leaves a torn final line; truncate it *on
+        # disk* (not just in the reader) so this journal's next append
+        # starts a clean line instead of concatenating onto the wreck.
+        dropped = truncate_torn_tail(self.path)
+        if dropped:
+            self.skipped_lines += 1
+            warnings.warn(
+                f"journal {self.path}: truncated a torn trailing line "
+                f"({dropped} bytes) left by a crash mid-append; the "
+                "affected point was never durably recorded and will be "
+                "re-measured",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         seen_header = False
         for record in iter_jsonl(self.path):
             event = record.get("event")

@@ -84,6 +84,24 @@ def point_seed(base_seed: int, kind: str, k: int) -> int:
     return int.from_bytes(hashlib.sha256(tag).digest()[:8], "big")
 
 
+def backoff_delay(
+    seed: int, token: str, attempt: int, base_s: float, max_s: float
+) -> float:
+    """Exponential backoff with deterministic, per-token jitter.
+
+    Pure exponential delays make every actor that shared a transient
+    fault retry in lockstep, re-colliding forever. The jitter spreads
+    the round's delay over ``[0.5, 1.5)`` of the exponential base —
+    derived by hashing ``(seed, token, attempt)``, so replays of the
+    same schedule sleep identically. Shared by the runner's retry loop
+    and the service broker's requeue backoff.
+    """
+    base = min(base_s * (2 ** attempt), max_s)
+    tag = f"repro.backoff/{seed}/{token}/{attempt}".encode()
+    frac = int.from_bytes(hashlib.sha256(tag).digest()[:8], "big") / 2.0**64
+    return base * (0.5 + frac)
+
+
 def trial_seed(base_seed: int, kind: str, k: int, trial: int) -> int:
     """Decorrelated seed for repeated trials of the same point.
 
@@ -215,6 +233,13 @@ class ResultCache:
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                # fsync *before* the rename: os.replace makes the name
+                # durable, not the bytes. Without it a power loss after
+                # the rename can leave a fully-named entry holding a
+                # short pickle, which every later read quarantines —
+                # re-measuring a point the cache claimed to have.
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, self._path(key))
         except BaseException:
             try:
@@ -277,6 +302,10 @@ class RunnerTelemetry:
     #: workload factory) and ran inline in the parent instead — or whose
     #: batch group failed and re-ran per-point on the serial path.
     inline_fallbacks: int = 0
+    #: Process pools rebuilt after a BrokenProcessPool. Bounded by the
+    #: runner's ``max_pool_restarts``; once the budget is spent the
+    #: remaining tasks run serially instead of churning dead pools.
+    pool_restarts: int = 0
     #: Point groups executed as single batched kernel sessions
     #: (``backend="batched"``).
     batches: int = 0
@@ -325,6 +354,7 @@ class RunnerTelemetry:
         self.journal_hits += other.journal_hits
         self.gaps += other.gaps
         self.inline_fallbacks += other.inline_fallbacks
+        self.pool_restarts += other.pool_restarts
         self.batches += other.batches
         self.busy_s += other.busy_s
         # Wall time is a *span*, not a sum: N sequential batches cover
@@ -381,6 +411,8 @@ class RunnerTelemetry:
             bits.append(f"{self.batches} batched groups")
         if self.retries:
             bits.append(f"{self.retries} retries")
+        if self.pool_restarts:
+            bits.append(f"{self.pool_restarts} pool restarts")
         if self.quarantines:
             bits.append(f"{self.quarantines} quarantined cache entries")
         if self.failures:
@@ -538,6 +570,12 @@ class PointRunner:
         them would hide bugs.
     backoff_seed:
         Seed of the deterministic backoff jitter (see :meth:`_backoff`).
+    max_pool_restarts:
+        How many times a broken process pool is rebuilt per batch before
+        the runner gives up on pooling and runs the remaining tasks
+        serially (telemetered as ``pool_restarts`` /
+        ``inline_fallbacks``). A machine that kills every worker (OOM,
+        cgroup limits) would otherwise churn fresh pools forever.
     """
 
     def __init__(
@@ -554,6 +592,7 @@ class PointRunner:
         injector: Optional[Any] = None,
         fail_soft: bool = False,
         backoff_seed: int = 0,
+        max_pool_restarts: int = 3,
     ):
         if backend not in BACKENDS:
             raise MeasurementError(
@@ -561,6 +600,8 @@ class PointRunner:
             )
         if retries < 0:
             raise MeasurementError("retries must be non-negative")
+        if max_pool_restarts < 0:
+            raise MeasurementError("max_pool_restarts must be non-negative")
         self.backend = backend
         self.max_workers = max(1, int(max_workers or (os.cpu_count() or 1)))
         self.cache = cache
@@ -573,6 +614,7 @@ class PointRunner:
         self.injector = injector
         self.fail_soft = fail_soft
         self.backoff_seed = backoff_seed
+        self.max_pool_restarts = max_pool_restarts
         #: Telemetry of the most recent :meth:`run` batch.
         self.last_telemetry: Optional[RunnerTelemetry] = None
 
@@ -695,18 +737,12 @@ class PointRunner:
             self.progress(tele.points_done, tele.points_total, tele)
 
     def _backoff(self, attempt: int, token: str = "") -> float:
-        """Exponential backoff with deterministic, per-task jitter.
-
-        Pure exponential delays make every worker that shared a
-        transient fault retry in lockstep, re-colliding forever. The
-        jitter spreads the round's delay over ``[0.5, 1.5)`` of the
-        exponential base — derived by hashing ``(backoff_seed, token,
-        attempt)``, so replays of the same batch sleep identically.
-        """
-        base = min(self.backoff_s * (2 ** attempt), self.max_backoff_s)
-        tag = f"repro.backoff/{self.backoff_seed}/{token}/{attempt}".encode()
-        frac = int.from_bytes(hashlib.sha256(tag).digest()[:8], "big") / 2.0**64
-        return base * (0.5 + frac)
+        """This runner's retry delay: the shared deterministic-jitter
+        schedule (:func:`backoff_delay`) under its seed and bounds."""
+        return backoff_delay(
+            self.backoff_seed, token, attempt, self.backoff_s,
+            self.max_backoff_s,
+        )
 
     def _finish(self, i: int, task: PointTask, value: Any, dt: float,
                 results: List[Any], tele: RunnerTelemetry,
@@ -847,8 +883,10 @@ class PointRunner:
             else:
                 traced = True
             remaining = list(shippable)
+            errors: Dict[int, BaseException] = {}
+            pool_exhausted = False
             for attempt in range(self.retries + 1):
-                if not remaining:
+                if not remaining or pool_exhausted:
                     break
                 if attempt:
                     tele.retries += len(remaining)
@@ -862,7 +900,7 @@ class PointRunner:
                     for i in remaining
                 }
                 failed: List[int] = []
-                errors: Dict[int, BaseException] = {}
+                errors = {}
                 pool_broken = False
                 for fut, i in futures.items():
                     try:
@@ -870,21 +908,33 @@ class PointRunner:
                     except MeasurementError:
                         raise
                     except cf.TimeoutError as exc:
+                        # The attempt is *abandoned*, never harvested: a
+                        # hung worker thread cannot be preempted, but
+                        # its future is dropped here and no completion
+                        # path ever writes it into a result slot — only
+                        # this loop fills `results`, and it consults
+                        # each future exactly once.
                         fut.cancel()
                         tele.timeouts += 1
                         failed.append(i)
                         errors[i] = exc
                     except BrokenProcessPool as exc:
                         # The pool is dead; every sibling future fails
-                        # with the same error — replace the pool once.
+                        # with the same error. Rebuild it at most
+                        # ``max_pool_restarts`` times per batch, then
+                        # stop churning pools and go serial.
                         failed.append(i)
                         errors[i] = exc
                         if not pool_broken:
                             pool_broken = True
                             executor.shutdown(wait=False, cancel_futures=True)
-                            executor = cf.ProcessPoolExecutor(
-                                max_workers=self.max_workers
-                            )
+                            if tele.pool_restarts < self.max_pool_restarts:
+                                tele.pool_restarts += 1
+                                executor = cf.ProcessPoolExecutor(
+                                    max_workers=self.max_workers
+                                )
+                            else:
+                                pool_exhausted = True
                     except Exception as exc:  # noqa: BLE001
                         failed.append(i)
                         errors[i] = exc
@@ -892,6 +942,15 @@ class PointRunner:
                         self._finish(i, tasks[i], value, dt, results, tele,
                                      shipped)
                 remaining = failed
+            if pool_exhausted and remaining:
+                # The pool-restart budget is spent: the machine kills
+                # every worker we start, so the parent process is the
+                # only executor left standing. Serial still honours the
+                # per-task retry loop, so a transient fault that also
+                # broke the pool gets its remaining attempts.
+                tele.inline_fallbacks += len(remaining)
+                self._run_serial(tasks, remaining, results, tele, soft)
+                remaining = []
             for i in remaining:
                 self._fail(i, tasks[i], errors[i], results, tele, soft)
         finally:

@@ -1,0 +1,78 @@
+"""Admission control: bounded queue, per-tenant quotas, load shedding.
+
+The service's overload answer is *rejection, not queueing*: past the
+configured bounds a submission fails immediately with
+:class:`~repro.errors.ServiceOverloaded` instead of joining a queue
+that cannot drain fast enough. An explicit early "no" keeps the
+latency of accepted work bounded (the classic admission-control
+argument) and keeps one greedy tenant from starving the rest — the
+per-tenant quota rejects the offender's submissions while everyone
+else's continue to be admitted.
+
+The policy itself is plain data so the broker can persist it in the
+queue log's ``config`` record: every submitter process enforces the
+same bounds, whoever created the queue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+from ..errors import ServiceError, ServiceOverloaded
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bounds enforced at submission time.
+
+    Parameters
+    ----------
+    max_active:
+        Ceiling on jobs in flight (queued + leased) across all tenants.
+        Submissions past it are shed with :class:`ServiceOverloaded`.
+    max_active_per_tenant:
+        Ceiling on one tenant's in-flight jobs. Exhausting it rejects
+        *only* that tenant; others are admitted normally.
+    """
+
+    max_active: int = 64
+    max_active_per_tenant: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_active < 1:
+            raise ServiceError("max_active must be >= 1")
+        if self.max_active_per_tenant < 1:
+            raise ServiceError("max_active_per_tenant must be >= 1")
+
+    def admit(
+        self,
+        tenant: str,
+        active_total: int,
+        active_by_tenant: Mapping[str, int],
+    ) -> None:
+        """Raise :class:`ServiceOverloaded` when the submission must be
+        shed; return silently when it is admitted."""
+        if active_total >= self.max_active:
+            raise ServiceOverloaded(
+                f"queue is at its bound ({active_total}/{self.max_active} "
+                "jobs in flight); resubmit after the backlog drains"
+            )
+        held = active_by_tenant.get(tenant, 0)
+        if held >= self.max_active_per_tenant:
+            raise ServiceOverloaded(
+                f"tenant {tenant!r} is at its quota ({held}/"
+                f"{self.max_active_per_tenant} jobs in flight); "
+                "other tenants are unaffected"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdmissionPolicy":
+        return cls(
+            max_active=int(data.get("max_active", 64)),
+            max_active_per_tenant=int(data.get("max_active_per_tenant", 16)),
+        )

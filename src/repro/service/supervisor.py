@@ -1,0 +1,215 @@
+"""Supervisor: polices leases and keeps the agent fleet alive.
+
+The supervisor owns two loops folded into one poll:
+
+- **Lease policing** — :meth:`DurableBroker.requeue_expired`: any leased
+  job whose deadline passed (its agent missed heartbeats — presumed
+  dead, hung, or partitioned) is requeued behind the deterministic
+  backoff jitter, or routed to the dead-letter state once its retry
+  budget is spent. The supervisor never needs to know *why* the agent
+  went quiet; the lease deadline is the only failure detector.
+- **Fleet supervision** — agents are child processes; one that exits
+  while work remains is restarted (fresh process, same agent id lineage)
+  up to a restart budget. Agents are stateless between jobs, so a
+  restart is always safe: in-flight work is recovered by lease expiry,
+  not by the replacement process.
+
+Both recoveries compose: SIGKILL an agent mid-campaign and (1) the
+fleet loop restarts a worker, (2) the lease loop requeues the orphaned
+job, (3) whichever agent leases it resumes from the job's journal. The
+chaos drill (``scripts/service_chaos_check.py``) exercises exactly this
+and byte-compares the outcome against an undisturbed serial run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import ServiceError
+from ..obs.tracer import span as trace_span
+from .broker import DurableBroker
+
+#: ``src`` directory that resolves ``-m repro.service.agent`` in children.
+_SRC_DIR = Path(__file__).resolve().parents[2]
+
+
+@dataclass
+class AgentHandle:
+    """One supervised agent slot (the slot survives process restarts)."""
+
+    agent_id: str
+    proc: Optional[subprocess.Popen] = None
+    restarts: int = 0
+    #: Process incarnation, folded into the broker-visible identity so
+    #: a restarted agent never inherits its predecessor's lease fences.
+    incarnation: int = 0
+    log_lines: List[str] = field(default_factory=list)
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+
+class Supervisor:
+    """Runs the fleet against one service root.
+
+    Parameters
+    ----------
+    root:
+        Service root directory (shared with broker and agents).
+    n_agents:
+        Fleet size.
+    max_agent_restarts:
+        Restart budget *per slot*; a slot that keeps dying past it is
+        left down (the rest of the fleet keeps draining — graceful
+        degradation, not collapse).
+    lease_s / retry_budget:
+        Passed through to agents and the supervisor's own broker so the
+        whole service agrees on the lease protocol.
+    poll_s:
+        Supervision loop period (lease sweep + liveness check).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        n_agents: int = 2,
+        lease_s: float = 30.0,
+        retry_budget: int = 3,
+        poll_s: float = 0.1,
+        max_agent_restarts: int = 3,
+        agent_poll_s: float = 0.05,
+    ):
+        if n_agents < 1:
+            raise ServiceError("n_agents must be >= 1")
+        if max_agent_restarts < 0:
+            raise ServiceError("max_agent_restarts must be >= 0")
+        self.root = Path(root)
+        self.broker = DurableBroker(
+            self.root, lease_s=lease_s, retry_budget=retry_budget
+        )
+        self.n_agents = int(n_agents)
+        self.lease_s = float(lease_s)
+        self.retry_budget = int(retry_budget)
+        self.poll_s = float(poll_s)
+        self.max_agent_restarts = int(max_agent_restarts)
+        self.agent_poll_s = float(agent_poll_s)
+        self.agents: List[AgentHandle] = [
+            AgentHandle(agent_id=f"a{i}") for i in range(self.n_agents)
+        ]
+        #: Jobs moved by lease policing: ``[(job_id, new_state), ...]``.
+        self.requeues: List[tuple] = []
+
+    # -- fleet ------------------------------------------------------------------
+
+    def _agent_cmd(self, handle: AgentHandle) -> List[str]:
+        return [
+            sys.executable, "-m", "repro.service.agent",
+            "--root", str(self.root),
+            "--agent-id", f"{handle.agent_id}.{handle.incarnation}",
+            "--lease-s", str(self.lease_s),
+            "--retry-budget", str(self.retry_budget),
+            "--poll-s", str(self.agent_poll_s),
+            "--exit-when-drained",
+        ]
+
+    def _agent_env(self) -> Dict[str, str]:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(_SRC_DIR) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return env
+
+    def spawn(self, handle: AgentHandle) -> None:
+        handle.proc = subprocess.Popen(
+            self._agent_cmd(handle), env=self._agent_env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+
+    def start(self) -> None:
+        """Launch the whole fleet."""
+        for handle in self.agents:
+            if not handle.alive:
+                self.spawn(handle)
+
+    def kill_agent(self, index: int, sig: int = signal.SIGKILL) -> Optional[int]:
+        """Chaos hook: signal one agent process; returns the PID hit."""
+        handle = self.agents[index]
+        if not handle.alive:
+            return None
+        pid = handle.proc.pid
+        handle.proc.send_signal(sig)
+        return pid
+
+    def _tend_fleet(self, work_remains: bool) -> None:
+        for handle in self.agents:
+            if handle.alive or handle.proc is None:
+                continue
+            # The process exited. With the queue drained that is the
+            # normal end of an --exit-when-drained agent; with work
+            # remaining it is a crash, and the slot restarts until its
+            # budget is spent.
+            if work_remains and handle.restarts < self.max_agent_restarts:
+                handle.restarts += 1
+                handle.incarnation += 1
+                with trace_span(
+                    "service.agent_restart", cat="service",
+                    agent=handle.agent_id, restarts=handle.restarts,
+                ):
+                    self.spawn(handle)
+
+    # -- supervision loop -------------------------------------------------------
+
+    def step(self) -> None:
+        """One supervision beat: police leases, then tend the fleet."""
+        moved = self.broker.requeue_expired()
+        if moved:
+            self.requeues.extend(moved)
+        self._tend_fleet(work_remains=not self.broker.drained())
+
+    def drain(self, timeout_s: float = 300.0) -> bool:
+        """Supervise until the queue drains (every job done or dead) or
+        the timeout passes; then stop the fleet. Returns True when
+        drained."""
+        self.start()
+        deadline = time.monotonic() + timeout_s
+        drained = False
+        while time.monotonic() < deadline:
+            self.step()
+            if self.broker.drained():
+                drained = True
+                break
+            time.sleep(self.poll_s)
+        self.stop()
+        return drained
+
+    def stop(self, grace_s: float = 5.0) -> None:
+        """Terminate every live agent (TERM, then KILL past the grace)."""
+        for handle in self.agents:
+            if handle.alive:
+                handle.proc.terminate()
+        deadline = time.monotonic() + grace_s
+        for handle in self.agents:
+            if handle.proc is None:
+                continue
+            remaining = max(deadline - time.monotonic(), 0.05)
+            try:
+                handle.proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                handle.proc.kill()
+                handle.proc.wait(timeout=5.0)
+
+    def fleet_stats(self) -> Dict[str, int]:
+        return {
+            "agents": len(self.agents),
+            "alive": sum(1 for h in self.agents if h.alive),
+            "restarts": sum(h.restarts for h in self.agents),
+            "requeues": len(self.requeues),
+        }

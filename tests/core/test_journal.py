@@ -6,7 +6,7 @@ import json
 import pytest
 
 from repro.core import CampaignJournal, PointRunner, PointTask, cache_key
-from repro.core.journal import append_jsonl, iter_jsonl
+from repro.core.journal import append_jsonl, iter_jsonl, truncate_torn_tail
 from repro.errors import MeasurementError
 
 from .test_parallel import make_am, point_fields
@@ -181,3 +181,66 @@ def test_journal_record_lines_are_json_objects(tmp_path):
     j.record_point(cache_key(k=0), "p0", {"x": 1})
     for line in path.read_text().splitlines():
         assert isinstance(json.loads(line), dict)
+
+
+class TestTornTailRepair:
+    """ISSUE satellite: a journal byte-truncated mid-append (SIGKILL)
+    must be repaired *on disk* with a loud warning, so the next append
+    starts a clean line instead of concatenating onto the wreck."""
+
+    def _journal_with_points(self, path, n=3):
+        ck = cache_key(campaign="torn")
+        j = CampaignJournal(path, config_key=ck)
+        for i in range(n):
+            j.record_point(cache_key(k=i), f"cs:k={i}", {"k": i})
+        return ck
+
+    def test_truncate_torn_tail_drops_only_the_partial_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        append_jsonl(path, {"event": "a"})
+        clean_size = path.stat().st_size
+        with open(path, "ab") as fh:
+            fh.write(b'{"event": "b", "payl')
+        assert truncate_torn_tail(path) == 20
+        assert path.stat().st_size == clean_size
+        assert truncate_torn_tail(path) == 0  # idempotent on clean files
+        assert truncate_torn_tail(tmp_path / "missing.jsonl") == 0
+
+    def test_byte_truncated_journal_warns_and_resumes(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        ck = self._journal_with_points(path, n=3)
+        # SIGKILL mid-append: the final record loses its tail bytes.
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-9])
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            resumed = CampaignJournal(path, config_key=ck)
+        assert resumed.skipped_lines == 1
+        # The torn point was never durable -> it will be re-measured;
+        # the intact ones resume.
+        assert cache_key(k=0) in resumed
+        assert cache_key(k=1) in resumed
+        assert cache_key(k=2) not in resumed
+
+    def test_repair_happens_on_disk_so_appends_stay_clean(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        ck = self._journal_with_points(path, n=2)
+        path.write_bytes(path.read_bytes()[:-5])
+        with pytest.warns(RuntimeWarning):
+            resumed = CampaignJournal(path, config_key=ck)
+        # Re-record the lost point: it must land as its own intact line,
+        # not welded onto the truncated remnant.
+        resumed.record_point(cache_key(k=1), "cs:k=1", {"k": 1})
+        assert path.read_bytes().endswith(b"\n")
+        fresh = CampaignJournal(path, config_key=ck)
+        assert fresh.skipped_lines == 0
+        assert fresh.get(cache_key(k=1)) == {"k": 1}
+
+    def test_interior_corruption_warns_differently(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        append_jsonl(path, {"event": "a"})
+        with open(path, "ab") as fh:
+            fh.write(b"\xff\xfe rot \x00\n")
+        append_jsonl(path, {"event": "c"})
+        # Not a torn tail: the file ends cleanly but line 2 is rotten.
+        with pytest.warns(RuntimeWarning, match="bit-rot"):
+            assert [r["event"] for r in iter_jsonl(path)] == ["a", "c"]

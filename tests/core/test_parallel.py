@@ -17,6 +17,7 @@ from repro.core import (
     PointRunner,
     PointTask,
     ResultCache,
+    RunnerTelemetry,
     cache_key,
     point_seed,
     trial_seed,
@@ -650,3 +651,159 @@ class TestBatchedBackend:
         tele = runner.last_telemetry
         assert tele.cache_hits == 3
         assert tele.batches == 0
+
+
+class TestCachePutDurability:
+    """ISSUE satellite: ``ResultCache.put`` must fsync the temp file
+    *before* the atomic rename — ``os.replace`` makes the name durable,
+    not the bytes."""
+
+    def test_fsync_precedes_rename(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "c")
+        calls = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync",
+            lambda fd: (calls.append("fsync"), real_fsync(fd))[1],
+        )
+        monkeypatch.setattr(
+            os, "replace",
+            lambda a, b: (calls.append("replace"), real_replace(a, b))[1],
+        )
+        key = cache_key(point="durable")
+        cache.put(key, {"v": 1})
+        assert calls == ["fsync", "replace"]
+        assert cache.get(key) == {"v": 1}
+
+    def test_failed_fsync_aborts_the_put_cleanly(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "c")
+
+        def no_disk(fd):
+            raise OSError("fsync: no space left on device")
+
+        monkeypatch.setattr(os, "fsync", no_disk)
+        key = cache_key(point="doomed")
+        with pytest.raises(OSError, match="no space"):
+            cache.put(key, 42)
+        # Neither a half-written entry nor a leaked temp file remains.
+        assert cache.get(key) is None
+        assert not list((tmp_path / "c").glob("*.tmp"))
+
+
+def _die_once(sentinel: str, x: int) -> int:
+    """Pool worker that hard-kills its process on the first call ever
+    (across processes, via a sentinel file), then behaves."""
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("died")
+        os._exit(1)
+    return 2 * x
+
+
+def _die_in_child(parent_pid: int, x: int) -> int:
+    """Hard-kills any pool worker; runs clean inline in the parent."""
+    if os.getpid() != parent_pid:
+        os._exit(1)
+    return 2 * x
+
+
+class TestPoolRestarts:
+    """ISSUE satellite: on ``BrokenProcessPool`` the runner rebuilds the
+    pool at most ``max_pool_restarts`` times (telemetered), then falls
+    back to serial execution instead of failing the batch."""
+
+    def test_worker_that_dies_once_costs_one_restart(self, tmp_path):
+        sentinel = str(tmp_path / "died-once")
+        runner = PointRunner(
+            backend="process", max_workers=1, retries=1, backoff_s=0.0,
+        )
+        tasks = [PointTask(fn=_die_once, args=(sentinel, 21), label="cs:k=1")]
+        assert runner.run(tasks) == [42]
+        tele = runner.last_telemetry
+        assert tele.pool_restarts == 1
+        assert tele.retries == 1
+        assert tele.failures == 0
+
+    def test_exhausted_restart_budget_falls_back_to_serial(self):
+        runner = PointRunner(
+            backend="process", max_workers=1, retries=0, backoff_s=0.0,
+            max_pool_restarts=0,
+        )
+        tasks = [
+            PointTask(fn=_die_in_child, args=(os.getpid(), v),
+                      label=f"cs:k={v}")
+            for v in (1, 2)
+        ]
+        assert runner.run(tasks) == [2, 4]
+        tele = runner.last_telemetry
+        assert tele.pool_restarts == 0       # budget was zero
+        assert tele.inline_fallbacks == 2    # both ran serially instead
+        assert tele.failures == 0
+
+    def test_restart_budget_is_validated_and_telemetered(self):
+        with pytest.raises(MeasurementError, match="max_pool_restarts"):
+            PointRunner(max_pool_restarts=-1)
+        tele = RunnerTelemetry(pool_restarts=2)
+        other = RunnerTelemetry(pool_restarts=3)
+        tele.merge(other)
+        assert tele.pool_restarts == 5
+        assert "5 pool restarts" in tele.summary()
+
+
+class TestThreadTimeoutAbandonment:
+    """ISSUE satellite: a timed-out thread attempt is counted in
+    ``timeouts`` and the abandoned thread can never write into a
+    finished batch's result slots."""
+
+    def test_abandoned_thread_cannot_write_finished_slots(self):
+        import threading
+
+        release = threading.Event()
+        attempts = []
+        lock = threading.Lock()
+
+        def hang_then_good():
+            with lock:
+                attempts.append(1)
+                n = len(attempts)
+            if n == 1:
+                # Attempt 0: hang far past the timeout, then produce a
+                # stale value nobody should ever see.
+                release.wait(10.0)
+                return "stale-late-value"
+            return "good"
+
+        runner = PointRunner(
+            backend="thread", max_workers=2, retries=1, backoff_s=0.0,
+            timeout_s=0.05,
+        )
+        results = runner.run([PointTask(fn=hang_then_good, label="cs:k=3")])
+        assert results == ["good"]
+        assert runner.last_telemetry.timeouts == 1
+        assert runner.last_telemetry.retries == 1
+        # Let the abandoned thread finish; its return value must vanish
+        # rather than clobber the finished batch's slot.
+        release.set()
+        time.sleep(0.2)
+        assert results == ["good"]
+
+    def test_hang_past_all_retries_fails_with_timeout_count(self):
+        import threading
+
+        release = threading.Event()
+
+        def hangs_forever():
+            release.wait(10.0)
+            return "never"
+
+        runner = PointRunner(
+            backend="thread", max_workers=4, retries=1, backoff_s=0.0,
+            timeout_s=0.05,
+        )
+        try:
+            with pytest.raises(MeasurementError, match="cs:k=4"):
+                runner.run([PointTask(fn=hangs_forever, label="cs:k=4")])
+            assert runner.last_telemetry.timeouts == 2
+            assert runner.last_telemetry.failures == 1
+        finally:
+            release.set()

@@ -1,0 +1,85 @@
+"""Admission control: bounded queue, per-tenant quotas, load shedding."""
+
+import pytest
+
+from repro.errors import ServiceError, ServiceOverloaded
+from repro.service import AdmissionPolicy, DurableBroker, JobSpec
+
+
+def spec(k):
+    return JobSpec(app="probe", preset="tiny", kind="cs", ks=(0, k),
+                   warmup_accesses=2_000, measure_accesses=1_000)
+
+
+class TestPolicy:
+    def test_bounds_must_be_positive(self):
+        with pytest.raises(ServiceError):
+            AdmissionPolicy(max_active=0)
+        with pytest.raises(ServiceError):
+            AdmissionPolicy(max_active_per_tenant=0)
+
+    def test_admits_under_both_bounds(self):
+        AdmissionPolicy(max_active=2, max_active_per_tenant=1).admit(
+            "t1", 1, {"t2": 1}
+        )
+
+    def test_global_bound_sheds(self):
+        policy = AdmissionPolicy(max_active=2, max_active_per_tenant=2)
+        with pytest.raises(ServiceOverloaded, match="queue is at its bound"):
+            policy.admit("t1", 2, {"t1": 2})
+
+    def test_tenant_quota_sheds_only_the_offender(self):
+        policy = AdmissionPolicy(max_active=10, max_active_per_tenant=1)
+        with pytest.raises(ServiceOverloaded, match="tenant 'greedy'"):
+            policy.admit("greedy", 1, {"greedy": 1})
+        # Same queue state, different tenant: admitted.
+        policy.admit("polite", 1, {"greedy": 1})
+
+    def test_round_trip(self):
+        policy = AdmissionPolicy(max_active=5, max_active_per_tenant=2)
+        assert AdmissionPolicy.from_dict(policy.to_dict()) == policy
+
+
+class TestBrokerIntegration:
+    def test_rejection_is_immediate_and_stateless(self, tmp_path):
+        broker = DurableBroker(
+            tmp_path, admission=AdmissionPolicy(max_active=2,
+                                                max_active_per_tenant=2)
+        )
+        broker.submit(spec(1), tenant="t1")
+        broker.submit(spec(2), tenant="t1")
+        with pytest.raises(ServiceOverloaded):
+            broker.submit(spec(3), tenant="t1")
+        # The shed submission left no trace in the durable log.
+        assert broker.stats()["jobs"] == 2
+
+    def test_quota_exhaustion_spares_other_tenants(self, tmp_path):
+        broker = DurableBroker(
+            tmp_path, admission=AdmissionPolicy(max_active=10,
+                                                max_active_per_tenant=1)
+        )
+        broker.submit(spec(1), tenant="greedy")
+        with pytest.raises(ServiceOverloaded, match="other tenants"):
+            broker.submit(spec(2), tenant="greedy")
+        broker.submit(spec(3), tenant="polite")
+
+    def test_completed_jobs_free_admission_slots(self, tmp_path):
+        broker = DurableBroker(
+            tmp_path, admission=AdmissionPolicy(max_active=1)
+        )
+        broker.submit(spec(1), tenant="t1")
+        with pytest.raises(ServiceOverloaded):
+            broker.submit(spec(2), tenant="t1")
+        job = broker.lease("a0")
+        broker.complete(job.id, "a0", job.attempts)
+        broker.submit(spec(2), tenant="t1")  # slot freed
+
+    def test_policy_is_persisted_with_the_queue(self, tmp_path):
+        DurableBroker(tmp_path, admission=AdmissionPolicy(
+            max_active=1, max_active_per_tenant=1))
+        # A second instance with no (or different) policy adopts the
+        # queue's recorded bounds.
+        other = DurableBroker(tmp_path)
+        other.submit(spec(1), tenant="t1")
+        with pytest.raises(ServiceOverloaded):
+            other.submit(spec(2), tenant="t2")

@@ -1,0 +1,81 @@
+"""Supervisor: fleet restarts, lease policing, end-to-end drain."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import DONE, JobSpec, ServiceClient, Supervisor
+
+
+def spec(k=1, seed=0):
+    return JobSpec(app="probe", preset="tiny", kind="cs", ks=(0, k),
+                   seed=seed, warmup_accesses=2_000, measure_accesses=1_000)
+
+
+class FakeProc:
+    def __init__(self):
+        self.dead = False
+
+    def poll(self):
+        return 1 if self.dead else None
+
+
+class TestFleetTending:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ServiceError):
+            Supervisor(tmp_path, n_agents=0)
+        with pytest.raises(ServiceError):
+            Supervisor(tmp_path, max_agent_restarts=-1)
+
+    def test_crashed_agent_restarts_until_budget(self, tmp_path, monkeypatch):
+        sup = Supervisor(tmp_path, n_agents=1, max_agent_restarts=2)
+        spawned = []
+
+        def fake_spawn(handle):
+            spawned.append(handle.agent_id)
+            handle.proc = FakeProc()
+
+        monkeypatch.setattr(sup, "spawn", fake_spawn)
+        sup.start()
+        handle = sup.agents[0]
+        for _ in range(5):  # keep dying; restarts stop at the budget
+            handle.proc.dead = True
+            sup._tend_fleet(work_remains=True)
+        assert handle.restarts == 2
+        assert len(spawned) == 3  # initial + 2 restarts
+
+    def test_restarted_agent_gets_a_fresh_incarnation_identity(
+        self, tmp_path, monkeypatch
+    ):
+        sup = Supervisor(tmp_path, n_agents=1)
+        monkeypatch.setattr(
+            sup, "spawn", lambda h: setattr(h, "proc", FakeProc())
+        )
+        sup.start()
+        first = sup._agent_cmd(sup.agents[0])
+        sup.agents[0].proc.dead = True
+        sup._tend_fleet(work_remains=True)
+        second = sup._agent_cmd(sup.agents[0])
+        assert first != second  # "a0.0" vs "a0.1": fences never collide
+
+    def test_exit_with_queue_drained_is_not_a_crash(self, tmp_path, monkeypatch):
+        sup = Supervisor(tmp_path, n_agents=1)
+        monkeypatch.setattr(
+            sup, "spawn", lambda h: setattr(h, "proc", FakeProc())
+        )
+        sup.start()
+        sup.agents[0].proc.dead = True
+        sup._tend_fleet(work_remains=False)
+        assert sup.agents[0].restarts == 0
+
+
+class TestEndToEnd:
+    def test_subprocess_fleet_drains_the_queue(self, tmp_path):
+        client = ServiceClient(tmp_path)
+        ids = [client.submit(spec(k, seed=k)) for k in (1, 2)]
+        sup = Supervisor(tmp_path, n_agents=2, lease_s=15.0, poll_s=0.05)
+        assert sup.drain(timeout_s=120.0)
+        for job_id in ids:
+            assert client.status(job_id).state == DONE
+            assert client.result(job_id)
+        stats = sup.fleet_stats()
+        assert stats["alive"] == 0  # stop() reaped the fleet

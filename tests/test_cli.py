@@ -189,3 +189,65 @@ class TestBenchShapes:
         baseline = json.loads(out.read_text())
         assert "random" in baseline["accesses_per_sec"]
         assert baseline["schema_version"] == 3
+
+
+class TestServiceVerbs:
+    """submit / serve / queue: the service's command-line surface."""
+
+    SUBMIT = ["submit", "--preset", "tiny", "--ks", "0,1",
+              "--warmup", "2000", "--measure", "1000"]
+
+    def test_submit_serve_queue_round_trip(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        assert main(self.SUBMIT + ["--root", root]) == 0
+        job_id = capsys.readouterr().out.strip()
+        assert job_id.startswith("j00000-")
+        assert main(["queue", "--root", root]) == 0
+        assert "queued" in capsys.readouterr().out
+        assert main(["serve", "--root", root, "--inline"]) == 0
+        capsys.readouterr()
+        assert main(["queue", "--root", root, "--job", job_id]) == 0
+        out = capsys.readouterr().out
+        assert "state=done" in out
+        assert "result:" in out
+
+    def test_submit_rejects_overload_with_exit_1(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        assert main(self.SUBMIT + ["--root", root, "--max-active", "1"]) == 0
+        capsys.readouterr()
+        assert main(["submit", "--root", root, "--preset", "tiny",
+                     "--ks", "0,2", "--warmup", "2000",
+                     "--measure", "1000"]) == 1
+        assert "queue is at its bound" in capsys.readouterr().err
+
+    def test_submit_validates_spec_and_params(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        assert main(["submit", "--root", root, "--app", "nope",
+                     "--preset", "tiny", "--ks", "0,1"]) == 1
+        assert "unknown app profile" in capsys.readouterr().err
+        with pytest.raises(SystemExit, match="K=V"):
+            main(["submit", "--root", root, "--preset", "tiny",
+                  "--ks", "0,1", "--param", "oops"])
+        with pytest.raises(SystemExit, match="comma-separated"):
+            main(["submit", "--root", root, "--preset", "tiny",
+                  "--ks", "zero"])
+
+    def test_app_params_reach_the_job_spec(self, tmp_path, capsys):
+        from repro.service import DurableBroker
+
+        root = str(tmp_path / "svc")
+        assert main(self.SUBMIT + [
+            "--root", root, "--param", "dist=zipf",
+            "--param", "buffer_bytes=1048576",
+        ]) == 0
+        job_id = capsys.readouterr().out.strip()
+        job = DurableBroker(root).job(job_id)
+        assert job.spec.app_params == {"dist": "zipf",
+                                       "buffer_bytes": 1048576}
+
+    def test_queue_reports_unknown_job(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        assert main(self.SUBMIT + ["--root", root]) == 0
+        capsys.readouterr()
+        assert main(["queue", "--root", root, "--job", "j99999-0000"]) == 1
+        assert "unknown job" in capsys.readouterr().err

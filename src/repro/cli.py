@@ -33,11 +33,14 @@ Commands
     point-latency percentiles, cache/journal hit timelines, and a
     worker-utilization Gantt.
 ``submit --root DIR --app NAME --preset NAME --kind cs|bw --ks 0,1,2
-[--tenant T] [--param k=v ...]``
+[--tenant T] [--priority N] [--deadline-s S] [--param k=v ...]``
     Submit one measurement job to the durable service queue rooted at
     DIR. Admission control answers immediately: past the queue bound or
     the tenant quota the submission is *rejected* (exit 1) rather than
-    queued unboundedly.
+    queued unboundedly. ``--priority`` picks the scheduling class
+    (higher first); ``--deadline-s`` sets a completion deadline —
+    within a class the broker serves the earliest deadline first, and a
+    job whose deadline expires before it is leased is dead-lettered.
 ``serve --root DIR [--agents N] [--inline] [--lease-s S]
 [--retry-budget N] [--timeout-s S]``
     Drain the queue: supervise a fleet of N agent processes (restarting
@@ -47,6 +50,13 @@ Commands
 ``queue --root DIR [--job ID]``
     Show queue statistics, the per-job table, and the dead-letter list;
     with ``--job`` print one job's full state.
+``query --root DIR [--tenant T] [--app A] [--preset P] [--kind cs|bw]
+[--k-min N] [--k-max N] [--job ID] [--jobs] [--json] [--backfill]``
+    Query the SQLite results store: one row per interference point
+    (k, slowdown, time per access, trace id), filtered by tenant, app
+    profile, preset, sweep kind or k-range; ``--jobs`` lists job rows
+    instead, ``--json`` emits machine-readable rows, ``--backfill``
+    first (re)builds store rows from the per-job JSON artifacts.
 ``version``
     Print the package version.
 
@@ -288,6 +298,14 @@ def _build_parser() -> argparse.ArgumentParser:
                           metavar="N", help="measured accesses per point")
     submit_p.add_argument("--tenant", default="anonymous",
                           help="tenant identity for per-tenant quotas")
+    submit_p.add_argument("--priority", type=int, default=0, metavar="N",
+                          help="scheduling class; higher is served first "
+                          "(default: 0)")
+    submit_p.add_argument("--deadline-s", type=float, default=None,
+                          metavar="S",
+                          help="completion deadline in seconds from now; "
+                          "EDF within a priority class, dead-lettered if "
+                          "it expires before the job is leased")
     submit_p.add_argument(
         "--param", action="append", default=[], metavar="K=V",
         help="app-profile parameter (repeatable), e.g. "
@@ -325,6 +343,31 @@ def _build_parser() -> argparse.ArgumentParser:
     queue_p.add_argument("--root", required=True, metavar="DIR")
     queue_p.add_argument("--job", default=None, metavar="ID",
                          help="print one job's full state")
+
+    query_p = sub.add_parser(
+        "query", help="query the service's results store",
+    )
+    query_p.add_argument("--root", required=True, metavar="DIR")
+    query_p.add_argument("--tenant", default=None)
+    query_p.add_argument("--app", default=None,
+                         help="filter by app profile")
+    query_p.add_argument("--preset", default=None,
+                         help="filter by socket preset")
+    query_p.add_argument("--kind", choices=("cs", "bw"), default=None)
+    query_p.add_argument("--job", default=None, metavar="ID")
+    query_p.add_argument("--k-min", type=int, default=None, metavar="N",
+                         help="lowest interference level (inclusive)")
+    query_p.add_argument("--k-max", type=int, default=None, metavar="N",
+                         help="highest interference level (inclusive)")
+    query_p.add_argument("--jobs", action="store_true",
+                         help="list job rows instead of point rows")
+    query_p.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit rows as JSON instead of a table")
+    query_p.add_argument(
+        "--backfill", action="store_true",
+        help="first (re)build store rows from the broker state and the "
+        "per-job JSON artifacts (repairs a deleted or stale store)",
+    )
     return parser
 
 
@@ -369,9 +412,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         seed=args.seed, warmup_accesses=args.warmup,
         measure_accesses=args.measure,
         app_params=_parse_app_params(args.param),
+        priority=args.priority, deadline_s=args.deadline_s,
     )
     broker = DurableBroker(args.root, admission=admission)
     job_id = broker.submit(spec, tenant=args.tenant)
+    job = broker.job(job_id)
+    print(f"trace: {job.trace_id}", file=sys.stderr)
     print(job_id)
     return 0
 
@@ -425,6 +471,11 @@ def _cmd_queue(args: argparse.Namespace) -> int:
             return 1
         print(f"{job.id}  state={job.state} tenant={job.tenant} "
               f"attempts={job.attempts} failures={job.failures}")
+        print(f"  trace: {job.trace_id}  priority: {job.priority}"
+              + (f"  deadline_at: {job.deadline_at:.3f}"
+                 if job.deadline_at is not None else ""))
+        if job.dead_reason:
+            print(f"  dead_reason: {job.dead_reason}")
         print(f"  spec: {job.spec.to_dict()}")
         if job.result_path:
             print(f"  result: {job.result_path}")
@@ -451,6 +502,53 @@ def _cmd_queue(args: argparse.Namespace) -> int:
         print(f"dead-letter ({len(dead)}):")
         for job in dead:
             print(f"  {job.id}: {job.errors[-1] if job.errors else '?'}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import DurableBroker, ResultsStore
+
+    store = ResultsStore(args.root)
+    if args.backfill:
+        n = store.backfill(DurableBroker(args.root))
+        print(f"backfilled {n} job(s) from the broker state and JSON "
+              "artifacts", file=sys.stderr)
+    if args.jobs:
+        rows = store.query_jobs(
+            tenant=args.tenant, app=args.app, preset=args.preset,
+            kind=args.kind, job_id=args.job,
+        )
+        if args.as_json:
+            print(json.dumps(rows, sort_keys=True, indent=1))
+            return 0
+        print(f"{'job':22s} {'state':7s} {'tenant':10s} {'app':8s} "
+              f"{'preset':9s} {'kind':4s} pri  trace")
+        for row in rows:
+            print(f"{row['job_id']:22s} {row['state']:7s} "
+                  f"{row['tenant']:10s} {row['app']:8s} "
+                  f"{row['preset']:9s} {row['kind']:4s} "
+                  f"{row['priority']:3d}  {row['trace_id']}")
+        print(f"{len(rows)} job row(s)", file=sys.stderr)
+        return 0
+    rows = store.query_points(
+        tenant=args.tenant, app=args.app, preset=args.preset,
+        kind=args.kind, job_id=args.job,
+        k_min=args.k_min, k_max=args.k_max,
+    )
+    if args.as_json:
+        print(json.dumps(rows, sort_keys=True, indent=1))
+        return 0
+    print(f"{'job':22s} {'tenant':10s} {'app':8s} {'preset':9s} "
+          f"{'kind':4s} {'k':>3s} {'slowdown':>9s} {'t/access ns':>12s}")
+    for row in rows:
+        slowdown = (f"{row['slowdown']:9.4f}"
+                    if row["slowdown"] is not None else "        -")
+        print(f"{row['job_id']:22s} {row['tenant']:10s} {row['app']:8s} "
+              f"{row['preset']:9s} {row['kind']:4s} {row['k']:3d} "
+              f"{slowdown} {row['t_access_ns']:12.3f}")
+    print(f"{len(rows)} point row(s)", file=sys.stderr)
     return 0
 
 
@@ -548,11 +646,11 @@ def main(argv: Optional[list] = None) -> int:
         print(socket.describe())
         return 0
 
-    if args.command in ("submit", "serve", "queue"):
+    if args.command in ("submit", "serve", "queue", "query"):
         from .errors import ServiceError
 
         handler = {"submit": _cmd_submit, "serve": _cmd_serve,
-                   "queue": _cmd_queue}[args.command]
+                   "queue": _cmd_queue, "query": _cmd_query}[args.command]
         try:
             return handler(args)
         except ServiceError as exc:

@@ -32,8 +32,10 @@ from .tracer import (
     TRACE_ENV,
     TRACE_FORMAT,
     Tracer,
+    bind_trace,
     configure_from_env,
     configure_tracer,
+    current_trace,
     reset_tracer,
     span,
     tracer,
@@ -44,8 +46,10 @@ __all__ = [
     "TRACE_ENV",
     "TRACE_FORMAT",
     "Tracer",
+    "bind_trace",
     "configure_from_env",
     "configure_tracer",
+    "current_trace",
     "reset_tracer",
     "span",
     "tracer",

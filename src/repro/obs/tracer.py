@@ -110,6 +110,9 @@ class _Span:
             stack.pop()
         if exc_type is not None:
             self.args["error"] = exc_type.__name__
+        trace_id = getattr(self._tracer._local, "trace_id", None)
+        if trace_id is not None and "trace" not in self.args:
+            self.args["trace"] = trace_id
         record: Dict[str, Any] = {
             "ev": "span",
             "name": self.name,
@@ -307,6 +310,33 @@ def configure_from_env() -> Optional[Tracer]:
     if not path:
         return None
     return configure_tracer(path)
+
+
+def current_trace() -> Optional[str]:
+    """The trace id bound to this thread, or ``None``."""
+    return getattr(_TRACER._local, "trace_id", None)
+
+
+@contextmanager
+def bind_trace(trace_id: Optional[str]) -> Iterator[None]:
+    """Bind a correlation id to every span this thread closes inside
+    the ``with`` block (unless the span sets its own ``trace`` label).
+
+    This is how the measurement service stitches one request across
+    layers: the broker stamps each submission with a ``trace_id``, the
+    agent binds it for the duration of the job, and every nested span —
+    campaign, sweep, point, attempt, cache and journal I/O — carries the
+    same ``trace`` label. One grep of the event log for the id then
+    reconstructs the job's whole life across submitter, broker and
+    agent. ``None`` is a no-op binding (spans stay unlabelled).
+    """
+    local = _TRACER._local
+    previous = getattr(local, "trace_id", None)
+    local.trace_id = trace_id
+    try:
+        yield
+    finally:
+        local.trace_id = previous
 
 
 @contextmanager

@@ -18,6 +18,8 @@ Turns the single-process campaign stack (:class:`~repro.core.parallel.PointRunne
   plus fleet restarts.
 - :mod:`~repro.service.client` — :class:`ServiceClient`, the synchronous
   in-process consumer.
+- :mod:`~repro.service.store` — :class:`ResultsStore`, the SQLite (WAL)
+  queryable projection of the per-job artifacts behind ``repro query``.
 
 Wire-in points: ``repro submit`` / ``repro serve`` / ``repro queue`` in
 the CLI, the ``service-smoke`` and chaos CI jobs, and
@@ -26,9 +28,19 @@ the CLI, the ``service-smoke`` and chaos CI jobs, and
 
 from .admission import AdmissionPolicy
 from .agent import MeasurementAgent
-from .broker import DEAD, DONE, LEASED, QUEUED, DurableBroker, JobRecord
+from .broker import (
+    DEAD,
+    DEAD_DEADLINE,
+    DEAD_RETRIES,
+    DONE,
+    LEASED,
+    QUEUED,
+    DurableBroker,
+    JobRecord,
+)
 from .client import ServiceClient
 from .jobs import APP_PROFILES, PRESETS, JobSpec
+from .store import STORE_SCHEMA, ResultsStore
 from .supervisor import AgentHandle, Supervisor
 
 __all__ = [
@@ -40,10 +52,14 @@ __all__ = [
     "LEASED",
     "DONE",
     "DEAD",
+    "DEAD_RETRIES",
+    "DEAD_DEADLINE",
     "ServiceClient",
     "JobSpec",
     "APP_PROFILES",
     "PRESETS",
+    "ResultsStore",
+    "STORE_SCHEMA",
     "AgentHandle",
     "Supervisor",
 ]

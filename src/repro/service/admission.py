@@ -72,6 +72,16 @@ class AdmissionPolicy:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AdmissionPolicy":
+        # Unknown keys are rejected, not ignored: a typo in a persisted
+        # policy ("max_actve") would otherwise silently yield defaults —
+        # the bound the operator thought they set would not exist.
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ServiceError(
+                f"unknown admission policy field(s) {unknown}; "
+                f"valid fields: {sorted(valid)}"
+            )
         return cls(
             max_active=int(data.get("max_active", 64)),
             max_active_per_tenant=int(data.get("max_active_per_tenant", 16)),

@@ -35,14 +35,17 @@ import os
 import tempfile
 import threading
 import time
+import traceback
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from ..core.journal import CampaignJournal
 from ..core.parallel import PointRunner, ResultCache, RunnerTelemetry
 from ..errors import ReproError, StaleLease
+from ..obs.tracer import bind_trace
 from ..obs.tracer import span as trace_span
 from .broker import DurableBroker, JobRecord
+from .store import ResultsStore
 
 
 def sweep_payload(sweep) -> List[Dict[str, Any]]:
@@ -82,6 +85,19 @@ def write_result_atomic(path: Path, payload: Any) -> None:
         except OSError:
             pass
         raise
+
+
+def traceback_head(exc: BaseException, limit: int = 400) -> str:
+    """The failure-reason fragment reported to the broker for an
+    *unexpected* exception: the deepest frame plus the exception line,
+    flattened to one bounded line — enough to locate the crash from
+    ``repro queue`` without shipping a whole traceback into the event
+    log."""
+    lines = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    head = " | ".join(
+        part.strip().replace("\n", " | ") for part in lines[-3:] if part.strip()
+    )
+    return head[:limit]
 
 
 class _Heartbeat(threading.Thread):
@@ -147,8 +163,18 @@ class MeasurementAgent:
         )
         self.poll_s = float(poll_s)
         self.cache = ResultCache(self.root / "cache")
+        self.store = ResultsStore(self.root)
         self.jobs_run = 0
         self.jobs_abandoned = 0
+        #: Jobs that died on an exception *outside* the ReproError
+        #: hierarchy — a malformed spec, a library bug. They are
+        #: reported to the broker like any failure (the lease must
+        #: never dangle until expiry) but counted separately: an
+        #: unexpected exception is a bug, not an operational fault.
+        self.jobs_crashed = 0
+        #: Failed results-store writes (the artifact stays authoritative;
+        #: ``repro query --backfill`` repairs the store).
+        self.store_errors = 0
 
     # -- paths ------------------------------------------------------------------
 
@@ -189,14 +215,16 @@ class MeasurementAgent:
         )
         heartbeat.start()
         try:
-            with trace_span(
+            with bind_trace(job.trace_id or None), trace_span(
                 "service.job", cat="service",
                 job=job.id, agent=self.agent_id, attempt=job.attempts,
+                trace=job.trace_id,
             ):
                 am = spec.build_measurement(runner=runner)
                 sweep = am.sweep(spec.kind, spec.ks)
                 result = self.result_path(job)
-                write_result_atomic(result, sweep_payload(sweep))
+                payload = sweep_payload(sweep)
+                write_result_atomic(result, payload)
             tele = runner.last_telemetry
             self.broker.complete(
                 job.id, self.agent_id, job.attempts,
@@ -204,20 +232,40 @@ class MeasurementAgent:
                 telemetry=dataclasses.asdict(tele) if tele else {},
             )
             self.jobs_run += 1
+            # The queryable projection, written only after the fenced
+            # completion was accepted. Derived data: a crash or I/O
+            # error here loses nothing ('repro query --backfill'
+            # rebuilds the rows from the artifact).
+            try:
+                self.store.record_job(self.broker.job(job.id), payload)
+            except Exception:  # noqa: BLE001 - artifact is authoritative
+                self.store_errors += 1
         except StaleLease:
             # Fenced off (mid-run or at completion): the job is someone
             # else's now; nothing to report, nothing was lost.
             self.jobs_abandoned += 1
         except ReproError as exc:
-            try:
-                self.broker.fail(
-                    job.id, self.agent_id, job.attempts,
-                    f"{type(exc).__name__}: {exc}",
-                )
-            except StaleLease:
-                self.jobs_abandoned += 1
+            self._report_failure(job, f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # noqa: BLE001 - see below
+            # An exception *outside* the library hierarchy (a malformed
+            # spec exploding at build time, a bug in a workload). Before
+            # this catch existed the lease dangled until expiry and the
+            # reason was lost; now the broker hears about it immediately
+            # with the traceback head as the durable failure reason.
+            self.jobs_crashed += 1
+            self._report_failure(
+                job, f"unexpected {type(exc).__name__}: {traceback_head(exc)}"
+            )
         finally:
             heartbeat.stop()
+
+    def _report_failure(self, job: JobRecord, reason: str) -> None:
+        """Report a failed attempt; a stale fence means the broker has
+        already rearranged the job, so the report becomes an abandon."""
+        try:
+            self.broker.fail(job.id, self.agent_id, job.attempts, reason)
+        except StaleLease:
+            self.jobs_abandoned += 1
 
     def run_forever(
         self,
@@ -270,7 +318,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_jobs=args.max_jobs, exit_when_drained=args.exit_when_drained
     )
     print(f"agent {args.agent_id}: {n} jobs completed, "
-          f"{agent.jobs_abandoned} abandoned", flush=True)
+          f"{agent.jobs_abandoned} abandoned, "
+          f"{agent.jobs_crashed} crashed", flush=True)
     return 0
 
 

@@ -19,8 +19,15 @@ view is rebuilt from the shared truth before it writes.
 
 Lease protocol (the exactly-once backbone, DESIGN.md decision 14):
 
-- :meth:`DurableBroker.lease` hands the oldest eligible queued job to an
-  agent with a deadline; the grant is fenced by ``(agent, attempt)``.
+- :meth:`DurableBroker.lease` grants the most urgent eligible queued job
+  to an agent with a deadline; the grant is fenced by ``(agent, attempt)``.
+  Dispatch order (DESIGN.md decision 15): highest ``JobSpec.priority``
+  class first, earliest completion deadline first inside a class
+  (deadline-less jobs after all deadlined ones), submission order as the
+  final tie-break — so the default (no priorities, no deadlines) remains
+  exactly the old FIFO. A queued job whose completion deadline has
+  already passed is dead-lettered with a distinct ``deadline`` reason
+  instead of being run uselessly late.
 - The agent heartbeats via :meth:`renew`; a renew/complete/fail carrying
   a stale fence (the lease expired and the job was re-leased) raises
   :class:`~repro.errors.StaleLease` — the zombie's result is refused.
@@ -39,9 +46,11 @@ fence-holding attempt's completion is accepted.
 from __future__ import annotations
 
 import json
+import math
 import os
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -60,11 +69,18 @@ from .admission import AdmissionPolicy
 from .jobs import JobSpec
 
 #: Bump when the queue-log event layout changes.
-QUEUE_FORMAT = 1
+QUEUE_FORMAT = 2
 
 #: Job states.
 QUEUED, LEASED, DONE, DEAD = "queued", "leased", "done", "dead"
 ACTIVE_STATES = (QUEUED, LEASED)
+
+#: Dead-letter reasons (the ``reason`` field of a ``dead`` event).
+DEAD_RETRIES, DEAD_DEADLINE = "retries", "deadline"
+
+#: State-history entries kept per job (renews excluded — a heartbeat is
+#: not a state transition and would swamp the history).
+HISTORY_LIMIT = 32
 
 
 @dataclass
@@ -91,10 +107,27 @@ class JobRecord:
     errors: List[str] = field(default_factory=list)
     result_path: Optional[str] = None
     telemetry: Dict[str, Any] = field(default_factory=dict)
+    #: Scheduling class (higher = served first); from the spec.
+    priority: int = 0
+    #: Absolute completion deadline (wall clock), ``None`` = none.
+    deadline_at: Optional[float] = None
+    #: Per-submission correlation id threaded through every event and
+    #: every ``repro.obs`` span the job touches.
+    trace_id: str = ""
+    #: Why a DEAD job died: ``retries`` or ``deadline``.
+    dead_reason: Optional[str] = None
+    #: Compact state history: ``[{"event", "t", ...}, ...]`` — every
+    #: durable transition except renews, newest last (bounded).
+    history: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def active(self) -> bool:
         return self.state in ACTIVE_STATES
+
+    def record_history(self, event: str, t: float, **extra: Any) -> None:
+        entry: Dict[str, Any] = {"event": event, "t": t}
+        entry.update(extra)
+        self.history = (self.history + [entry])[-HISTORY_LIMIT:]
 
 
 class DurableBroker:
@@ -236,31 +269,46 @@ class DurableBroker:
             except ServiceError:
                 return  # malformed durable spec: unreplayable, skip
             if job_id and job_id not in self._jobs:
-                self._jobs[job_id] = JobRecord(
+                t = float(event.get("t", 0.0))
+                deadline_at = event.get("deadline_at")
+                if deadline_at is None and spec.deadline_s is not None:
+                    deadline_at = t + spec.deadline_s
+                job = JobRecord(
                     id=job_id,
                     spec=spec,
                     tenant=str(event.get("tenant", "anonymous")),
-                    submitted_at=float(event.get("t", 0.0)),
+                    submitted_at=t,
+                    priority=int(event.get("priority", spec.priority)),
+                    deadline_at=(
+                        None if deadline_at is None else float(deadline_at)
+                    ),
+                    trace_id=str(event.get("trace", "")),
                 )
+                job.record_history("submit", t, tenant=job.tenant)
+                self._jobs[job_id] = job
                 self._order.append(job_id)
             return
         job = self._jobs.get(job_id) if job_id else None
         if job is None:
             return
+        t = float(event.get("t", 0.0))
         if kind == "lease":
             job.state = LEASED
             job.attempts = int(event.get("attempt", job.attempts + 1))
             job.agent = event.get("agent")
             job.deadline = float(event.get("deadline", 0.0))
+            job.record_history("lease", t, agent=job.agent,
+                               attempt=job.attempts)
         elif kind == "renew":
             job.deadline = float(event.get("deadline", job.deadline))
         elif kind == "complete":
             job.state = DONE
-            job.finished_at = float(event.get("t", 0.0))
+            job.finished_at = t
             job.result_path = event.get("result")
             job.telemetry = dict(event.get("telemetry", {}))
             job.failures = 0
             job.agent = None
+            job.record_history("complete", t)
         elif kind == "requeue":
             job.state = QUEUED
             job.failures += 1
@@ -270,14 +318,17 @@ class DurableBroker:
             error = event.get("error")
             if error:
                 job.errors = (job.errors + [str(error)])[-8:]
+            job.record_history("requeue", t, error=str(error or ""))
         elif kind == "dead":
             job.state = DEAD
             job.failures += 1
             job.agent = None
-            job.finished_at = float(event.get("t", 0.0))
+            job.finished_at = t
+            job.dead_reason = str(event.get("reason", DEAD_RETRIES))
             error = event.get("error")
             if error:
                 job.errors = (job.errors + [str(error)])[-8:]
+            job.record_history("dead", t, reason=job.dead_reason)
 
     def _ensure_config(self) -> None:
         # Only the queue creator persists config; later instances adopt.
@@ -310,8 +361,17 @@ class DurableBroker:
 
     # -- public API -------------------------------------------------------------
 
-    def submit(self, spec: JobSpec, tenant: str = "anonymous") -> str:
+    def submit(
+        self,
+        spec: JobSpec,
+        tenant: str = "anonymous",
+        trace_id: Optional[str] = None,
+    ) -> str:
         """Admit and durably enqueue one job; returns its id.
+
+        ``trace_id`` is the per-submission correlation id stamped on
+        every subsequent event and span the job touches; one is minted
+        when the caller does not bring their own.
 
         Raises :class:`~repro.errors.ServiceOverloaded` (an explicit
         shed, never a hang or a silent drop) when the queue bound or the
@@ -323,49 +383,103 @@ class DurableBroker:
             by_tenant: Dict[str, int] = {}
             for j in active:
                 by_tenant[j.tenant] = by_tenant.get(j.tenant, 0) + 1
-            with trace_span("service.submit", cat="service", tenant=tenant):
+            trace_id = trace_id or uuid.uuid4().hex[:16]
+            with trace_span("service.submit", cat="service", tenant=tenant,
+                            trace=trace_id):
                 policy.admit(tenant, len(active), by_tenant)
                 job_id = f"j{self._submits:05d}-{spec.config_key()[:8]}"
-                self._append({
+                now = self.clock()
+                event: Dict[str, Any] = {
                     "event": "submit",
                     "id": job_id,
                     "tenant": tenant,
                     "spec": spec.to_dict(),
-                    "t": self.clock(),
-                })
+                    "priority": spec.priority,
+                    "trace": trace_id,
+                    "t": now,
+                }
+                if spec.deadline_s is not None:
+                    event["deadline_at"] = now + spec.deadline_s
+                self._append(event)
             return job_id
 
-    def lease(self, agent: str) -> Optional[JobRecord]:
-        """Grant the oldest eligible queued job to ``agent`` with a
-        fresh deadline; ``None`` when nothing is leasable right now."""
-        with self._locked():
-            now = self.clock()
-            for job_id in self._order:
-                job = self._jobs[job_id]
-                if job.state != QUEUED or job.not_before > now:
-                    continue
-                attempt = job.attempts + 1
-                deadline = now + self.lease_s
-                with trace_span(
-                    "service.lease", cat="service",
-                    job=job_id, agent=agent, attempt=attempt,
-                ):
+    @staticmethod
+    def _dispatch_key(indexed: Tuple[int, JobRecord]) -> Tuple[float, float, int]:
+        """Lease order: highest priority class first, earliest absolute
+        deadline first within a class (no deadline sorts last), then
+        submission order — plain FIFO when nobody sets either knob."""
+        idx, job = indexed
+        edf = math.inf if job.deadline_at is None else job.deadline_at
+        return (-job.priority, edf, idx)
+
+    def _expire_deadlines(self, now: float) -> List[Tuple[str, str]]:
+        """Dead-letter every queued job whose completion deadline has
+        already passed: running it would only deliver a result its
+        submitter declared worthless. Distinct ``deadline`` reason so
+        operators can tell a missed deadline from a poisoned job."""
+        moved: List[Tuple[str, str]] = []
+        for job_id in self._order:
+            job = self._jobs[job_id]
+            if (job.state == QUEUED and job.deadline_at is not None
+                    and job.deadline_at < now):
+                with trace_span("service.dead", cat="service", job=job.id,
+                                reason=DEAD_DEADLINE, trace=job.trace_id):
                     self._append({
-                        "event": "lease",
-                        "id": job_id,
-                        "agent": agent,
-                        "attempt": attempt,
-                        "deadline": deadline,
+                        "event": "dead",
+                        "id": job.id,
+                        "reason": DEAD_DEADLINE,
+                        "error": (
+                            f"completion deadline expired {now - job.deadline_at:.3f}s "
+                            "before the job could be leased"
+                        ),
+                        "attempts": job.attempts,
+                        "trace": job.trace_id,
                         "t": now,
                     })
-                return self._jobs[job_id]
-            return None
+                moved.append((job.id, DEAD))
+        return moved
+
+    def lease(self, agent: str) -> Optional[JobRecord]:
+        """Grant the most urgent eligible queued job to ``agent`` with a
+        fresh deadline; ``None`` when nothing is leasable right now.
+        Urgency = priority class, then EDF, then submission order (see
+        :meth:`_dispatch_key`); queued jobs whose completion deadline
+        already passed are dead-lettered, never granted."""
+        with self._locked():
+            now = self.clock()
+            self._expire_deadlines(now)
+            eligible = [
+                (idx, self._jobs[job_id])
+                for idx, job_id in enumerate(self._order)
+                if self._jobs[job_id].state == QUEUED
+                and self._jobs[job_id].not_before <= now
+            ]
+            if not eligible:
+                return None
+            _, job = min(eligible, key=self._dispatch_key)
+            attempt = job.attempts + 1
+            deadline = now + self.lease_s
+            with trace_span(
+                "service.lease", cat="service",
+                job=job.id, agent=agent, attempt=attempt,
+                trace=job.trace_id,
+            ):
+                self._append({
+                    "event": "lease",
+                    "id": job.id,
+                    "agent": agent,
+                    "attempt": attempt,
+                    "deadline": deadline,
+                    "trace": job.trace_id,
+                    "t": now,
+                })
+            return job
 
     def renew(self, job_id: str, agent: str, attempt: int) -> float:
         """Heartbeat: extend the lease; returns the new deadline.
         Raises :class:`StaleLease` when the fence no longer holds."""
         with self._locked():
-            self._fenced(job_id, agent, attempt)
+            job = self._fenced(job_id, agent, attempt)
             deadline = self.clock() + self.lease_s
             self._append({
                 "event": "renew",
@@ -373,6 +487,7 @@ class DurableBroker:
                 "agent": agent,
                 "attempt": attempt,
                 "deadline": deadline,
+                "trace": job.trace_id,
             })
             return deadline
 
@@ -386,16 +501,19 @@ class DurableBroker:
     ) -> None:
         """Durably record the fenced attempt's completion."""
         with self._locked():
-            self._fenced(job_id, agent, attempt)
-            self._append({
-                "event": "complete",
-                "id": job_id,
-                "agent": agent,
-                "attempt": attempt,
-                "result": result_path,
-                "telemetry": dict(telemetry or {}),
-                "t": self.clock(),
-            })
+            job = self._fenced(job_id, agent, attempt)
+            with trace_span("service.complete", cat="service", job=job_id,
+                            agent=agent, trace=job.trace_id):
+                self._append({
+                    "event": "complete",
+                    "id": job_id,
+                    "agent": agent,
+                    "attempt": attempt,
+                    "result": result_path,
+                    "telemetry": dict(telemetry or {}),
+                    "trace": job.trace_id,
+                    "t": self.clock(),
+                })
 
     def fail(self, job_id: str, agent: str, attempt: int, error: str) -> str:
         """An agent reports a failed attempt; the job is requeued with
@@ -406,9 +524,11 @@ class DurableBroker:
             return self._retire_attempt(job, f"agent {agent}: {error}")
 
     def requeue_expired(self) -> List[Tuple[str, str]]:
-        """Supervisor sweep: every leased job whose deadline passed
-        (missed heartbeats — the agent is presumed dead) is requeued or
-        dead-lettered. Returns ``[(job_id, new_state), ...]``."""
+        """Supervisor sweep: every leased job whose lease deadline
+        passed (missed heartbeats — the agent is presumed dead) is
+        requeued or dead-lettered, and every queued job whose
+        *completion* deadline passed is dead-lettered. Returns
+        ``[(job_id, new_state), ...]``."""
         with self._locked():
             now = self.clock()
             moved: List[Tuple[str, str]] = []
@@ -420,18 +540,22 @@ class DurableBroker:
                         "heartbeats)",
                     )
                     moved.append((job.id, state))
+            moved.extend(self._expire_deadlines(now))
             return moved
 
     def _retire_attempt(self, job: JobRecord, error: str) -> str:
         """Shared requeue-or-dead decision for failures and expiries."""
         now = self.clock()
         if job.failures + 1 >= self.retry_budget:
-            with trace_span("service.dead", cat="service", job=job.id):
+            with trace_span("service.dead", cat="service", job=job.id,
+                            reason=DEAD_RETRIES, trace=job.trace_id):
                 self._append({
                     "event": "dead",
                     "id": job.id,
+                    "reason": DEAD_RETRIES,
                     "error": error,
                     "attempts": job.attempts,
+                    "trace": job.trace_id,
                     "t": now,
                 })
             return DEAD
@@ -439,12 +563,14 @@ class DurableBroker:
             self.backoff_seed, job.id, job.failures,
             self.backoff_s, self.max_backoff_s,
         )
-        with trace_span("service.requeue", cat="service", job=job.id):
+        with trace_span("service.requeue", cat="service", job=job.id,
+                        trace=job.trace_id):
             self._append({
                 "event": "requeue",
                 "id": job.id,
                 "error": error,
                 "not_before": now + delay,
+                "trace": job.trace_id,
                 "t": now,
             })
         return QUEUED

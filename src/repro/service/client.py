@@ -21,6 +21,7 @@ from .admission import AdmissionPolicy
 from .agent import MeasurementAgent
 from .broker import DONE, DurableBroker, JobRecord
 from .jobs import JobSpec
+from .store import ResultsStore
 
 
 class ServiceClient:
@@ -38,11 +39,24 @@ class ServiceClient:
             self.root, admission=admission,
             lease_s=lease_s, retry_budget=retry_budget,
         )
+        self._store: Optional[ResultsStore] = None
 
-    def submit(self, spec: JobSpec, tenant: str = "anonymous") -> str:
+    @property
+    def store(self) -> ResultsStore:
+        """The root's queryable results store (opened lazily)."""
+        if self._store is None:
+            self._store = ResultsStore(self.root)
+        return self._store
+
+    def submit(
+        self,
+        spec: JobSpec,
+        tenant: str = "anonymous",
+        trace_id: Optional[str] = None,
+    ) -> str:
         """Admit one job; raises
         :class:`~repro.errors.ServiceOverloaded` when shed."""
-        return self.broker.submit(spec, tenant=tenant)
+        return self.broker.submit(spec, tenant=tenant, trace_id=trace_id)
 
     def drain(self, max_jobs: Optional[int] = None) -> int:
         """Run an inline agent until the queue is empty; returns the
@@ -59,7 +73,14 @@ class ServiceClient:
         return job
 
     def result(self, job_id: str) -> List[Dict[str, Any]]:
-        """The completed job's sweep payload (parsed result artifact)."""
+        """The completed job's sweep payload (parsed result artifact).
+
+        A missing or torn artifact surfaces as a
+        :class:`~repro.errors.ServiceError` naming the job and the path
+        — never a raw ``FileNotFoundError``/``JSONDecodeError`` that
+        reads like a client bug instead of what it is: service-side
+        state the caller can report or repair.
+        """
         job = self.status(job_id)
         if job.state != DONE or not job.result_path:
             raise ServiceError(
@@ -67,7 +88,21 @@ class ServiceClient:
                 + (f", errors={job.errors[-1]!r}" if job.errors else "")
                 + ")"
             )
-        return json.loads(Path(job.result_path).read_text())
+        path = Path(job.result_path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ServiceError(
+                f"result artifact for job {job_id} is missing or "
+                f"unreadable at {path}: {exc}"
+            ) from exc
+        try:
+            return json.loads(text)
+        except ValueError as exc:
+            raise ServiceError(
+                f"result artifact for job {job_id} at {path} is torn or "
+                f"corrupt: {exc}"
+            ) from exc
 
     def wait(self, job_id: str, timeout_s: float = 60.0,
              poll_s: float = 0.05) -> JobRecord:

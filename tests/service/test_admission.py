@@ -39,6 +39,28 @@ class TestPolicy:
         policy = AdmissionPolicy(max_active=5, max_active_per_tenant=2)
         assert AdmissionPolicy.from_dict(policy.to_dict()) == policy
 
+    def test_unknown_keys_are_rejected_not_ignored(self):
+        # The classic typo: a persisted policy with "max_actve" used to
+        # silently yield the default bound — the operator's intended
+        # limit simply did not exist.
+        with pytest.raises(ServiceError) as err:
+            AdmissionPolicy.from_dict({"max_actve": 2})
+        message = str(err.value)
+        assert "max_actve" in message
+        assert "max_active" in message  # the valid fields are listed
+        assert "max_active_per_tenant" in message
+
+    def test_multiple_unknown_keys_are_all_reported(self):
+        with pytest.raises(ServiceError, match="'bogus', 'extra'"):
+            AdmissionPolicy.from_dict(
+                {"max_active": 2, "extra": 1, "bogus": 2}
+            )
+
+    def test_partial_dicts_still_fill_defaults(self):
+        policy = AdmissionPolicy.from_dict({"max_active": 5})
+        assert policy.max_active == 5
+        assert policy.max_active_per_tenant == 16
+
 
 class TestBrokerIntegration:
     def test_rejection_is_immediate_and_stateless(self, tmp_path):

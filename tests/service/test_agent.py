@@ -8,14 +8,22 @@ import pytest
 from repro.core.journal import CampaignJournal
 from repro.core.parallel import PointRunner, ResultCache
 from repro.service import (
+    DEAD,
+    DEAD_RETRIES,
     DONE,
     LEASED,
+    QUEUED,
     DurableBroker,
     JobSpec,
     MeasurementAgent,
     ServiceClient,
 )
-from repro.service.agent import sweep_payload, write_result_atomic
+from repro.service.agent import (
+    sweep_payload,
+    traceback_head,
+    write_result_atomic,
+)
+from repro.service.jobs import APP_PROFILES
 
 
 def spec(ks=(0, 1), seed=0, app="probe"):
@@ -127,6 +135,76 @@ class TestStaleLease:
         job = broker.job(job_id)
         assert job.state == LEASED
         assert job.agent == "a1"
+
+
+def _bomb_builder(params):
+    # Explodes at build time with an exception *outside* the ReproError
+    # hierarchy — the regression case for the dangling-lease bug.
+    raise KeyError("tuning table entry missing")
+
+
+@pytest.fixture
+def bomb_app(monkeypatch):
+    monkeypatch.setitem(APP_PROFILES, "bomb", _bomb_builder)
+
+
+class TestUnexpectedCrash:
+    def test_build_time_explosion_reports_fail_not_dangle(
+        self, tmp_path, bomb_app
+    ):
+        clock = FakeClock()
+        broker = DurableBroker(tmp_path, lease_s=10.0, clock=clock)
+        job_id = broker.submit(spec(app="bomb"))
+        agent = MeasurementAgent(tmp_path, "a0", broker=broker)
+        agent.run_job(broker.lease("a0"))
+
+        # Counted as a crash (a bug), not as a completion or an abandon.
+        assert agent.jobs_crashed == 1
+        assert agent.jobs_run == 0
+        assert agent.jobs_abandoned == 0
+
+        # The broker heard about it immediately: the job is requeued
+        # with the crash reason, NOT left leased until lease expiry.
+        record = broker.job(job_id)
+        assert record.state == QUEUED
+        assert record.agent is None
+        assert "unexpected KeyError" in record.errors[-1]
+        assert "tuning table entry missing" in record.errors[-1]
+
+        # And it is re-leasable as soon as its backoff passes — no
+        # dangling lease holding it hostage for lease_s.
+        clock.advance(60.0)
+        assert broker.lease("a1").id == job_id
+
+    def test_repeated_crashes_dead_letter_as_retries(
+        self, tmp_path, bomb_app
+    ):
+        clock = FakeClock()
+        broker = DurableBroker(tmp_path, lease_s=10.0, retry_budget=3,
+                               clock=clock)
+        job_id = broker.submit(spec(app="bomb"))
+        agent = MeasurementAgent(tmp_path, "a0", broker=broker)
+        for _ in range(3):
+            job = broker.lease("a0")
+            assert job is not None
+            agent.run_job(job)
+            clock.advance(120.0)  # clear the requeue backoff
+        record = broker.job(job_id)
+        assert record.state == DEAD
+        assert record.dead_reason == DEAD_RETRIES
+        assert agent.jobs_crashed == 3
+        assert broker.lease("a1") is None
+
+    def test_traceback_head_is_one_bounded_line(self):
+        try:
+            raise KeyError("boom")
+        except KeyError as exc:
+            head = traceback_head(exc)
+            truncated = traceback_head(exc, limit=20)
+        assert "\n" not in head
+        assert "KeyError" in head
+        assert "boom" in head
+        assert len(truncated) == 20  # the bound holds
 
 
 class TestResultArtifact:

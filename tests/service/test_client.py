@@ -1,0 +1,85 @@
+"""ServiceClient: result-artifact error wrapping, wait semantics."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import JobSpec, ServiceClient
+
+
+def spec(seed=0):
+    return JobSpec(app="probe", preset="tiny", kind="cs", ks=(0, 1),
+                   seed=seed, warmup_accesses=2_000,
+                   measure_accesses=1_000)
+
+
+@pytest.fixture
+def done_job(tmp_path):
+    client = ServiceClient(tmp_path)
+    job_id = client.submit(spec())
+    assert client.drain() == 1
+    return client, job_id
+
+
+class TestResultErrorWrapping:
+    def test_missing_artifact_is_a_service_error_naming_the_path(
+        self, done_job
+    ):
+        client, job_id = done_job
+        path = Path(client.status(job_id).result_path)
+        path.unlink()
+        # A FileNotFoundError here would read like a client bug; the
+        # wrapped error names the job and the path so the caller knows
+        # it is service-side state to report or repair.
+        with pytest.raises(ServiceError) as err:
+            client.result(job_id)
+        assert job_id in str(err.value)
+        assert str(path) in str(err.value)
+        assert "missing or unreadable" in str(err.value)
+
+    def test_truncated_artifact_is_a_service_error_not_a_decode_error(
+        self, done_job
+    ):
+        client, job_id = done_job
+        path = Path(client.status(job_id).result_path)
+        path.write_bytes(path.read_bytes()[:-25])
+        with pytest.raises(ServiceError) as err:
+            client.result(job_id)
+        assert job_id in str(err.value)
+        assert str(path) in str(err.value)
+        assert "torn or corrupt" in str(err.value)
+
+    def test_wrapped_errors_chain_the_original_cause(self, done_job):
+        client, job_id = done_job
+        Path(client.status(job_id).result_path).unlink()
+        with pytest.raises(ServiceError) as err:
+            client.result(job_id)
+        assert isinstance(err.value.__cause__, OSError)
+
+    def test_unfinished_job_has_no_result(self, tmp_path):
+        client = ServiceClient(tmp_path)
+        job_id = client.submit(spec())
+        with pytest.raises(ServiceError, match="no result yet"):
+            client.result(job_id)
+
+    def test_intact_artifact_round_trips(self, done_job):
+        client, job_id = done_job
+        payload = client.result(job_id)
+        assert [p["k"] for p in payload] == [0, 1]
+
+
+class TestWaitBoundary:
+    def test_finished_job_returns_even_at_zero_timeout(self, done_job):
+        # The done-check runs before the deadline check: a job that is
+        # already finished is returned, never "timed out", even at the
+        # exact timeout boundary of 0 seconds remaining.
+        client, job_id = done_job
+        job = client.wait(job_id, timeout_s=0.0)
+        assert job.state == "done"
+
+    def test_active_job_times_out_at_the_boundary(self, tmp_path):
+        client = ServiceClient(tmp_path)
+        job_id = client.submit(spec())
+        with pytest.raises(ServiceError, match="timed out after 0.0s"):
+            client.wait(job_id, timeout_s=0.0)

@@ -47,6 +47,13 @@ class TestValidation:
         with pytest.raises(ServiceError):
             resolve_app("nope", {})
 
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ServiceError, match="deadline_s must be positive"):
+            make_spec(deadline_s=0.0)
+        with pytest.raises(ServiceError, match="deadline_s must be positive"):
+            make_spec(deadline_s=-1.0)
+        make_spec(deadline_s=1.0)  # positive is fine
+
 
 class TestIdentity:
     def test_equal_specs_share_config_key(self):
@@ -63,6 +70,22 @@ class TestIdentity:
         again = JobSpec.from_dict(spec.to_dict())
         assert again == spec
         assert again.config_key() == spec.config_key()
+
+    def test_scheduling_knobs_do_not_change_measurement_identity(self):
+        # priority/deadline_s say how *urgently* to measure, not *what*
+        # to measure: two submissions differing only in urgency must
+        # share cache keys, journal keys — and therefore measurements.
+        base = make_spec().config_key()
+        assert make_spec(priority=5).config_key() == base
+        assert make_spec(deadline_s=30.0).config_key() == base
+        assert make_spec(priority=2, deadline_s=5.0).config_key() == base
+
+    def test_scheduling_knobs_round_trip(self):
+        spec = make_spec(priority=3, deadline_s=45.0)
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again.priority == 3
+        assert again.deadline_s == 45.0
+        assert again == spec
 
     def test_from_dict_rejects_garbage(self):
         with pytest.raises(ServiceError, match="malformed job spec"):

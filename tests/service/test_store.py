@@ -1,0 +1,186 @@
+"""Results store: byte parity with artifacts, backfill, queries."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (
+    STORE_SCHEMA,
+    DurableBroker,
+    JobSpec,
+    ResultsStore,
+    ServiceClient,
+)
+
+
+def spec(ks=(0, 1), seed=0, app="probe", **overrides):
+    base = dict(app=app, preset="tiny", kind="cs", ks=ks, seed=seed,
+                warmup_accesses=2_000, measure_accesses=1_000)
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+@pytest.fixture
+def drained(tmp_path):
+    """A root with two completed jobs (distinct tenants/apps) plus its
+    client."""
+    client = ServiceClient(tmp_path)
+    j1 = client.submit(spec(), tenant="alice")
+    j2 = client.submit(spec(app="stream", seed=1), tenant="bob")
+    assert client.drain() == 2
+    return client, j1, j2
+
+
+class TestAgentPopulation:
+    def test_agent_writes_store_rows_on_complete(self, drained):
+        client, j1, j2 = drained
+        rows = client.store.query_jobs()
+        assert {r["job_id"] for r in rows} == {j1, j2}
+        assert all(r["state"] == "done" for r in rows)
+        points = client.store.query_points()
+        assert len(points) == 4  # two jobs x two ks
+
+    def test_point_payload_matches_artifact_byte_for_byte(self, drained):
+        client, j1, j2 = drained
+        for job_id in (j1, j2):
+            artifact = Path(client.status(job_id).result_path)
+            rebuilt = json.dumps(
+                client.store.point_payload(job_id),
+                sort_keys=True, indent=1,
+            ).encode()
+            assert rebuilt == artifact.read_bytes()
+
+    def test_job_row_carries_identity_and_history(self, drained):
+        client, j1, _ = drained
+        (row,) = client.store.query_jobs(job_id=j1)
+        assert row["tenant"] == "alice"
+        assert row["config_key"] == spec().config_key()
+        assert row["trace_id"] == client.status(j1).trace_id
+        assert [h["event"] for h in row["history"]] == [
+            "submit", "lease", "complete",
+        ]
+        assert row["telemetry"]["points_done"] == 2
+
+    def test_slowdown_is_relative_to_the_lowest_k(self, drained):
+        client, j1, _ = drained
+        points = client.store.query_points(job_id=j1)
+        by_k = {p["k"]: p for p in points}
+        assert by_k[0]["slowdown"] == pytest.approx(1.0)
+        assert by_k[1]["slowdown"] == pytest.approx(
+            by_k[1]["t_access_ns"] / by_k[0]["t_access_ns"]
+        )
+        assert by_k[1]["slowdown"] > 1.0  # interference slows the probe
+
+
+class TestBackfill:
+    def test_backfill_rebuilds_a_deleted_store(self, drained, tmp_path):
+        client, j1, j2 = drained
+        reference = {
+            job_id: client.store.point_payload(job_id)
+            for job_id in (j1, j2)
+        }
+        client.store.close()
+        for path in tmp_path.glob("store.sqlite*"):
+            path.unlink()
+        fresh = ResultsStore(tmp_path)
+        assert fresh.backfill(client.broker) == 2
+        for job_id in (j1, j2):
+            assert fresh.point_payload(job_id) == reference[job_id]
+
+    def test_backfill_is_incremental(self, drained, tmp_path):
+        client, *_ = drained
+        assert client.store.backfill(client.broker) == 0  # nothing stale
+        j3 = client.submit(spec(seed=7), tenant="alice")
+        client.drain()
+        # The agent already recorded j3; a state-matching row is skipped.
+        assert client.store.backfill(client.broker) == 0
+        assert client.store.backfill(client.broker, force=True) == 3
+        assert client.store.point_payload(j3)
+
+    def test_backfill_covers_jobs_missing_from_the_store(self, tmp_path):
+        # Simulate the crash window: job completed, store write lost.
+        client = ServiceClient(tmp_path)
+        job_id = client.submit(spec())
+        client.drain()
+        client.store.close()
+        for path in tmp_path.glob("store.sqlite*"):
+            path.unlink()
+        store = ResultsStore(tmp_path)
+        with pytest.raises(ServiceError, match="no point rows"):
+            store.point_payload(job_id)
+        assert store.backfill(client.broker) == 1
+        artifact = Path(client.status(job_id).result_path).read_bytes()
+        rebuilt = json.dumps(store.point_payload(job_id),
+                             sort_keys=True, indent=1).encode()
+        assert rebuilt == artifact
+
+    def test_backfill_torn_artifact_is_a_service_error(self, drained):
+        client, j1, _ = drained
+        artifact = Path(client.status(j1).result_path)
+        artifact.write_bytes(artifact.read_bytes()[:-20])
+        with pytest.raises(ServiceError, match="torn or corrupt"):
+            client.store.backfill(client.broker, force=True)
+
+
+class TestQueries:
+    def test_filter_by_tenant_app_preset(self, drained):
+        client, j1, j2 = drained
+        assert {r["job_id"] for r in
+                client.store.query_points(tenant="alice")} == {j1}
+        assert {r["job_id"] for r in
+                client.store.query_points(app="stream")} == {j2}
+        assert client.store.query_points(preset="xeon20mb") == []
+
+    def test_filter_by_k_range(self, drained):
+        client, *_ = drained
+        ks = [r["k"] for r in client.store.query_points(k_min=1)]
+        assert ks == [1, 1]
+        assert client.store.query_points(k_min=2, k_max=5) == []
+        both = client.store.query_points(k_min=0, k_max=1)
+        assert len(both) == 4
+
+    def test_stats(self, drained):
+        client, *_ = drained
+        stats = client.store.stats()
+        assert stats["jobs"] == 2
+        assert stats["points"] == 4
+        assert stats["by_state"] == {"done": 2}
+        assert stats["schema"] == STORE_SCHEMA
+
+
+class TestSchemaAndConcurrency:
+    def test_wal_mode_is_active(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+
+    def test_schema_mismatch_fails_loudly(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store._conn.execute(
+            "UPDATE meta SET value='999' WHERE key='schema'")
+        store._conn.commit()
+        store.close()
+        with pytest.raises(ServiceError, match="schema 999"):
+            ResultsStore(tmp_path)
+
+    def test_two_writers_interleave(self, tmp_path):
+        # Two store instances (two "agent processes") writing distinct
+        # jobs against one WAL database must both land.
+        broker = DurableBroker(tmp_path)
+        ids = [broker.submit(spec(seed=s)) for s in (0, 1)]
+        for job_id, agent in zip(ids, ("a0", "a1")):
+            leased = broker.lease(agent)
+            broker.complete(leased.id, agent, leased.attempts)
+        a, b = ResultsStore(tmp_path), ResultsStore(tmp_path)
+        a.record_job(broker.job(ids[0]))
+        b.record_job(broker.job(ids[1]))
+        assert {r["job_id"] for r in a.query_jobs()} == set(ids)
+
+    def test_record_job_is_idempotent(self, drained):
+        client, j1, _ = drained
+        payload = client.store.point_payload(j1)
+        before = client.store.query_points(job_id=j1)
+        client.store.record_job(client.broker.job(j1), payload)
+        assert client.store.query_points(job_id=j1) == before

@@ -251,3 +251,85 @@ class TestServiceVerbs:
         capsys.readouterr()
         assert main(["queue", "--root", root, "--job", "j99999-0000"]) == 1
         assert "unknown job" in capsys.readouterr().err
+
+    def test_submit_accepts_priority_and_deadline(self, tmp_path, capsys):
+        from repro.service import DurableBroker
+
+        root = str(tmp_path / "svc")
+        assert main(self.SUBMIT + ["--root", root, "--priority", "3",
+                                   "--deadline-s", "120"]) == 0
+        captured = capsys.readouterr()
+        job_id = captured.out.strip()
+        assert "trace: " in captured.err  # correlation id announced
+        job = DurableBroker(root).job(job_id)
+        assert job.priority == 3
+        assert job.deadline_at is not None
+        assert len(job.trace_id) == 16
+
+    def test_submit_rejects_non_positive_deadline(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        assert main(self.SUBMIT + ["--root", root,
+                                   "--deadline-s", "-1"]) == 1
+        assert "deadline_s must be positive" in capsys.readouterr().err
+
+
+class TestQueryVerb:
+    """query: the results store's command-line surface."""
+
+    SUBMIT = ["submit", "--preset", "tiny", "--ks", "0,1",
+              "--warmup", "2000", "--measure", "1000"]
+
+    @pytest.fixture
+    def served_root(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        assert main(self.SUBMIT + ["--root", root,
+                                   "--tenant", "alice"]) == 0
+        job_id = capsys.readouterr().out.strip()
+        assert main(["serve", "--root", root, "--inline"]) == 0
+        capsys.readouterr()
+        return root, job_id
+
+    def test_points_table_shows_slowdown(self, served_root, capsys):
+        root, job_id = served_root
+        assert main(["query", "--root", root]) == 0
+        captured = capsys.readouterr()
+        assert job_id in captured.out
+        assert "slowdown" in captured.out
+        assert "1.0000" in captured.out  # the k=0 baseline point
+        assert "2 point row(s)" in captured.err
+
+    def test_jobs_table_and_filters(self, served_root, capsys):
+        root, job_id = served_root
+        assert main(["query", "--root", root, "--jobs",
+                     "--tenant", "alice"]) == 0
+        out = capsys.readouterr().out
+        assert job_id in out
+        assert "done" in out
+        assert main(["query", "--root", root, "--jobs",
+                     "--tenant", "nobody"]) == 0
+        assert job_id not in capsys.readouterr().out
+
+    def test_k_range_filter(self, served_root, capsys):
+        root, _ = served_root
+        assert main(["query", "--root", root, "--k-min", "1"]) == 0
+        assert "1 point row(s)" in capsys.readouterr().err
+
+    def test_json_output_is_parseable(self, served_root, capsys):
+        root, job_id = served_root
+        assert main(["query", "--root", root, "--json",
+                     "--job", job_id]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["k"] for r in rows] == [0, 1]
+        assert rows[0]["job_id"] == job_id
+
+    def test_backfill_rebuilds_a_deleted_store(self, served_root, capsys):
+        from pathlib import Path
+
+        root, job_id = served_root
+        for path in Path(root).glob("store.sqlite*"):
+            path.unlink()
+        assert main(["query", "--root", root, "--backfill",
+                     "--jobs"]) == 0
+        captured = capsys.readouterr()
+        assert "backfilled 1 job(s)" in captured.err
+        assert job_id in captured.out
